@@ -1,0 +1,388 @@
+// Benchmark harness: one testing.B benchmark per reproduced figure /
+// experiment (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// the recorded results). `go test -bench=. -benchmem` regenerates the
+// core quantities; `go run ./cmd/ftbench` prints the full tables.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/diagnosis"
+	"repro/internal/fault"
+	"repro/internal/numeric"
+	"repro/internal/signal"
+	"repro/internal/transient"
+)
+
+func mustPipeline(b *testing.B) *Pipeline {
+	b.Helper()
+	p, err := NewPipeline(PaperCUT(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// reducedGA keeps per-iteration cost sane while preserving the paper's
+// operators; BenchmarkGAPaperParams runs the full configuration.
+func reducedGA(seed int64) OptimizeConfig {
+	cfg := PaperOptimizeConfig(1)
+	cfg.GA.PopSize = 32
+	cfg.GA.Generations = 10
+	cfg.Seed = seed
+	return cfg
+}
+
+// BenchmarkFig1Dictionary (E1): building the full fault dictionary grid
+// — 56 faulty circuits plus golden across a 13-point frequency sweep.
+func BenchmarkFig1Dictionary(b *testing.B) {
+	grid := numeric.Logspace(0.01, 100, 13)
+	for i := 0; i < b.N; i++ {
+		p := mustPipeline(b)
+		if err := p.Dictionary().BuildGrid(grid, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Transform (E2): the curve-to-point transformation for one
+// fault at a two-frequency test vector.
+func BenchmarkFig2Transform(b *testing.B) {
+	p := mustPipeline(b)
+	d := p.Dictionary()
+	f := Fault{Component: "R3", Deviation: 0.4}
+	omegas := []float64{0.5, 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Signature(f, omegas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Diagnosis (E3): one perpendicular-projection diagnosis of
+// an off-grid fault against the 7-trajectory map.
+func BenchmarkFig3Diagnosis(b *testing.B) {
+	p := mustPipeline(b)
+	dg, err := p.Diagnoser([]float64{0.5635, 4.5524})
+	if err != nil {
+		b.Fatal(err)
+	}
+	unknown := Fault{Component: "R3", Deviation: 0.25}
+	sig, err := p.Dictionary().Signature(unknown, dg.Map().Omegas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dg.Diagnose(sig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Best().Component != "R3" {
+			b.Fatalf("diagnosed %s", res.Best().Component)
+		}
+	}
+}
+
+// BenchmarkGAPaperParams (E4): the paper's full GA — 128 individuals,
+// 15 generations, roulette wheel, fitness 1/(1+I).
+func BenchmarkGAPaperParams(b *testing.B) {
+	p := mustPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := PaperOptimizeConfig(1)
+		cfg.Seed = int64(i + 1)
+		tv, err := p.Optimize(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tv.Fitness <= 0 {
+			b.Fatal("GA found nothing")
+		}
+	}
+}
+
+// BenchmarkE5Accuracy: the hold-out evaluation (42 off-grid faults) for
+// a fixed test vector — the cost of the accuracy numbers in E5's table.
+func BenchmarkE5Accuracy(b *testing.B) {
+	p := mustPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := p.Evaluate([]float64{0.5635, 4.5524}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ev.Accuracy() < 0.9 {
+			b.Fatalf("accuracy %g", ev.Accuracy())
+		}
+	}
+}
+
+// BenchmarkE5Baselines: the three baseline strategies at matched budget.
+func BenchmarkE5Baselines(b *testing.B) {
+	p := mustPipeline(b)
+	atpg := p.ATPG()
+	b.Run("random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rng := rand.New(rand.NewSource(int64(i)))
+			if _, err := atpg.RandomVector(2, 0.01, 100, 50, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := atpg.GridVector(2, 0.01, 100, 12); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sensitivity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := atpg.SensitivityVector(2, 0.01, 100, 12, 0.3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6Frequencies: GA optimization per test-vector size k.
+func BenchmarkE6Frequencies(b *testing.B) {
+	p := mustPipeline(b)
+	for k := 1; k <= 4; k++ {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := reducedGA(int64(i + 1))
+				cfg.NumFrequencies = k
+				if _, err := p.Optimize(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7GA: GA operator ablation (selection methods).
+func BenchmarkE7GA(b *testing.B) {
+	p := mustPipeline(b)
+	for _, sel := range []struct {
+		name string
+		set  func(*OptimizeConfig)
+	}{
+		{"roulette", func(c *OptimizeConfig) { c.GA.Selection = 0 }},
+		{"tournament", func(c *OptimizeConfig) { c.GA.Selection = 1 }},
+		{"rank", func(c *OptimizeConfig) { c.GA.Selection = 2 }},
+	} {
+		b.Run(sel.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := reducedGA(int64(i + 1))
+				sel.set(&cfg)
+				if _, err := p.Optimize(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE8Noise: one full simulated bench measurement (multitone
+// synthesis, noise, 12-bit ADC, two Goertzel extractions).
+func BenchmarkE8Noise(b *testing.B) {
+	gains := []complex128{complex(0.4, 0.1), complex(0.05, -0.02)}
+	cfg := signal.DefaultMeasureConfig()
+	omegas, err := signal.CoherentOmegas([]float64{0.56, 4.55}, cfg.SampleRate, cfg.Samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.SNRdB = 40
+	cfg.ADCBits = 12
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := signal.MeasureTones(gains, omegas, cfg, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9Circuits: the whole pipeline (dictionary + reduced GA +
+// hold-out evaluation) per benchmark CUT.
+func BenchmarkE9Circuits(b *testing.B) {
+	for _, cut := range Benchmarks() {
+		b.Run(cut.Circuit.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := NewPipeline(cut, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := reducedGA(int64(i + 1))
+				cfg.BandLo, cfg.BandHi = cut.Omega0/100, cut.Omega0*100
+				tv, err := p.Optimize(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.Evaluate(tv.Omegas, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkACSolve: the innermost substrate cost — one MNA factor+solve
+// of the paper CUT at one frequency.
+func BenchmarkACSolve(b *testing.B) {
+	d := mustPipeline(b).Dictionary()
+	trials := diagnosis.HoldOutTrials(d.Universe(), []float64{0.17}) // unmemoized deviations
+	_ = trials
+	faults := d.Universe().Faults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary ω so memoization never hits: measures true solve cost.
+		w := 0.5 + float64(i%1000)*1e-6
+		if _, err := d.Response(faults[i%len(faults)], w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrajectoryBuild: building the 7-component trajectory map for
+// a fresh test vector (the GA's per-candidate cost).
+func BenchmarkTrajectoryBuild(b *testing.B) {
+	p := mustPipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary frequencies to defeat memoization, as the GA does.
+		w1 := 0.5 + float64(i%100)*1e-5
+		w2 := 2.0 + float64(i%100)*1e-5
+		if _, err := p.Trajectories([]float64{w1, w2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultUniverse: enumerating the paper's 56-fault universe.
+func BenchmarkFaultUniverse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		u, err := fault.PaperUniverse(PaperCUT().Passives)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(u.Faults()) != 56 {
+			b.Fatal("universe size")
+		}
+	}
+}
+
+// BenchmarkE10Reject: one out-of-model rejection decision (diagnosis of
+// a double-fault point plus the threshold test).
+func BenchmarkE10Reject(b *testing.B) {
+	p := mustPipeline(b)
+	omegas := []float64{0.5, 2}
+	dg, err := p.Diagnoser(omegas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := fault.NewMulti(
+		Fault{Component: "R1", Deviation: 0.4},
+		Fault{Component: "C3", Deviation: -0.4},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	double, err := m.Apply(p.Dictionary().Golden())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig, err := p.Dictionary().CircuitSignature(double, omegas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ext := dg.Extent()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dg.Diagnose(sig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res.Rejected(ext, 0.02)
+	}
+}
+
+// BenchmarkE11Tolerance: one tolerance-perturbed board build + variant
+// signature + diagnosis.
+func BenchmarkE11Tolerance(b *testing.B) {
+	p := mustPipeline(b)
+	omegas := []float64{0.5, 2}
+	if _, err := p.Diagnoser(omegas); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	tol := Tolerance{Sigma: 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		board, err := tol.Perturb(p.Dictionary().Golden(), rng, "C2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := board.ScaleValue("C2", 1.25); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := p.DiagnoseCircuit(board, omegas, 0.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE12Active: full pipeline over the macromodel CUT with 11
+// fault targets (reduced GA).
+func BenchmarkE12Active(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cut, err := PaperCUTMacro()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := NewPipeline(cut, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := reducedGA(int64(i + 1))
+		if _, err := p.Optimize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransientStep: cost of one simulated second of the paper CUT
+// at 1 ms steps (the time-domain measurement path).
+func BenchmarkTransientStep(b *testing.B) {
+	cut := PaperCUT()
+	wave := transient.Sine(1, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := transient.Run(cut.Circuit.Clone(), transient.Config{
+			Step:     1e-3,
+			Duration: 1,
+			Sources:  map[string]transient.Waveform{cut.Source: wave},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitRational: recovering the CUT's third-order transfer
+// function from 21 AC samples.
+func BenchmarkFitRational(b *testing.B) {
+	p := mustPipeline(b)
+	omegas := numeric.Logspace(0.02, 50, 21)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.FitTransfer(0, 3, omegas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+// Command acsim is a small AC circuit simulator: it reads a netlist,
+// sweeps a frequency band, and prints the Bode table of a chosen
+// transfer function — the standalone face of the repository's MNA engine.
+//
+// Example:
+//
+//	acsim -source V1 -output out -lo 1 -hi 1e6 -points 31 filter.cir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		source = flag.String("source", "V1", "driving voltage source")
+		output = flag.String("output", "out", "observed node")
+		lo     = flag.Float64("lo", 0.01, "sweep start (rad/s)")
+		hi     = flag.Float64("hi", 100, "sweep end (rad/s)")
+		points = flag.Int("points", 25, "number of log-spaced points")
+	)
+	flag.Parse()
+
+	text, err := readInput(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	c, err := repro.ParseNetlist(text)
+	if err != nil {
+		fail(err)
+	}
+	ac, err := analysis.NewAC(c)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := ac.LogSweep(*source, *output, *lo, *hi, *points)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%s: V(%s)/V(%s)\n", c.Name(), *output, *source)
+	fmt.Printf("%-12s %12s %12s %12s\n", "ω (rad/s)", "|H|", "|H| (dB)", "phase (deg)")
+	for _, p := range resp.Points {
+		fmt.Printf("%-12.5g %12.6f %12.2f %12.2f\n", p.Omega, p.Mag(), p.MagDb(), p.PhaseDeg())
+	}
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "acsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadInputFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.cir")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readInput(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("readInput = %q", got)
+	}
+	if _, err := readInput(filepath.Join(t.TempDir(), "missing.cir")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestReadInputStdin(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	if _, err := w.WriteString("from stdin"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	got, err := readInput("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "from stdin" {
+		t.Fatalf("readInput = %q", got)
+	}
+}

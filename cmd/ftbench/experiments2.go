@@ -1,0 +1,227 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/diagnosis"
+	"repro/internal/ga"
+	"repro/internal/geometry"
+	"repro/internal/signal"
+)
+
+// e6Frequencies ablates the test-vector size k (the paper fixes k = 2).
+func (r *runner) e6Frequencies() error {
+	r.header("E6", "ablation: number of test frequencies k")
+	p, err := r.paperPipeline()
+	if err != nil {
+		return err
+	}
+	r.printf("%-3s %30s %4s %9s %9s\n", "k", "ω (rad/s)", "I", "fitness", "top1-acc")
+	for k := 1; k <= 4; k++ {
+		cfg := r.gaConfig(p.CUT().Omega0)
+		cfg.NumFrequencies = k
+		tv, err := p.Optimize(cfg)
+		if err != nil {
+			return err
+		}
+		ev, err := p.Evaluate(tv.Omegas, nil)
+		if err != nil {
+			return err
+		}
+		r.printf("%-3d %30s %4d %9.4f %8.1f%%\n", k, fmtOmegas(tv.Omegas), tv.Intersections, tv.Fitness, 100*ev.Accuracy())
+	}
+	r.printf("expected shape: k=1 is ambiguous; k=2 is the paper's sweet spot; k>2 adds little\n")
+	return nil
+}
+
+func fmtOmegas(omegas []float64) string {
+	s := ""
+	for i, w := range omegas {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.4g", w)
+	}
+	return s
+}
+
+// e7GAAblation sweeps GA operators and rates.
+func (r *runner) e7GAAblation() error {
+	r.header("E7", "ablation: GA selection method and mutation rate")
+	p, err := r.paperPipeline()
+	if err != nil {
+		return err
+	}
+	type variant struct {
+		name      string
+		selection ga.SelectionMethod
+		mutation  float64
+		pop       int
+	}
+	variants := []variant{
+		{"roulette m=0.4 (paper)", ga.Roulette, 0.4, 0},
+		{"roulette m=0.1", ga.Roulette, 0.1, 0},
+		{"roulette m=0.7", ga.Roulette, 0.7, 0},
+		{"tournament m=0.4", ga.Tournament, 0.4, 0},
+		{"rank m=0.4", ga.Rank, 0.4, 0},
+		{"roulette pop=16", ga.Roulette, 0.4, 16},
+	}
+	r.printf("%-24s %9s %4s %9s\n", "variant", "fitness", "I", "evals")
+	for _, v := range variants {
+		cfg := r.gaConfig(p.CUT().Omega0)
+		cfg.GA.Selection = v.selection
+		cfg.GA.MutationRate = v.mutation
+		if v.pop > 0 {
+			cfg.GA.PopSize = v.pop
+		}
+		tv, err := p.Optimize(cfg)
+		if err != nil {
+			return err
+		}
+		r.printf("%-24s %9.4f %4d %9d\n", v.name, tv.Fitness, tv.Intersections, tv.Evaluations)
+	}
+	r.printf("expected shape: all variants reach near-max fitness; small pops are noisier\n")
+	return nil
+}
+
+// e8Noise measures diagnosis robustness when the observed point comes
+// from a simulated bench measurement (multitone + Goertzel) instead of
+// the analytic response.
+func (r *runner) e8Noise() error {
+	r.header("E8", "robustness: measurement noise and quantization")
+	p, err := r.paperPipeline()
+	if err != nil {
+		return err
+	}
+	tv, err := r.optimizedVector()
+	if err != nil {
+		return err
+	}
+	// Coherent sampling: snap the GA's frequencies onto integer-cycle
+	// bins of the capture window, as a real multitone tester would, so
+	// rectangular-window leakage between tones vanishes.
+	base := signal.DefaultMeasureConfig()
+	omegas, err := signal.CoherentOmegas(tv.Omegas, base.SampleRate, base.Samples)
+	if err != nil {
+		return err
+	}
+	r.printf("test vector snapped to coherent bins: %s -> %s rad/s\n", fmtOmegas(tv.Omegas), fmtOmegas(omegas))
+	dg, err := p.Diagnoser(omegas)
+	if err != nil {
+		return err
+	}
+	d := p.Dictionary()
+
+	// Golden per-tone amplitudes measured through the same clean path.
+	goldenGains, err := toneGains(p, repro.Fault{}, omegas)
+	if err != nil {
+		return err
+	}
+	cleanCfg := signal.DefaultMeasureConfig()
+	goldenAmps, err := signal.MeasureTones(goldenGains, omegas, cleanCfg, nil)
+	if err != nil {
+		return err
+	}
+
+	trials := diagnosis.HoldOutTrials(d.Universe(), []float64{-0.35, -0.25, 0.25, 0.35})
+	snrs := []float64{math.Inf(1), 80, 60, 40, 30, 20}
+	r.printf("%-10s %9s %9s\n", "SNR (dB)", "top1-acc", "top2-acc")
+	for _, snr := range snrs {
+		rng := rand.New(rand.NewSource(r.seed + int64(snr*10)))
+		correct, topTwo := 0, 0
+		for _, f := range trials {
+			gains, err := toneGains(p, f, omegas)
+			if err != nil {
+				return err
+			}
+			cfg := signal.DefaultMeasureConfig()
+			cfg.SNRdB = snr
+			cfg.ADCBits = 12
+			amps, err := signal.MeasureTones(gains, omegas, cfg, rng)
+			if err != nil {
+				return err
+			}
+			point := make(geometry.VecN, len(amps))
+			for i := range amps {
+				point[i] = amps[i] - goldenAmps[i]
+			}
+			res, err := dg.Diagnose(point)
+			if err != nil {
+				return err
+			}
+			if res.Best().Component == f.Component {
+				correct++
+			}
+			for i, c := range res.Candidates {
+				if i > 1 {
+					break
+				}
+				if c.Component == f.Component {
+					topTwo++
+					break
+				}
+			}
+		}
+		label := "clean"
+		if !math.IsInf(snr, 1) {
+			label = fmt.Sprintf("%.0f", snr)
+		}
+		r.printf("%-10s %8.1f%% %8.1f%%\n", label,
+			100*float64(correct)/float64(len(trials)), 100*float64(topTwo)/float64(len(trials)))
+	}
+	r.printf("expected shape: graceful degradation; near-clean accuracy above ~40 dB\n")
+	return nil
+}
+
+// toneGains returns the faulty circuit's complex gain at each tone,
+// solved directly (the dictionary stores only magnitudes; the
+// measurement simulation needs phases too).
+func toneGains(p *repro.Pipeline, f repro.Fault, omegas []float64) ([]complex128, error) {
+	faulty, err := f.Apply(p.Dictionary().Golden())
+	if err != nil {
+		return nil, err
+	}
+	ac, err := analysis.NewAC(faulty)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(omegas))
+	for i, w := range omegas {
+		h, err := ac.Transfer(p.CUT().Source, p.CUT().Output, w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// e9Circuits runs the whole pipeline on every benchmark CUT.
+func (r *runner) e9Circuits() error {
+	r.header("E9", "generality: fault-trajectory ATPG across benchmark circuits")
+	r.printf("%-18s %4s %22s %4s %9s %9s\n", "circuit", "n", "ω (rad/s)", "I", "fitness", "top1-acc")
+	for _, cut := range repro.Benchmarks() {
+		p, err := repro.NewPipeline(cut, nil)
+		if err != nil {
+			return err
+		}
+		cfg := r.gaConfig(cut.Omega0)
+		tv, err := p.Optimize(cfg)
+		if err != nil {
+			return err
+		}
+		ev, err := p.Evaluate(tv.Omegas, nil)
+		if err != nil {
+			return err
+		}
+		r.printf("%-18s %4d %22s %4d %9.4f %8.1f%%\n",
+			cut.Circuit.Name(), len(cut.Passives), fmtOmegas(tv.Omegas), tv.Intersections, tv.Fitness, 100*ev.Accuracy())
+	}
+	r.printf("expected shape: high accuracy everywhere except known-ambiguous CUTs\n")
+	r.printf("(tow-thomas has a gain-ratio pair R5/R6; the RC ladder has strongly overlapping influences)\n")
+	return nil
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"math/rand"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/geometry"
+)
+
+// e10Reject evaluates the unknown-fault rejection extension: points from
+// double faults should be rejected (they lie off every single-fault
+// trajectory), while genuine single faults should pass.
+func (r *runner) e10Reject() error {
+	r.header("E10", "extension: rejection of out-of-model (double) faults")
+	p, err := r.paperPipeline()
+	if err != nil {
+		return err
+	}
+	tv, err := r.optimizedVector()
+	if err != nil {
+		return err
+	}
+	dg, err := p.Diagnoser(tv.Omegas)
+	if err != nil {
+		return err
+	}
+	d := p.Dictionary()
+	ext := dg.Extent()
+
+	ratios := []float64{0.01, 0.02, 0.05, 0.1}
+	rng := rand.New(rand.NewSource(r.seed + 31))
+
+	// Single-fault set: the standard hold-out.
+	singles := make([]geometry.VecN, 0, 42)
+	for _, comp := range d.Universe().Components {
+		for _, dev := range []float64{-0.35, -0.25, -0.15, 0.15, 0.25, 0.35} {
+			sig, err := d.Signature(repro.Fault{Component: comp, Deviation: dev}, tv.Omegas)
+			if err != nil {
+				return err
+			}
+			singles = append(singles, geometry.VecN(sig))
+		}
+	}
+	// Double-fault set: random large pairs.
+	var doubles []geometry.VecN
+	for len(doubles) < 40 {
+		m, err := fault.RandomMulti(d.Universe(), 2, rng)
+		if err != nil {
+			return err
+		}
+		big := true
+		for _, f := range m {
+			if f.Deviation < 0.3 && f.Deviation > -0.3 {
+				big = false
+			}
+		}
+		if !big {
+			continue
+		}
+		faulty, err := m.Apply(d.Golden())
+		if err != nil {
+			return err
+		}
+		sig, err := d.CircuitSignature(faulty, tv.Omegas)
+		if err != nil {
+			return err
+		}
+		doubles = append(doubles, geometry.VecN(sig))
+	}
+
+	rejectRate := func(points []geometry.VecN, ratio float64) (float64, error) {
+		rej := 0
+		for _, pt := range points {
+			res, err := dg.Diagnose(pt)
+			if err != nil {
+				return 0, err
+			}
+			if res.Rejected(ext, ratio) {
+				rej++
+			}
+		}
+		return float64(rej) / float64(len(points)), nil
+	}
+
+	r.printf("%-8s %22s %22s\n", "ratio", "single-fault rejected", "double-fault rejected")
+	for _, ratio := range ratios {
+		sr, err := rejectRate(singles, ratio)
+		if err != nil {
+			return err
+		}
+		dr, err := rejectRate(doubles, ratio)
+		if err != nil {
+			return err
+		}
+		r.printf("%-8.2f %21.1f%% %21.1f%%\n", ratio, 100*sr, 100*dr)
+	}
+	r.printf("expected shape: a ratio window exists where singles pass and doubles are caught\n")
+	return nil
+}
+
+// e11Tolerance measures diagnosis accuracy when every component carries
+// manufacturing tolerance on top of the single hard fault.
+func (r *runner) e11Tolerance() error {
+	r.header("E11", "extension: diagnosis under component manufacturing tolerance")
+	p, err := r.paperPipeline()
+	if err != nil {
+		return err
+	}
+	tv, err := r.optimizedVector()
+	if err != nil {
+		return err
+	}
+	dg, err := p.Diagnoser(tv.Omegas)
+	if err != nil {
+		return err
+	}
+	d := p.Dictionary()
+
+	sigmas := []float64{0, 0.005, 0.01, 0.02, 0.05}
+	const trialsPerComp = 4
+	r.printf("%-12s %9s %9s\n", "tolerance σ", "top1-acc", "top2-acc")
+	for _, sigma := range sigmas {
+		rng := rand.New(rand.NewSource(r.seed + int64(sigma*1e4)))
+		tol := fault.Tolerance{Sigma: sigma}
+		correct, topTwo, total := 0, 0, 0
+		for _, comp := range d.Universe().Components {
+			for trial := 0; trial < trialsPerComp; trial++ {
+				board, err := tol.Perturb(d.Golden(), rng, comp)
+				if err != nil {
+					return err
+				}
+				dev := 0.25
+				if trial%2 == 1 {
+					dev = -0.25
+				}
+				if err := board.ScaleValue(comp, 1+dev); err != nil {
+					return err
+				}
+				sig, err := d.CircuitSignature(board, tv.Omegas)
+				if err != nil {
+					return err
+				}
+				res, err := dg.Diagnose(geometry.VecN(sig))
+				if err != nil {
+					return err
+				}
+				total++
+				if res.Best().Component == comp {
+					correct++
+				}
+				for i, cand := range res.Candidates {
+					if i > 1 {
+						break
+					}
+					if cand.Component == comp {
+						topTwo++
+						break
+					}
+				}
+			}
+		}
+		r.printf("%-12.3f %8.1f%% %8.1f%%\n", sigma,
+			100*float64(correct)/float64(total), 100*float64(topTwo)/float64(total))
+	}
+	r.printf("expected shape: robust through ~1-2%% tolerance, degrading by 5%%\n")
+	return nil
+}

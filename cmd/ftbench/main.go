@@ -1,0 +1,64 @@
+// Command ftbench regenerates every figure and experiment of the
+// reproduced paper (see DESIGN.md for the experiment index) and prints
+// the results as text tables. Typical use:
+//
+//	ftbench                  # run everything (quick GA settings)
+//	ftbench -e E4 -full      # one experiment with the paper's full GA
+//	ftbench -seed 7          # different random seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "all", "experiment to run: E1..E15 or 'all'")
+		seed = flag.Int64("seed", 1, "random seed for GA and noise draws")
+		full = flag.Bool("full", false, "use the paper's full GA (128x15) everywhere (slower)")
+	)
+	flag.Parse()
+
+	runner := &runner{seed: *seed, full: *full, out: os.Stdout}
+	experiments := map[string]func() error{
+		"E1":  runner.e1Dictionary,
+		"E2":  runner.e2Transform,
+		"E3":  runner.e3Trajectory,
+		"E4":  runner.e4GA,
+		"E5":  runner.e5Baselines,
+		"E6":  runner.e6Frequencies,
+		"E7":  runner.e7GAAblation,
+		"E8":  runner.e8Noise,
+		"E9":  runner.e9Circuits,
+		"E10": runner.e10Reject,
+		"E11": runner.e11Tolerance,
+		"E12": runner.e12Active,
+		"E13": runner.e13Grid,
+		"E14": runner.e14Deployed,
+		"E15": runner.e15Catastrophic,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+
+	which := strings.ToUpper(*exp)
+	if which == "ALL" {
+		for _, name := range order {
+			if err := experiments[name](); err != nil {
+				fmt.Fprintf(os.Stderr, "ftbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	f, ok := experiments[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (want E1..E15 or all)\n", *exp)
+		os.Exit(2)
+	}
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %s: %v\n", which, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,180 @@
+// Command ftdiag runs the fault-trajectory ATPG and diagnosis flow on a
+// built-in benchmark circuit or an external netlist.
+//
+// Examples:
+//
+//	ftdiag -list
+//	ftdiag -cut nf-lowpass-7
+//	ftdiag -cut nf-lowpass-7 -inject R3@+25%
+//	ftdiag -netlist rc.cir -source V1 -output out -inject R1@-30%
+//	ftdiag -cut sallen-key-lp -freqs 0.5,2.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/numeric"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list built-in benchmark circuits and exit")
+		cutName  = flag.String("cut", "nf-lowpass-7", "built-in benchmark circuit name")
+		nlPath   = flag.String("netlist", "", "netlist file (overrides -cut)")
+		source   = flag.String("source", "V1", "driving source name (netlist mode)")
+		output   = flag.String("output", "out", "observed output node (netlist mode)")
+		inject   = flag.String("inject", "", "fault to inject and diagnose, e.g. R3@+25% (default: evaluate all hold-out faults)")
+		freqsArg = flag.String("freqs", "", "comma-separated test frequencies in rad/s (default: GA-optimized)")
+		seed     = flag.Int64("seed", 1, "GA random seed")
+		full     = flag.Bool("full", false, "use the paper's full 128x15 GA")
+		reject   = flag.Float64("reject", 0, "rejection ratio for out-of-model faults (0 disables; try 0.02)")
+		export   = flag.String("export", "", "write the fault dictionary grid as JSON to this file and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range repro.Benchmarks() {
+			fmt.Printf("%-18s %s\n", c.Circuit.Name(), c.Description)
+		}
+		return
+	}
+
+	p, err := buildPipeline(*cutName, *nlPath, *source, *output)
+	if err != nil {
+		fail(err)
+	}
+	cut := p.CUT()
+	fmt.Printf("circuit: %s (%d fault targets: %s)\n",
+		cut.Circuit.Name(), len(cut.Passives), strings.Join(cut.Passives, ", "))
+
+	if *export != "" {
+		if err := exportDictionary(p, *export); err != nil {
+			fail(err)
+		}
+		fmt.Printf("dictionary grid written to %s\n", *export)
+		return
+	}
+
+	omegas, err := chooseFrequencies(p, *freqsArg, *seed, *full)
+	if err != nil {
+		fail(err)
+	}
+	fit, err := p.Fitness(omegas)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("test vector: ω = %s rad/s (fitness %.4f)\n", joinFloats(omegas), fit)
+
+	if *inject != "" {
+		f, err := fault.ParseID(*inject)
+		if err != nil {
+			fail(err)
+		}
+		dg, err := p.Diagnoser(omegas)
+		if err != nil {
+			fail(err)
+		}
+		res, err := dg.DiagnoseFault(p.Dictionary(), f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("injected: %s\n%s", f.ID(), res)
+		if *reject > 0 && res.Rejected(dg.Extent(), *reject) {
+			fmt.Printf("=> REJECTED as out-of-model at ratio %.3g (no single known fault explains the point)\n", *reject)
+			return
+		}
+		best := res.Best()
+		status := "MISDIAGNOSED"
+		if best.Component == f.Component {
+			status = "correctly diagnosed"
+		}
+		fmt.Printf("=> %s as %s (estimated deviation %+.0f%%)\n", status, best.Component, best.Deviation*100)
+		return
+	}
+
+	ev, err := p.Evaluate(omegas, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("hold-out evaluation (±15/25/35%% on every target):\n")
+	fmt.Printf("  top-1 accuracy: %.1f%%   top-2: %.1f%%   mean deviation error: %.1f%%\n",
+		100*ev.Accuracy(), 100*ev.TopTwoAccuracy(), 100*ev.MeanDevError)
+	fmt.Printf("confusion matrix:\n%s", ev.ConfusionTable())
+}
+
+func buildPipeline(cutName, nlPath, source, output string) (*repro.Pipeline, error) {
+	if nlPath != "" {
+		text, err := os.ReadFile(nlPath)
+		if err != nil {
+			return nil, err
+		}
+		return repro.NewPipelineFromNetlist(string(text), source, output, nil, nil)
+	}
+	cut, err := repro.BenchmarkByName(cutName)
+	if err != nil {
+		return nil, err
+	}
+	return repro.NewPipeline(cut, nil)
+}
+
+func chooseFrequencies(p *repro.Pipeline, freqsArg string, seed int64, full bool) ([]float64, error) {
+	if freqsArg != "" {
+		parts := strings.Split(freqsArg, ",")
+		out := make([]float64, 0, len(parts))
+		for _, s := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad frequency %q: %v", s, err)
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	cfg := repro.PaperOptimizeConfig(p.CUT().Omega0)
+	cfg.Seed = seed
+	if !full {
+		cfg.GA.PopSize = 32
+		cfg.GA.Generations = 10
+	}
+	tv, err := p.Optimize(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("GA: %d evaluations, best fitness %.4f, I = %d\n", tv.Evaluations, tv.Fitness, tv.Intersections)
+	return tv.Omegas, nil
+}
+
+func joinFloats(x []float64) string {
+	parts := make([]string, len(x))
+	for i, v := range x {
+		parts[i] = strconv.FormatFloat(v, 'g', 5, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// exportDictionary snapshots the fault dictionary over a two-decade grid
+// around the CUT's characteristic frequency and writes it as JSON.
+func exportDictionary(p *repro.Pipeline, path string) error {
+	omega0 := p.CUT().Omega0
+	grid := numeric.Logspace(omega0/100, omega0*100, 25)
+	snap, err := p.Dictionary().Snapshot(grid)
+	if err != nil {
+		return err
+	}
+	data, err := snap.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ftdiag:", err)
+	os.Exit(1)
+}

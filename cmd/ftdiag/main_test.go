@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestJoinFloats(t *testing.T) {
+	if got := joinFloats([]float64{0.5, 2}); got != "0.5, 2" {
+		t.Fatalf("joinFloats = %q", got)
+	}
+}
+
+func TestBuildPipelineFromBenchmark(t *testing.T) {
+	p, err := buildPipeline("nf-lowpass-7", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CUT().Circuit.Name() != "nf-lowpass-7" {
+		t.Fatal("wrong benchmark")
+	}
+	if _, err := buildPipeline("nope", "", "", ""); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+	if _, err := buildPipeline("", "/does/not/exist.cir", "V1", "out"); err == nil {
+		t.Fatal("missing netlist file accepted")
+	}
+}
+
+func TestBuildPipelineFromNetlistFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rc.cir")
+	nl := "rc\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n"
+	if err := os.WriteFile(path, []byte(nl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := buildPipeline("", path, "V1", "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.CUT().Passives) != 2 {
+		t.Fatalf("passives = %v", p.CUT().Passives)
+	}
+}
+
+func TestChooseFrequenciesExplicit(t *testing.T) {
+	p, err := buildPipeline("nf-lowpass-7", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := chooseFrequencies(p, "0.5, 2.0", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 2 {
+		t.Fatalf("freqs = %v", got)
+	}
+	if _, err := chooseFrequencies(p, "abc", 1, false); err == nil {
+		t.Fatal("bad freq accepted")
+	}
+}
+
+func TestExportDictionaryWritesJSON(t *testing.T) {
+	cut, err := repro.BenchmarkByName("sallen-key-lp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := repro.NewPipeline(cut, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dict.json")
+	if err := exportDictionary(p, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"sallen-key-lp"`) {
+		t.Fatal("export missing circuit name")
+	}
+	if !strings.Contains(string(data), `"golden"`) {
+		t.Fatal("export missing golden row")
+	}
+}

@@ -1,0 +1,68 @@
+package repro_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleNewPipeline demonstrates the minimal end-to-end flow on the
+// paper's circuit under test with a fixed (pre-optimized) test vector.
+func ExampleNewPipeline() {
+	pipeline, err := repro.NewPipeline(repro.PaperCUT(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	omegas := []float64{0.56, 4.55} // a known zero-intersection vector
+	diagnoser, err := pipeline.Diagnoser(omegas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := diagnoser.DiagnoseFault(pipeline.Dictionary(),
+		repro.Fault{Component: "R3", Deviation: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s at %+.0f%%\n", res.Best().Component, res.Best().Deviation*100)
+	// Output: R3 at +25%
+}
+
+// ExampleParseNetlist shows the SPICE-subset parser.
+func ExampleParseNetlist() {
+	c, err := repro.ParseNetlist(`rc lowpass
+V1 in 0 1
+R1 in out 4.7k
+C1 out 0 100n
+.end
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Name(), len(c.Elements()))
+	// Output: rc lowpass 3
+}
+
+// ExamplePipeline_Fitness evaluates the paper's fitness 1/(1+I) for an
+// explicit frequency pair.
+func ExamplePipeline_Fitness() {
+	pipeline, err := repro.NewPipeline(repro.PaperCUT(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit, err := pipeline.Fitness([]float64{0.56, 4.55})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.2f\n", fit)
+	// Output: 1.00
+}
+
+// ExampleFault_ID shows the paper-style fault identifiers.
+func ExampleFault_ID() {
+	fmt.Println(repro.Fault{Component: "C2", Deviation: -0.4}.ID())
+	fmt.Println(repro.Fault{}.ID())
+	// Output:
+	// C2@-40%
+	// golden
+}

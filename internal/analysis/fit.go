@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/numeric"
+)
+
+// FitRational recovers a real-coefficient rational transfer function
+// N(s)/D(s) (deg N = numDeg, deg D = denDeg, D monic) from frequency
+// samples of the network, by linear least squares on the relation
+// N(jω) − H(jω)·D(jω) = 0. For lumped linear circuits the fit is exact
+// up to conditioning, which turns the sampled AC analysis into symbolic
+// poles, zeros, ω0 and Q — the quantities filter designers reason with.
+//
+// omegas must contain at least (numDeg + denDeg + 1) distinct positive
+// frequencies; more samples improve conditioning.
+func (ac *AC) FitRational(source, outNode string, numDeg, denDeg int, omegas []float64) (numeric.Rational, error) {
+	if numDeg < 0 || denDeg < 1 {
+		return numeric.Rational{}, fmt.Errorf("analysis: bad fit degrees num=%d den=%d", numDeg, denDeg)
+	}
+	unknowns := (numDeg + 1) + denDeg // n_0..n_nd, d_0..d_{dd-1}; d_dd = 1
+	if len(omegas) < unknowns {
+		return numeric.Rational{}, fmt.Errorf("analysis: %d samples for %d unknowns", len(omegas), unknowns)
+	}
+	// Column scaling: normalize frequencies to their geometric mean so
+	// powers of s stay well conditioned, then unscale coefficients.
+	scale := geometricMean(omegas)
+	if scale <= 0 || math.IsNaN(scale) {
+		return numeric.Rational{}, fmt.Errorf("analysis: degenerate frequency set")
+	}
+
+	rows := len(omegas)
+	a := numeric.NewMatrix(rows, unknowns)
+	b := make([]complex128, rows)
+	for k, w := range omegas {
+		h, err := ac.Transfer(source, outNode, w)
+		if err != nil {
+			return numeric.Rational{}, err
+		}
+		s := complex(0, w/scale)
+		// N(s) terms.
+		pow := complex(1, 0)
+		for i := 0; i <= numDeg; i++ {
+			a.Set(k, i, pow)
+			pow *= s
+		}
+		// -H·D(s) terms for d_0..d_{dd-1}.
+		pow = complex(1, 0)
+		for j := 0; j < denDeg; j++ {
+			a.Set(k, numDeg+1+j, -h*pow)
+			pow *= s
+		}
+		// RHS: +H·s^dd (from the monic d_dd = 1).
+		b[k] = h * pow
+	}
+
+	// Least squares by normal equations: (AᴴA)x = Aᴴb.
+	ah := a.ConjTranspose()
+	ata, err := ah.Mul(a)
+	if err != nil {
+		return numeric.Rational{}, err
+	}
+	atb, err := ah.MulVec(b)
+	if err != nil {
+		return numeric.Rational{}, err
+	}
+	f, err := numeric.Factor(ata)
+	if err != nil {
+		return numeric.Rational{}, fmt.Errorf("analysis: rational fit is rank-deficient (degrees too high?): %w", err)
+	}
+	x, err := f.Solve(atb)
+	if err != nil {
+		return numeric.Rational{}, err
+	}
+
+	// Extract real coefficients and undo the frequency scaling:
+	// coefficient of s^i was computed against (s/scale)^i.
+	num := make(numeric.Poly, numDeg+1)
+	for i := 0; i <= numDeg; i++ {
+		num[i] = real(x[i]) / math.Pow(scale, float64(i))
+	}
+	den := make(numeric.Poly, denDeg+1)
+	for j := 0; j < denDeg; j++ {
+		den[j] = real(x[numDeg+1+j]) / math.Pow(scale, float64(j))
+	}
+	den[denDeg] = 1 / math.Pow(scale, float64(denDeg))
+
+	// Normalize so the denominator's constant term is positive (cosmetic
+	// but makes results stable for tests and display).
+	if den[0] < 0 {
+		num = num.ScalePoly(-1)
+		den = den.ScalePoly(-1)
+	}
+	return numeric.Rational{Num: num.Trim(), Den: den.Trim()}, nil
+}
+
+// FitQuality returns the worst relative magnitude error of the fit over
+// a validation frequency set.
+func (ac *AC) FitQuality(r numeric.Rational, source, outNode string, omegas []float64) (float64, error) {
+	var worst float64
+	for _, w := range omegas {
+		h, err := ac.Transfer(source, outNode, w)
+		if err != nil {
+			return 0, err
+		}
+		want := mag(h)
+		got := r.Mag(w)
+		var rel float64
+		if want > 1e-15 {
+			rel = math.Abs(got-want) / want
+		} else {
+			rel = math.Abs(got - want)
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst, nil
+}
+
+func mag(h complex128) float64 { return math.Hypot(real(h), imag(h)) }
+
+func geometricMean(x []float64) float64 {
+	var acc float64
+	for _, v := range x {
+		if v <= 0 {
+			return 0
+		}
+		acc += math.Log(v)
+	}
+	return math.Exp(acc / float64(len(x)))
+}
+
+// SecondOrderParams extracts (ω0, Q, DC gain) from a fitted second-order
+// all-pole lowpass D(s) = d0 + d1·s + d2·s²: ω0 = sqrt(d0/d2),
+// Q = sqrt(d0·d2)/d1.
+func SecondOrderParams(r numeric.Rational) (omega0, q, dcGain float64, err error) {
+	den := r.Den.Trim()
+	if den.Degree() != 2 {
+		return 0, 0, 0, fmt.Errorf("analysis: denominator degree %d, want 2", den.Degree())
+	}
+	d0, d1, d2 := den[0], den[1], den[2]
+	if d0 <= 0 || d2 <= 0 || d1 <= 0 {
+		return 0, 0, 0, fmt.Errorf("analysis: non-positive-definite denominator %v", den)
+	}
+	omega0 = math.Sqrt(d0 / d2)
+	q = math.Sqrt(d0*d2) / d1
+	num := r.Num.Trim()
+	if len(num) == 0 {
+		return 0, 0, 0, fmt.Errorf("analysis: zero numerator")
+	}
+	dcGain = num[0] / d0
+	return omega0, q, dcGain, nil
+}

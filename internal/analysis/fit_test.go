@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/numeric"
+)
+
+func TestFitRationalRCLowpass(t *testing.T) {
+	// RC lowpass with RC = 1e-3: H = 1/(1 + s·1e-3).
+	c := circuit.New("rc")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "out", 1000))
+	c.MustAdd(circuit.NewCapacitor("C1", "out", "0", 1e-6))
+	ac, err := NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omegas := numeric.Logspace(10, 1e5, 9)
+	r, err := ac.FitRational("V1", "out", 0, 1, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalize: N/D with D = d0 + d1 s; H(0) = n0/d0 = 1; time constant
+	// d1/d0 = 1e-3.
+	if math.Abs(r.Num[0]/r.Den[0]-1) > 1e-6 {
+		t.Fatalf("DC gain = %g", r.Num[0]/r.Den[0])
+	}
+	if math.Abs(r.Den[1]/r.Den[0]-1e-3) > 1e-9 {
+		t.Fatalf("time constant = %g", r.Den[1]/r.Den[0])
+	}
+	// One pole at -1000.
+	poles, err := r.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 1 || math.Abs(real(poles[0])+1000) > 1e-3 {
+		t.Fatalf("poles = %v, want [-1000]", poles)
+	}
+	// Validation error tiny across a wider band.
+	q, err := ac.FitQuality(r, "V1", "out", numeric.Logspace(1, 1e6, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > 1e-6 {
+		t.Fatalf("fit quality = %g", q)
+	}
+}
+
+func TestFitRationalSecondOrder(t *testing.T) {
+	// Sallen-Key-like behaviour from an RLC divider: series R-L, shunt C:
+	// H = 1/(1 + sRC + s²LC), ω0 = 1/sqrt(LC), Q = sqrt(L/C)/R.
+	c := circuit.New("rlc")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "a", 2))
+	c.MustAdd(circuit.NewInductor("L1", "a", "out", 1))
+	c.MustAdd(circuit.NewCapacitor("C1", "out", "0", 1))
+	ac, err := NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omegas := numeric.Logspace(0.05, 20, 15)
+	r, err := ac.FitRational("V1", "out", 0, 2, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, q, dc, err := SecondOrderParams(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w0-1) > 1e-6 {
+		t.Fatalf("ω0 = %g, want 1", w0)
+	}
+	if math.Abs(q-0.5) > 1e-6 {
+		t.Fatalf("Q = %g, want 0.5", q)
+	}
+	if math.Abs(dc-1) > 1e-6 {
+		t.Fatalf("DC gain = %g, want 1", dc)
+	}
+	// Poles: complex pair or real pair with product ω0² = 1.
+	poles, err := r.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 2 {
+		t.Fatalf("poles = %v", poles)
+	}
+	for _, p := range poles {
+		if real(p) >= 0 {
+			t.Fatalf("unstable fitted pole %v", p)
+		}
+	}
+}
+
+func TestFitRationalValidation(t *testing.T) {
+	c := circuit.New("r")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "0", 1))
+	ac, err := NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ac.FitRational("V1", "in", -1, 1, []float64{1, 2, 3}); err == nil {
+		t.Fatal("negative numDeg accepted")
+	}
+	if _, err := ac.FitRational("V1", "in", 0, 0, []float64{1, 2, 3}); err == nil {
+		t.Fatal("denDeg 0 accepted")
+	}
+	if _, err := ac.FitRational("V1", "in", 2, 3, []float64{1, 2}); err == nil {
+		t.Fatal("too few samples accepted")
+	}
+}
+
+func TestSecondOrderParamsValidation(t *testing.T) {
+	if _, _, _, err := SecondOrderParams(numeric.Rational{Num: numeric.Poly{1}, Den: numeric.Poly{1, 1}}); err == nil {
+		t.Fatal("first-order accepted")
+	}
+	if _, _, _, err := SecondOrderParams(numeric.Rational{Num: numeric.Poly{1}, Den: numeric.Poly{-1, 1, 1}}); err == nil {
+		t.Fatal("indefinite denominator accepted")
+	}
+	if _, _, _, err := SecondOrderParams(numeric.Rational{Num: numeric.Poly{}, Den: numeric.Poly{1, 1, 1}}); err == nil {
+		t.Fatal("zero numerator accepted")
+	}
+}
+
+func TestFitPaperCUTThirdOrder(t *testing.T) {
+	// The 7-passive NF lowpass is third order (three capacitors, no
+	// loops of capacitors): an exact (0,3) fit must exist and its poles
+	// must all be in the left half plane.
+	c := circuit.New("nf7")
+	c.MustAdd(circuit.NewVSource("Vin", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "m", 1))
+	c.MustAdd(circuit.NewCapacitor("C1", "m", "0", 1))
+	c.MustAdd(circuit.NewResistor("R2", "m", "a", 1))
+	c.MustAdd(circuit.NewCapacitor("C2", "a", "0", 2))
+	c.MustAdd(circuit.NewResistor("R3", "a", "vg", 1))
+	c.MustAdd(circuit.NewResistor("R4", "a", "out", 1))
+	c.MustAdd(circuit.NewCapacitor("C3", "vg", "out", 0.5))
+	c.MustAdd(circuit.NewIdealOpAmp("U1", "0", "vg", "out"))
+	ac, err := NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omegas := numeric.Logspace(0.02, 50, 21)
+	r, err := ac.FitRational("Vin", "out", 0, 3, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ac.FitQuality(r, "Vin", "out", numeric.Logspace(0.01, 100, 31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q > 1e-4 {
+		t.Fatalf("3rd-order fit quality = %g", q)
+	}
+	poles, err := r.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 3 {
+		t.Fatalf("poles = %v", poles)
+	}
+	for _, p := range poles {
+		if real(p) >= 0 {
+			t.Fatalf("unstable pole %v", p)
+		}
+	}
+	// DC gain magnitude 0.5 (inverting).
+	if math.Abs(math.Abs(r.Num[0]/r.Den[0])-0.5) > 1e-4 {
+		t.Fatalf("DC gain = %g", r.Num[0]/r.Den[0])
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+func TestOutputNoiseSingleResistor(t *testing.T) {
+	// A resistor to ground observed directly: PSD = 4kTR (the full
+	// open-circuit thermal noise), independent of frequency.
+	c := circuit.New("r")
+	c.MustAdd(circuit.NewISource("Ibias", "out", "0", 0)) // keeps the node referenced
+	c.MustAdd(circuit.NewResistor("R1", "out", "0", 1000))
+	c.MustAdd(circuit.NewResistor("R1b", "out", "0", 1e12)) // near-open companion
+	contrib, total, err := OutputNoise(c, "out", 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * Boltzmann * 300 * 1000
+	if math.Abs(total-want) > 0.01*want {
+		t.Fatalf("total PSD = %g, want %g", total, want)
+	}
+	if len(contrib) != 2 {
+		t.Fatalf("contributions = %d", len(contrib))
+	}
+}
+
+func TestOutputNoiseDividerSplit(t *testing.T) {
+	// Two equal resistors forming a divider from a (silenced) source:
+	// each contributes (4kTR)·(1/2)² and the total equals the parallel
+	// combination's 4kT(R/2).
+	c := circuit.New("div")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("Ra", "in", "out", 2000))
+	c.MustAdd(circuit.NewResistor("Rb", "out", "0", 2000))
+	contrib, total, err := OutputNoise(c, "out", 50, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * Boltzmann * 300 * 1000 // 2k ∥ 2k = 1k
+	if math.Abs(total-want) > 0.01*want {
+		t.Fatalf("total = %g, want %g", total, want)
+	}
+	if math.Abs(contrib[0].PSD-contrib[1].PSD) > 0.01*contrib[0].PSD {
+		t.Fatalf("equal resistors contribute unequally: %+v", contrib)
+	}
+}
+
+func TestOutputNoiseRCRolloff(t *testing.T) {
+	// R with shunt C: output noise density falls as 1/(1+(ωRC)²).
+	c := circuit.New("rc")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "out", 1000))
+	c.MustAdd(circuit.NewCapacitor("C1", "out", "0", 1e-6))
+	_, lo, err := OutputNoise(c, "out", 10, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi, err := OutputNoise(c, "out", 1e5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi > lo/100 {
+		t.Fatalf("noise density did not roll off: %g vs %g", lo, hi)
+	}
+	// In-band density ≈ 4kTR.
+	want := 4 * Boltzmann * 300 * 1000
+	if math.Abs(lo-want) > 0.05*want {
+		t.Fatalf("in-band density %g, want %g", lo, want)
+	}
+}
+
+func TestNoiseRMSkTC(t *testing.T) {
+	// The classic kT/C result: total integrated noise of an RC low-pass
+	// is sqrt(kT/C) regardless of R. C = 1 nF at 300 K → ~2.03 µV.
+	c := circuit.New("ktc")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "out", 1000))
+	c.MustAdd(circuit.NewCapacitor("C1", "out", "0", 1e-9))
+	// Corner at 1e6 rad/s; integrate well past it.
+	rms, err := NoiseRMS(c, "out", 1, 1e9, 300, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(Boltzmann * 300 / 1e-9)
+	if math.Abs(rms-want) > 0.05*want {
+		t.Fatalf("RMS = %g, want kT/C = %g", rms, want)
+	}
+}
+
+func TestOutputNoiseValidation(t *testing.T) {
+	c := circuit.New("v")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewCapacitor("C1", "in", "0", 1))
+	if _, _, err := OutputNoise(c, "in", 1, 300); err == nil {
+		t.Fatal("resistorless circuit accepted")
+	}
+	c2 := circuit.New("r")
+	c2.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c2.MustAdd(circuit.NewResistor("R1", "in", "0", 1))
+	if _, _, err := OutputNoise(c2, "in", 1, 0); err == nil {
+		t.Fatal("zero temperature accepted")
+	}
+	if _, err := NoiseRMS(c2, "in", -1, 10, 300, 10); err == nil {
+		t.Fatal("bad band accepted")
+	}
+}
+
+func TestGroupDelayRC(t *testing.T) {
+	// RC lowpass: τg(ω) = RC/(1+(ωRC)²). At the corner: RC/2.
+	c := circuit.New("rc")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "out", 1000))
+	c.MustAdd(circuit.NewCapacitor("C1", "out", "0", 1e-6))
+	ac, err := NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, err := ac.GroupDelay("V1", "out", 1000, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e-3 / 2
+	if math.Abs(gd-want) > 1e-6 {
+		t.Fatalf("group delay = %g, want %g", gd, want)
+	}
+	if _, err := ac.GroupDelay("V1", "out", -1, 1e-4); err == nil {
+		t.Fatal("negative ω accepted")
+	}
+	if _, err := ac.GroupDelay("V1", "out", 1000, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestUnwrapPhase(t *testing.T) {
+	// A second-order system's phase runs 0 → -π continuously; the raw
+	// atan2 values wrap. Unwrapped phase must be monotone decreasing.
+	c := circuit.New("rlc")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("R1", "in", "a", 0.2))
+	c.MustAdd(circuit.NewInductor("L1", "a", "out", 1))
+	c.MustAdd(circuit.NewCapacitor("C1", "out", "0", 1))
+	ac, err := NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ac.LogSweep("V1", "out", 0.01, 100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph := UnwrapPhase(resp)
+	for i := 1; i < len(ph); i++ {
+		if ph[i] > ph[i-1]+1e-9 {
+			t.Fatalf("unwrapped phase not monotone at %d: %g -> %g", i, ph[i-1], ph[i])
+		}
+	}
+	if math.Abs(ph[0]) > 0.05 {
+		t.Fatalf("low-frequency phase = %g, want ~0", ph[0])
+	}
+	if math.Abs(ph[len(ph)-1]+math.Pi) > 0.05 {
+		t.Fatalf("high-frequency phase = %g, want ~-π", ph[len(ph)-1])
+	}
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+)
+
+// randomRCNetwork builds a random connected ladder-ish RC network driven
+// by one source — structurally valid by construction.
+func randomRCNetwork(r *rand.Rand) *circuit.Circuit {
+	c := circuit.New("rand")
+	c.MustAdd(circuit.NewVSource("V1", "n0", "0", 1))
+	n := 2 + r.Intn(5)
+	for i := 1; i <= n; i++ {
+		prev := nodeName(i - 1)
+		cur := nodeName(i)
+		c.MustAdd(circuit.NewResistor(rName(i), prev, cur, 0.1+r.Float64()*10))
+		// Shunt element: alternate R and C, occasionally to a previous
+		// node to create meshes.
+		target := "0"
+		if i > 2 && r.Intn(3) == 0 {
+			target = nodeName(r.Intn(i - 1))
+		}
+		if r.Intn(2) == 0 {
+			c.MustAdd(circuit.NewCapacitor(cName(i), cur, target, 0.1+r.Float64()*5))
+		} else {
+			c.MustAdd(circuit.NewResistor(rName(i+100), cur, target, 0.1+r.Float64()*10))
+		}
+	}
+	return c
+}
+
+func nodeName(i int) string {
+	if i == 0 {
+		return "n0"
+	}
+	return "n" + string(rune('0'+i))
+}
+func rName(i int) string { return "R" + string(rune('A'+i%26)) + string(rune('a'+(i/26)%26)) }
+func cName(i int) string { return "C" + string(rune('A'+i%26)) }
+
+// Property: the AC solution is linear in the source amplitude
+// (superposition for a single source): doubling the drive doubles every
+// node voltage.
+func TestQuickACLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomRCNetwork(r)
+		omega := 0.01 + r.Float64()*100
+
+		ac1, err := NewAC(c)
+		if err != nil {
+			return true // degenerate random network; skip
+		}
+		sol1, err := ac1.SolveAt(omega)
+		if err != nil {
+			return true
+		}
+		scaled := c.Clone()
+		e, _ := scaled.Element("V1")
+		e.(*circuit.VSource).Amplitude = 2
+		ac2, err := NewAC(scaled)
+		if err != nil {
+			return false
+		}
+		sol2, err := ac2.SolveAt(omega)
+		if err != nil {
+			return false
+		}
+		for _, node := range c.Nodes() {
+			v1, err1 := sol1.NodeVoltage(node)
+			v2, err2 := sol2.NodeVoltage(node)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if cmplx.Abs(v2-2*v1) > 1e-9*(1+cmplx.Abs(v1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomRCLadder builds a strict ladder: series impedances along the
+// chain, shunts to ground only. For such networks the voltage-divider
+// maximum principle holds at every node (general RC meshes can exceed
+// unity at internal nodes when capacitors couple back to the driven
+// node — a fact this test suite learned empirically).
+func randomRCLadder(r *rand.Rand) *circuit.Circuit {
+	c := circuit.New("ladder")
+	c.MustAdd(circuit.NewVSource("V1", "n0", "0", 1))
+	n := 2 + r.Intn(5)
+	for i := 1; i <= n; i++ {
+		prev := nodeName(i - 1)
+		cur := nodeName(i)
+		c.MustAdd(circuit.NewResistor(rName(i), prev, cur, 0.1+r.Float64()*10))
+		if r.Intn(2) == 0 {
+			c.MustAdd(circuit.NewCapacitor(cName(i), cur, "0", 0.1+r.Float64()*5))
+		} else {
+			c.MustAdd(circuit.NewResistor(rName(i+100), cur, "0", 0.1+r.Float64()*10))
+		}
+	}
+	return c
+}
+
+// Property: an RC *ladder* driven by 1 V never shows gain: every node
+// magnitude stays ≤ 1 (plus numerical slack).
+func TestQuickRCLadderPassivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomRCLadder(r)
+		ac, err := NewAC(c)
+		if err != nil {
+			return true
+		}
+		for _, omega := range []float64{0.01, 1, 50} {
+			sol, err := ac.SolveAt(omega)
+			if err != nil {
+				return true
+			}
+			for _, node := range c.Nodes() {
+				v, err := sol.NodeVoltage(node)
+				if err != nil {
+					return false
+				}
+				if cmplx.Abs(v) > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: |H| of a random RC network is continuous in ω — small
+// frequency perturbations produce small magnitude changes (no spurious
+// numerical jumps from the solver).
+func TestQuickResponseContinuity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomRCNetwork(r)
+		ac, err := NewAC(c)
+		if err != nil {
+			return true
+		}
+		out := c.Nodes()[len(c.Nodes())-1]
+		omega := 0.1 + r.Float64()*10
+		h1, err1 := ac.Transfer("V1", out, omega)
+		h2, err2 := ac.Transfer("V1", out, omega*(1+1e-9))
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return cmplx.Abs(h1-h2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reciprocity of passive two-ports. For a network of only R
+// and C, the transfer impedance is symmetric: injecting a current at A
+// and reading the voltage at B equals injecting at B and reading at A.
+func TestQuickReciprocity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := circuit.New("recip")
+		// Passive mesh between n1, n2, n3 and ground.
+		nodes := []string{"n1", "n2", "n3", "0"}
+		id := 0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				id++
+				val := 0.2 + r.Float64()*5
+				if (i+j+int(seed))%2 == 0 {
+					c.MustAdd(circuit.NewResistor(rName(id), nodes[i], nodes[j], val))
+				} else {
+					c.MustAdd(circuit.NewCapacitor(cName(id), nodes[i], nodes[j], val))
+				}
+			}
+		}
+		omega := 0.1 + r.Float64()*10
+		zAB, err1 := transferImpedance(c, "n1", "n2", omega)
+		zBA, err2 := transferImpedance(c, "n2", "n1", omega)
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		return cmplx.Abs(zAB-zBA) < 1e-9*(1+cmplx.Abs(zAB))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// transferImpedance injects 1 A into "from" and reads V(to).
+func transferImpedance(c *circuit.Circuit, from, to string, omega float64) (complex128, error) {
+	probe := c.Clone()
+	probe.MustAdd(circuit.NewISource("Iprobe", "0", from, 1))
+	ac, err := NewAC(probe)
+	if err != nil {
+		return 0, err
+	}
+	sol, err := ac.SolveAt(omega)
+	if err != nil {
+		return 0, err
+	}
+	return sol.NodeVoltage(to)
+}

@@ -1,0 +1,265 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	c := New("t")
+	if err := c.Add(NewResistor("R1", "in", "out", 1000)); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Element("R1")
+	if !ok || e.Name() != "R1" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := c.Element("R2"); ok {
+		t.Fatal("phantom element")
+	}
+}
+
+func TestAddDuplicateName(t *testing.T) {
+	c := New("t")
+	if err := c.Add(NewResistor("R1", "a", "0", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(NewResistor("R1", "b", "0", 1)); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestAddEmptyNames(t *testing.T) {
+	c := New("t")
+	if err := c.Add(NewResistor("", "a", "0", 1)); err == nil {
+		t.Fatal("empty element name accepted")
+	}
+	if err := c.Add(NewResistor("R1", "", "0", 1)); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+}
+
+func TestNodesAndGroundAliases(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewResistor("R1", "in", "gnd", 1))
+	c.MustAdd(NewResistor("R2", "in", "GND", 1))
+	c.MustAdd(NewResistor("R3", "in", "0", 1))
+	nodes := c.Nodes()
+	if len(nodes) != 1 || nodes[0] != "in" {
+		t.Fatalf("nodes = %v, want [in]", nodes)
+	}
+	if !c.HasNode("0") || !c.HasNode("in") || c.HasNode("zz") {
+		t.Fatal("HasNode wrong")
+	}
+}
+
+func TestValueSetScale(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewResistor("R1", "a", "0", 100))
+	c.MustAdd(NewVSource("V1", "a", "0", 1))
+	v, err := c.Value("R1")
+	if err != nil || v != 100 {
+		t.Fatalf("Value = %v, %v", v, err)
+	}
+	if err := c.SetValue("R1", 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ScaleValue("R1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = c.Value("R1")
+	if v != 100 {
+		t.Fatalf("after scale, value = %v, want 100", v)
+	}
+	if _, err := c.Value("V1"); err == nil {
+		t.Fatal("VSource should not be Valued")
+	}
+	if _, err := c.Value("nope"); err == nil {
+		t.Fatal("missing element accepted")
+	}
+	if err := c.SetValue("R1", -5); err == nil {
+		t.Fatal("negative resistance accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewResistor("R1", "a", "0", 100))
+	cl := c.Clone()
+	if err := cl.SetValue("R1", 999); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := c.Value("R1")
+	if v != 100 {
+		t.Fatal("clone shares element state")
+	}
+}
+
+func TestValuedNames(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewVSource("V1", "in", "0", 1))
+	c.MustAdd(NewResistor("R1", "in", "out", 1))
+	c.MustAdd(NewCapacitor("C1", "out", "0", 1))
+	c.MustAdd(NewIdealOpAmp("U1", "out", "0", "x"))
+	c.MustAdd(NewResistor("R2", "x", "out", 1))
+	got := c.ValuedNames()
+	want := []string{"R1", "C1", "R2"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("ValuedNames = %v, want %v", got, want)
+	}
+}
+
+func TestValidateNoGround(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewResistor("R1", "a", "b", 1))
+	c.MustAdd(NewResistor("R2", "b", "a", 1))
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "ground") {
+		t.Fatalf("err = %v, want ground complaint", err)
+	}
+}
+
+func TestValidateDangling(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewVSource("V1", "in", "0", 1))
+	c.MustAdd(NewResistor("R1", "in", "dangle", 1))
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "dangle") {
+		t.Fatalf("err = %v, want dangling complaint", err)
+	}
+}
+
+func TestValidateFloating(t *testing.T) {
+	c := New("t")
+	c.MustAdd(NewVSource("V1", "in", "0", 1))
+	c.MustAdd(NewResistor("R1", "in", "0", 1))
+	// Floating island: x—y pair not touching ground.
+	c.MustAdd(NewResistor("R2", "x", "y", 1))
+	c.MustAdd(NewResistor("R3", "y", "x", 1))
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not connected to ground") {
+		t.Fatalf("err = %v, want floating complaint", err)
+	}
+}
+
+func TestAssembleEmptyAndOrdering(t *testing.T) {
+	c := New("t")
+	if _, err := c.Assemble(); err == nil {
+		t.Fatal("empty circuit assembled")
+	}
+	c.MustAdd(NewVSource("V1", "in", "0", 1))
+	c.MustAdd(NewResistor("R1", "in", "out", 1))
+	c.MustAdd(NewCapacitor("C1", "out", "0", 1))
+	sys, err := c.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 nodes + 1 aux (V1).
+	if sys.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", sys.Size())
+	}
+	if i, err := sys.NodeIndex("0"); err != nil || i != -1 {
+		t.Fatalf("ground index = %d, %v", i, err)
+	}
+	if _, err := sys.NodeIndex("zz"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, ok := sys.BranchIndex("V1"); !ok {
+		t.Fatal("V1 has no branch index")
+	}
+	if _, ok := sys.BranchIndex("R1"); ok {
+		t.Fatal("R1 should have no branch index")
+	}
+}
+
+func TestStampRejectsBadValues(t *testing.T) {
+	for _, e := range []Element{
+		NewResistor("R1", "a", "0", 0),
+		NewCapacitor("C1", "a", "0", -1),
+		NewInductor("L1", "a", "0", 0),
+	} {
+		c := New("t")
+		c.MustAdd(NewVSource("V1", "a", "0", 1))
+		c.MustAdd(e)
+		sys, err := c.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sys.StampAt(1i); err == nil {
+			t.Errorf("%s: bad value stamped without error", e.Name())
+		}
+	}
+}
+
+func TestSetValueRejections(t *testing.T) {
+	if err := NewCapacitor("C1", "a", "0", 1).SetValue(0); err == nil {
+		t.Fatal("zero capacitance accepted")
+	}
+	if err := NewInductor("L1", "a", "0", 1).SetValue(-1); err == nil {
+		t.Fatal("negative inductance accepted")
+	}
+	if err := NewVCVS("E1", "a", "0", "b", "0", 2).SetValue(0); err == nil {
+		t.Fatal("zero gain accepted")
+	}
+	if err := NewVCVS("E1", "a", "0", "b", "0", 2).SetValue(-3); err != nil {
+		t.Fatal("negative gain rejected")
+	}
+	if err := NewVCCS("G1", "a", "0", "b", "0", 1).SetValue(0); err == nil {
+		t.Fatal("zero gm accepted")
+	}
+	if err := NewCCVS("H1", "a", "0", "V1", 1).SetValue(0); err == nil {
+		t.Fatal("zero transresistance accepted")
+	}
+	if err := NewCCCS("F1", "a", "0", "V1", 1).SetValue(0); err == nil {
+		t.Fatal("zero current gain accepted")
+	}
+}
+
+func TestSummaryContainsElements(t *testing.T) {
+	c := New("demo")
+	c.MustAdd(NewVSource("V1", "in", "0", 1))
+	c.MustAdd(NewResistor("R1", "in", "0", 50))
+	s := c.Summary()
+	for _, frag := range []string{"demo", "V1", "R1", "value=50"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestControlledSourceMetadata(t *testing.T) {
+	e := NewVCVS("E1", "o", "0", "c", "0", 5)
+	if e.Value() != 5 || len(e.Nodes()) != 4 || e.NumAux() != 1 {
+		t.Fatal("VCVS metadata wrong")
+	}
+	g := NewVCCS("G1", "o", "0", "c", "0", 0.1)
+	if g.NumAux() != 0 || g.Value() != 0.1 {
+		t.Fatal("VCCS metadata wrong")
+	}
+	h := NewCCVS("H1", "o", "0", "V1", 10)
+	if h.NumAux() != 1 || h.Value() != 10 || len(h.Nodes()) != 2 {
+		t.Fatal("CCVS metadata wrong")
+	}
+	f := NewCCCS("F1", "o", "0", "V1", 2)
+	if f.NumAux() != 0 || f.Value() != 2 {
+		t.Fatal("CCCS metadata wrong")
+	}
+	o := NewIdealOpAmp("U1", "p", "n", "out")
+	if o.NumAux() != 1 || len(o.Nodes()) != 3 {
+		t.Fatal("opamp metadata wrong")
+	}
+}
+
+func TestElementCloneIndependence(t *testing.T) {
+	r := NewResistor("R1", "a", "b", 10)
+	rc := r.Clone().(*Resistor)
+	rc.Ohms = 99
+	if r.Ohms != 10 {
+		t.Fatal("resistor clone aliases")
+	}
+	e := NewVCVS("E1", "o", "0", "c", "0", 5)
+	ec := e.Clone().(*VCVS)
+	ec.Gain = 1
+	if e.Gain != 5 {
+		t.Fatal("VCVS clone aliases")
+	}
+}

@@ -1,0 +1,260 @@
+package circuit
+
+import "fmt"
+
+// VCVS is a voltage-controlled voltage source (SPICE "E" element):
+// V(outP) - V(outN) = Gain · (V(ctlP) - V(ctlN)).
+type VCVS struct {
+	name                   string
+	OutP, OutN, CtlP, CtlN string
+	Gain                   float64
+}
+
+// NewVCVS returns a voltage-controlled voltage source.
+func NewVCVS(name, outP, outN, ctlP, ctlN string, gain float64) *VCVS {
+	return &VCVS{name: name, OutP: outP, OutN: outN, CtlP: ctlP, CtlN: ctlN, Gain: gain}
+}
+
+// Name implements Element.
+func (e *VCVS) Name() string { return e.name }
+
+// Nodes implements Element.
+func (e *VCVS) Nodes() []string { return []string{e.OutP, e.OutN, e.CtlP, e.CtlN} }
+
+// NumAux implements Element.
+func (e *VCVS) NumAux() int { return 1 }
+
+// Value implements Valued.
+func (e *VCVS) Value() float64 { return e.Gain }
+
+// SetValue implements Valued. Gains may be any nonzero value (sign flips
+// model inverting stages); zero would silence the controlled source and is
+// rejected to keep fault deviations meaningful.
+func (e *VCVS) SetValue(v float64) error {
+	if v == 0 {
+		return fmt.Errorf("circuit: %s: zero VCVS gain", e.name)
+	}
+	e.Gain = v
+	return nil
+}
+
+// Clone implements Element.
+func (e *VCVS) Clone() Element { c := *e; return &c }
+
+// Stamp implements Element.
+func (e *VCVS) Stamp(st *Stamp) error {
+	k, ok := st.AuxIndex(e.name)
+	if !ok {
+		return fmt.Errorf("circuit: %s: missing aux variable", e.name)
+	}
+	op, on := st.NodeIndex(e.OutP), st.NodeIndex(e.OutN)
+	cp, cn := st.NodeIndex(e.CtlP), st.NodeIndex(e.CtlN)
+	st.AddA(op, k, 1)
+	st.AddA(on, k, -1)
+	st.AddA(k, op, 1)
+	st.AddA(k, on, -1)
+	st.AddA(k, cp, complex(-e.Gain, 0))
+	st.AddA(k, cn, complex(e.Gain, 0))
+	return nil
+}
+
+// VCCS is a voltage-controlled current source (SPICE "G"):
+// I(outP→outN) = Gm · (V(ctlP) - V(ctlN)).
+type VCCS struct {
+	name                   string
+	OutP, OutN, CtlP, CtlN string
+	Gm                     float64
+}
+
+// NewVCCS returns a voltage-controlled current source with
+// transconductance gm.
+func NewVCCS(name, outP, outN, ctlP, ctlN string, gm float64) *VCCS {
+	return &VCCS{name: name, OutP: outP, OutN: outN, CtlP: ctlP, CtlN: ctlN, Gm: gm}
+}
+
+// Name implements Element.
+func (g *VCCS) Name() string { return g.name }
+
+// Nodes implements Element.
+func (g *VCCS) Nodes() []string { return []string{g.OutP, g.OutN, g.CtlP, g.CtlN} }
+
+// NumAux implements Element.
+func (g *VCCS) NumAux() int { return 0 }
+
+// Value implements Valued.
+func (g *VCCS) Value() float64 { return g.Gm }
+
+// SetValue implements Valued.
+func (g *VCCS) SetValue(v float64) error {
+	if v == 0 {
+		return fmt.Errorf("circuit: %s: zero transconductance", g.name)
+	}
+	g.Gm = v
+	return nil
+}
+
+// Clone implements Element.
+func (g *VCCS) Clone() Element { c := *g; return &c }
+
+// Stamp implements Element.
+func (g *VCCS) Stamp(st *Stamp) error {
+	op, on := st.NodeIndex(g.OutP), st.NodeIndex(g.OutN)
+	cp, cn := st.NodeIndex(g.CtlP), st.NodeIndex(g.CtlN)
+	gm := complex(g.Gm, 0)
+	st.AddA(op, cp, gm)
+	st.AddA(op, cn, -gm)
+	st.AddA(on, cp, -gm)
+	st.AddA(on, cn, gm)
+	return nil
+}
+
+// CCVS is a current-controlled voltage source (SPICE "H"); the controlling
+// current is the branch current of a named element that has an auxiliary
+// variable (a VSource, VCVS, Inductor, or IdealOpAmp output):
+// V(outP) - V(outN) = R · I(control).
+type CCVS struct {
+	name       string
+	OutP, OutN string
+	Control    string // name of the element whose branch current controls
+	R          float64
+}
+
+// NewCCVS returns a current-controlled voltage source with transresistance
+// r, controlled by the branch current of element control.
+func NewCCVS(name, outP, outN, control string, r float64) *CCVS {
+	return &CCVS{name: name, OutP: outP, OutN: outN, Control: control, R: r}
+}
+
+// Name implements Element.
+func (h *CCVS) Name() string { return h.name }
+
+// Nodes implements Element.
+func (h *CCVS) Nodes() []string { return []string{h.OutP, h.OutN} }
+
+// NumAux implements Element.
+func (h *CCVS) NumAux() int { return 1 }
+
+// Value implements Valued.
+func (h *CCVS) Value() float64 { return h.R }
+
+// SetValue implements Valued.
+func (h *CCVS) SetValue(v float64) error {
+	if v == 0 {
+		return fmt.Errorf("circuit: %s: zero transresistance", h.name)
+	}
+	h.R = v
+	return nil
+}
+
+// Clone implements Element.
+func (h *CCVS) Clone() Element { c := *h; return &c }
+
+// Stamp implements Element.
+func (h *CCVS) Stamp(st *Stamp) error {
+	k, ok := st.AuxIndex(h.name)
+	if !ok {
+		return fmt.Errorf("circuit: %s: missing aux variable", h.name)
+	}
+	kc, ok := st.AuxIndex(h.Control)
+	if !ok {
+		return fmt.Errorf("circuit: %s: controlling element %q has no branch current", h.name, h.Control)
+	}
+	op, on := st.NodeIndex(h.OutP), st.NodeIndex(h.OutN)
+	st.AddA(op, k, 1)
+	st.AddA(on, k, -1)
+	st.AddA(k, op, 1)
+	st.AddA(k, on, -1)
+	st.AddA(k, kc, complex(-h.R, 0))
+	return nil
+}
+
+// CCCS is a current-controlled current source (SPICE "F"):
+// I(outP→outN) = Gain · I(control).
+type CCCS struct {
+	name       string
+	OutP, OutN string
+	Control    string
+	Gain       float64
+}
+
+// NewCCCS returns a current-controlled current source.
+func NewCCCS(name, outP, outN, control string, gain float64) *CCCS {
+	return &CCCS{name: name, OutP: outP, OutN: outN, Control: control, Gain: gain}
+}
+
+// Name implements Element.
+func (f *CCCS) Name() string { return f.name }
+
+// Nodes implements Element.
+func (f *CCCS) Nodes() []string { return []string{f.OutP, f.OutN} }
+
+// NumAux implements Element.
+func (f *CCCS) NumAux() int { return 0 }
+
+// Value implements Valued.
+func (f *CCCS) Value() float64 { return f.Gain }
+
+// SetValue implements Valued.
+func (f *CCCS) SetValue(v float64) error {
+	if v == 0 {
+		return fmt.Errorf("circuit: %s: zero current gain", f.name)
+	}
+	f.Gain = v
+	return nil
+}
+
+// Clone implements Element.
+func (f *CCCS) Clone() Element { c := *f; return &c }
+
+// Stamp implements Element.
+func (f *CCCS) Stamp(st *Stamp) error {
+	kc, ok := st.AuxIndex(f.Control)
+	if !ok {
+		return fmt.Errorf("circuit: %s: controlling element %q has no branch current", f.name, f.Control)
+	}
+	op, on := st.NodeIndex(f.OutP), st.NodeIndex(f.OutN)
+	st.AddA(op, kc, complex(f.Gain, 0))
+	st.AddA(on, kc, complex(-f.Gain, 0))
+	return nil
+}
+
+// IdealOpAmp is a nullor-modeled operational amplifier: infinite gain,
+// infinite input impedance, zero output impedance. The MNA constraint is
+// V(inP) = V(inN) with an unconstrained output branch current.
+type IdealOpAmp struct {
+	name          string
+	InP, InN, Out string
+}
+
+// NewIdealOpAmp returns an ideal opamp. Out is driven so that
+// V(InP) = V(InN) in any stable feedback configuration.
+func NewIdealOpAmp(name, inP, inN, out string) *IdealOpAmp {
+	return &IdealOpAmp{name: name, InP: inP, InN: inN, Out: out}
+}
+
+// Name implements Element.
+func (o *IdealOpAmp) Name() string { return o.name }
+
+// Nodes implements Element.
+func (o *IdealOpAmp) Nodes() []string { return []string{o.InP, o.InN, o.Out} }
+
+// NumAux implements Element.
+func (o *IdealOpAmp) NumAux() int { return 1 }
+
+// Clone implements Element.
+func (o *IdealOpAmp) Clone() Element { c := *o; return &c }
+
+// Stamp implements Element: output current is the aux variable; the aux
+// row enforces the virtual short V(InP) - V(InN) = 0.
+func (o *IdealOpAmp) Stamp(st *Stamp) error {
+	k, ok := st.AuxIndex(o.name)
+	if !ok {
+		return fmt.Errorf("circuit: %s: missing aux variable", o.name)
+	}
+	out := st.NodeIndex(o.Out)
+	ip, in := st.NodeIndex(o.InP), st.NodeIndex(o.InN)
+	st.AddA(out, k, 1)
+	st.AddA(k, ip, 1)
+	st.AddA(k, in, -1)
+	return nil
+}

@@ -1,0 +1,352 @@
+package circuits
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/opamp"
+)
+
+func TestAllCUTsValidate(t *testing.T) {
+	for _, cut := range All() {
+		if err := cut.Validate(); err != nil {
+			t.Errorf("%s: %v", cut.Circuit.Name(), err)
+		}
+	}
+}
+
+func TestAllCUTsSolvable(t *testing.T) {
+	for _, cut := range All() {
+		ac, err := analysis.NewAC(cut.Circuit)
+		if err != nil {
+			t.Fatalf("%s: %v", cut.Circuit.Name(), err)
+		}
+		for _, w := range []float64{cut.Omega0 / 10, cut.Omega0, cut.Omega0 * 10} {
+			if _, err := ac.Transfer(cut.Source, cut.Output, w); err != nil {
+				t.Errorf("%s at ω=%g: %v", cut.Circuit.Name(), w, err)
+			}
+		}
+	}
+}
+
+func TestNFLowpass7Shape(t *testing.T) {
+	cut := NFLowpass7()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC gain: derived closed form -R4/(R1+R2) = -0.5 for unit values.
+	h, err := ac.Transfer(cut.Source, cut.Output, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h+0.5) > 1e-3 {
+		t.Fatalf("DC gain = %v, want -0.5", h)
+	}
+	// Low-pass: strongly attenuating two decades up.
+	hHigh, err := ac.Transfer(cut.Source, cut.Output, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(hHigh) > 0.01*cmplx.Abs(h) {
+		t.Fatalf("not low-pass: |H(100)| = %g vs DC %g", cmplx.Abs(hHigh), cmplx.Abs(h))
+	}
+	// Third-order: beyond the band the roll-off approaches
+	// -60 dB/decade.
+	h10, _ := ac.Transfer(cut.Source, cut.Output, 10)
+	h100, _ := ac.Transfer(cut.Source, cut.Output, 100)
+	decade := 20 * math.Log10(cmplx.Abs(h10)/cmplx.Abs(h100))
+	if decade < 50 || decade > 70 {
+		t.Fatalf("roll-off = %g dB/decade, want about 60", decade)
+	}
+	if len(cut.Passives) != 7 {
+		t.Fatalf("paper CUT must have 7 passives, has %d", len(cut.Passives))
+	}
+}
+
+func TestNFLowpass7EveryPassiveObservable(t *testing.T) {
+	// A +40% deviation on any passive must move |H| at some in-band
+	// frequency by more than 0.1% — otherwise that component would be
+	// untestable and the CUT would not reproduce the paper's premise.
+	cut := NFLowpass7()
+	freqs := []float64{0.3, 1, 3}
+	base := responses(t, cut, freqs)
+	for _, p := range cut.Passives {
+		faulty := cut
+		faulty.Circuit = cut.Circuit.Clone()
+		if err := faulty.Circuit.ScaleValue(p, 1.4); err != nil {
+			t.Fatal(err)
+		}
+		got := responses(t, faulty, freqs)
+		moved := 0.0
+		for i := range base {
+			moved = math.Max(moved, math.Abs(got[i]-base[i])/base[i])
+		}
+		if moved < 1e-3 {
+			t.Errorf("passive %s at +40%% moved |H| by only %g", p, moved)
+		}
+	}
+}
+
+func responses(t *testing.T, cut CUT, freqs []float64) []float64 {
+	t.Helper()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, len(freqs))
+	for i, w := range freqs {
+		h, err := ac.Transfer(cut.Source, cut.Output, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = cmplx.Abs(h)
+	}
+	return out
+}
+
+func TestNFLowpass7MacroMatchesIdeal(t *testing.T) {
+	macro, err := NFLowpass7Macro(opamp.Ideal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := macro.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ideal := NFLowpass7()
+	fi := []float64{0.1, 1, 5}
+	ri := responses(t, ideal, fi)
+	rm := responses(t, macro, fi)
+	for i := range fi {
+		if math.Abs(ri[i]-rm[i]) > 1e-3 {
+			t.Errorf("ω=%g: ideal %g vs macro %g", fi[i], ri[i], rm[i])
+		}
+	}
+}
+
+func TestSallenKeyButterworth(t *testing.T) {
+	cut := SallenKeyLP()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, _ := ac.Transfer(cut.Source, cut.Output, 1e-4)
+	if cmplx.Abs(dc-1) > 1e-3 {
+		t.Fatalf("DC gain = %v, want 1", dc)
+	}
+	// Butterworth: -3 dB at ω0 = 1.
+	h0, _ := ac.Transfer(cut.Source, cut.Output, 1)
+	db := 20 * math.Log10(cmplx.Abs(h0))
+	if math.Abs(db+3.01) > 0.1 {
+		t.Fatalf("gain at ω0 = %g dB, want -3.01", db)
+	}
+	// No peaking anywhere (Q = 0.707).
+	resp, err := ac.LogSweep(cut.Source, cut.Output, 0.01, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := resp.PeakMag()
+	if peak > 1.001 {
+		t.Fatalf("Butterworth response peaks at %g", peak)
+	}
+}
+
+func TestMFBBandpassShape(t *testing.T) {
+	cut := MFBBandpass()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ac.LogSweep(cut.Source, cut.Output, 0.01, 100, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, at := resp.PeakMag()
+	if at < 0.5 || at > 2 {
+		t.Fatalf("bandpass peak at ω=%g, want near 1", at)
+	}
+	lo, _ := ac.Transfer(cut.Source, cut.Output, 0.01)
+	hi, _ := ac.Transfer(cut.Source, cut.Output, 100)
+	if cmplx.Abs(lo) > peak/10 || cmplx.Abs(hi) > peak/10 {
+		t.Fatalf("bandpass skirts too high: lo=%g hi=%g peak=%g", cmplx.Abs(lo), cmplx.Abs(hi), peak)
+	}
+}
+
+func TestKHNLowpassClosedForm(t *testing.T) {
+	// Derivation for equal unit components: H_lp(s) = -1/(s² + 1.5s + 1).
+	cut := KHNLowpass()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{0.01, 0.5, 1, 2, 20} {
+		h, err := ac.Transfer(cut.Source, cut.Output, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := complex(0, w)
+		want := -1 / (s*s + 1.5*s + 1)
+		if cmplx.Abs(h-want) > 1e-6 {
+			t.Fatalf("ω=%g: H = %v, want %v", w, h, want)
+		}
+	}
+}
+
+func TestTowThomasClosedForm(t *testing.T) {
+	// For unit components: H_lp(s) = 1/(s² + s + 1).
+	cut := TowThomasLP()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{0.01, 1, 3, 30} {
+		h, err := ac.Transfer(cut.Source, cut.Output, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := complex(0, w)
+		want := 1 / (s*s + s + 1)
+		if cmplx.Abs(h-want) > 1e-6 {
+			t.Fatalf("ω=%g: H = %v, want %v", w, h, want)
+		}
+	}
+}
+
+func TestTwinTNotchDepth(t *testing.T) {
+	cut := TwinTNotch()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass, _ := ac.Transfer(cut.Source, cut.Output, 0.01)
+	notch, _ := ac.Transfer(cut.Source, cut.Output, 1)
+	if cmplx.Abs(notch) > 0.05*cmplx.Abs(pass) {
+		t.Fatalf("notch depth only %g vs passband %g", cmplx.Abs(notch), cmplx.Abs(pass))
+	}
+	// Recovery above the notch.
+	hi, _ := ac.Transfer(cut.Source, cut.Output, 100)
+	if cmplx.Abs(hi) < 0.5*cmplx.Abs(pass) {
+		t.Fatalf("no recovery above notch: %g", cmplx.Abs(hi))
+	}
+}
+
+func TestRCLadder(t *testing.T) {
+	cut, err := RCLadder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cut.Passives) != 8 {
+		t.Fatalf("passives = %d, want 8", len(cut.Passives))
+	}
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone decreasing magnitude.
+	resp, err := ac.LogSweep(cut.Source, cut.Output, 0.001, 100, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mags := resp.Mags()
+	for i := 1; i < len(mags); i++ {
+		if mags[i] > mags[i-1]+1e-12 {
+			t.Fatalf("RC ladder response not monotone at index %d", i)
+		}
+	}
+	if _, err := RCLadder(0); err == nil {
+		t.Fatal("RCLadder(0) accepted")
+	}
+}
+
+func TestLCLadderButterworth(t *testing.T) {
+	cut := LCLadderLP()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubly terminated: in-band |H| = 0.5 (6 dB insertion split).
+	dc, _ := ac.Transfer(cut.Source, cut.Output, 1e-4)
+	if math.Abs(cmplx.Abs(dc)-0.5) > 1e-3 {
+		t.Fatalf("in-band |H| = %g, want 0.5", cmplx.Abs(dc))
+	}
+	// Butterworth: |H(j1)| = 0.5/sqrt(2).
+	h1, _ := ac.Transfer(cut.Source, cut.Output, 1)
+	if math.Abs(cmplx.Abs(h1)-0.5/math.Sqrt2) > 1e-3 {
+		t.Fatalf("|H(j1)| = %g, want %g", cmplx.Abs(h1), 0.5/math.Sqrt2)
+	}
+	// Third-order roll-off: ~ -60 dB/decade asymptotically.
+	h10, _ := ac.Transfer(cut.Source, cut.Output, 10)
+	h100, _ := ac.Transfer(cut.Source, cut.Output, 100)
+	decade := 20 * math.Log10(cmplx.Abs(h10)/cmplx.Abs(h100))
+	if decade < 55 || decade > 65 {
+		t.Fatalf("roll-off %g dB/decade, want ~60", decade)
+	}
+}
+
+func TestRLCNotchHasNull(t *testing.T) {
+	cut := RLCNotch()
+	ac, err := analysis.NewAC(cut.Circuit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ac.LogSweep(cut.Source, cut.Output, 0.01, 100, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mags := resp.Mags()
+	minMag, minW := mags[0], resp.Points[0].Omega
+	maxMag := 0.0
+	for i, m := range mags {
+		if m < minMag {
+			minMag, minW = m, resp.Points[i].Omega
+		}
+		if m > maxMag {
+			maxMag = m
+		}
+	}
+	if minMag > 0.2*maxMag {
+		t.Fatalf("no pronounced null: min %g vs max %g", minMag, maxMag)
+	}
+	if minW < 0.8 || minW > 1.25 {
+		t.Fatalf("null at ω=%g, want ~1", minW)
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no benchmarks")
+	}
+	for _, n := range names {
+		cut, err := ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cut.Circuit.Name() != n {
+			t.Fatalf("ByName(%q) returned %q", n, cut.Circuit.Name())
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("bogus name accepted")
+	}
+}
+
+func TestCUTValidateCatchesErrors(t *testing.T) {
+	cut := NFLowpass7()
+	cut.Source = "nope"
+	if err := cut.Validate(); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	cut = NFLowpass7()
+	cut.Output = "ghost"
+	if err := cut.Validate(); err == nil {
+		t.Fatal("bad output accepted")
+	}
+	cut = NFLowpass7()
+	cut.Passives = append(cut.Passives, "R99")
+	if err := cut.Validate(); err == nil {
+		t.Fatal("bad passive accepted")
+	}
+}

@@ -1,0 +1,382 @@
+// Package core assembles the paper's contribution: the fault-trajectory
+// ATPG for analog fault diagnosis. It wires the fault-simulation
+// dictionary, the trajectory transformation, the GA test-vector
+// optimizer (fitness = 1/(1+I)), and the perpendicular-projection
+// diagnoser into one pipeline, plus the baseline frequency-selection
+// strategies the evaluation compares against.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+	"repro/internal/diagnosis"
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/ga"
+	"repro/internal/trajectory"
+)
+
+// FitnessMode selects the GA's objective.
+type FitnessMode int
+
+const (
+	// PaperFitness is the paper's 1/(1+I), I = trajectory intersections.
+	PaperFitness FitnessMode = iota
+	// SeparationFitness augments the paper fitness with a small
+	// min-separation bonus, breaking ties among zero-intersection test
+	// vectors (an ablation; see EXPERIMENTS.md E7).
+	SeparationFitness
+)
+
+func (m FitnessMode) String() string {
+	switch m {
+	case PaperFitness:
+		return "paper"
+	case SeparationFitness:
+		return "separation"
+	default:
+		return fmt.Sprintf("FitnessMode(%d)", int(m))
+	}
+}
+
+// Config drives test-vector optimization.
+type Config struct {
+	// NumFrequencies is k, the test-vector size (paper: 2).
+	NumFrequencies int
+	// BandLo/BandHi bound the frequency search band in rad/s; genes live
+	// in log10 space inside this band.
+	BandLo, BandHi float64
+	// GA holds the genetic-algorithm hyperparameters.
+	GA ga.Config
+	// Fitness selects the objective (default: PaperFitness).
+	Fitness FitnessMode
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// PaperOptimizeConfig returns the paper's setup for a CUT whose
+// characteristic frequency is omega0: two test frequencies searched two
+// decades around ω0 with the §2.4 GA parameters.
+func PaperOptimizeConfig(omega0 float64) Config {
+	return Config{
+		NumFrequencies: 2,
+		BandLo:         omega0 / 100,
+		BandHi:         omega0 * 100,
+		GA:             ga.PaperConfig(),
+		Fitness:        PaperFitness,
+		Seed:           1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumFrequencies < 1 {
+		return fmt.Errorf("core: need at least 1 test frequency, got %d", c.NumFrequencies)
+	}
+	if !(c.BandLo > 0 && c.BandHi > c.BandLo) {
+		return fmt.Errorf("core: bad frequency band [%g, %g]", c.BandLo, c.BandHi)
+	}
+	return c.GA.Validate()
+}
+
+// TestVector is an optimized set of test frequencies with its quality
+// metrics.
+type TestVector struct {
+	// Omegas are the test frequencies in rad/s, ascending.
+	Omegas []float64
+	// Fitness is the GA objective value of this vector.
+	Fitness float64
+	// Intersections is the paper's I for this vector.
+	Intersections int
+	// History holds the GA's per-generation statistics.
+	History []ga.GenStats
+	// Evaluations counts fitness calls spent.
+	Evaluations int
+}
+
+// ATPG is the fault-trajectory test generator for one circuit under
+// test.
+type ATPG struct {
+	dict *dictionary.Dictionary
+}
+
+// New builds the ATPG: it runs the fault-simulation setup (dictionary)
+// for the golden circuit over the fault universe.
+func New(golden *circuit.Circuit, source, output string, u *fault.Universe) (*ATPG, error) {
+	d, err := dictionary.New(golden, source, output, u)
+	if err != nil {
+		return nil, err
+	}
+	return &ATPG{dict: d}, nil
+}
+
+// Dictionary exposes the underlying fault dictionary.
+func (a *ATPG) Dictionary() *dictionary.Dictionary { return a.dict }
+
+// Fitness evaluates the configured objective for an explicit test vector
+// — the same function the GA maximizes.
+func (a *ATPG) Fitness(omegas []float64, mode FitnessMode) (float64, error) {
+	m, err := trajectory.Build(a.dict, omegas)
+	if err != nil {
+		return 0, err
+	}
+	return fitnessOf(m, mode), nil
+}
+
+func fitnessOf(m *trajectory.Map, mode FitnessMode) float64 {
+	base := 1 / (1 + float64(m.Intersections()))
+	if mode != SeparationFitness {
+		return base
+	}
+	ext := m.Extent()
+	if ext == 0 {
+		return base
+	}
+	// Bonus in [0, 0.5): normalized min-separation cannot dominate the
+	// discrete intersection term.
+	sep := m.MinSeparation() / ext
+	if math.IsInf(sep, 0) || math.IsNaN(sep) {
+		sep = 0
+	}
+	return base + 0.5*math.Min(1, sep)
+}
+
+// Optimize searches for the best test vector with the GA.
+func (a *ATPG) Optimize(cfg Config) (*TestVector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := make([]ga.Interval, cfg.NumFrequencies)
+	lo, hi := math.Log10(cfg.BandLo), math.Log10(cfg.BandHi)
+	for i := range bounds {
+		bounds[i] = ga.Interval{Lo: lo, Hi: hi}
+	}
+	problem := ga.Problem{
+		Bounds: bounds,
+		Fitness: func(genes []float64) float64 {
+			m, err := trajectory.Build(a.dict, genesToOmegas(genes))
+			if err != nil {
+				return 0 // unsolvable candidate: zero mass
+			}
+			return fitnessOf(m, cfg.Fitness)
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res, err := ga.Run(problem, cfg.GA, rng)
+	if err != nil {
+		return nil, err
+	}
+	omegas := genesToOmegas(res.Best)
+	sortFloats(omegas)
+	m, err := trajectory.Build(a.dict, omegas)
+	if err != nil {
+		return nil, err
+	}
+	return &TestVector{
+		Omegas:        omegas,
+		Fitness:       res.BestFitness,
+		Intersections: m.Intersections(),
+		History:       res.History,
+		Evaluations:   res.Evaluations,
+	}, nil
+}
+
+func genesToOmegas(genes []float64) []float64 {
+	out := make([]float64, len(genes))
+	for i, g := range genes {
+		out[i] = math.Pow(10, g)
+	}
+	return out
+}
+
+func sortFloats(x []float64) {
+	for i := 1; i < len(x); i++ {
+		for j := i; j > 0 && x[j] < x[j-1]; j-- {
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}
+
+// BuildDiagnoser constructs the diagnosis stage for a chosen test
+// vector.
+func (a *ATPG) BuildDiagnoser(omegas []float64) (*diagnosis.Diagnoser, error) {
+	m, err := trajectory.Build(a.dict, omegas)
+	if err != nil {
+		return nil, err
+	}
+	return diagnosis.New(m)
+}
+
+// EvaluateVector runs the standard hold-out evaluation for a test
+// vector: off-grid deviations on every universe component.
+func (a *ATPG) EvaluateVector(omegas []float64, holdOut []float64) (*diagnosis.Evaluation, error) {
+	dg, err := a.BuildDiagnoser(omegas)
+	if err != nil {
+		return nil, err
+	}
+	trials := diagnosis.HoldOutTrials(a.dict.Universe(), holdOut)
+	return dg.Evaluate(a.dict, trials)
+}
+
+// --- Baseline frequency-selection strategies -------------------------
+
+// RandomVector draws n random k-frequency vectors in the band and keeps
+// the one with the best paper fitness — the "no optimization, same
+// budget" baseline.
+func (a *ATPG) RandomVector(k int, bandLo, bandHi float64, n int, rng *rand.Rand) (*TestVector, error) {
+	if k < 1 || n < 1 {
+		return nil, fmt.Errorf("core: bad random baseline k=%d n=%d", k, n)
+	}
+	if !(bandLo > 0 && bandHi > bandLo) {
+		return nil, fmt.Errorf("core: bad band [%g, %g]", bandLo, bandHi)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	lo, hi := math.Log10(bandLo), math.Log10(bandHi)
+	best := &TestVector{Fitness: -1}
+	for trial := 0; trial < n; trial++ {
+		omegas := make([]float64, k)
+		for i := range omegas {
+			omegas[i] = math.Pow(10, lo+rng.Float64()*(hi-lo))
+		}
+		m, err := trajectory.Build(a.dict, omegas)
+		if err != nil {
+			continue
+		}
+		fit := fitnessOf(m, PaperFitness)
+		if fit > best.Fitness {
+			sortFloats(omegas)
+			best = &TestVector{Omegas: omegas, Fitness: fit, Intersections: m.Intersections(), Evaluations: trial + 1}
+		}
+	}
+	if best.Omegas == nil {
+		return nil, fmt.Errorf("core: no solvable random vector found")
+	}
+	best.Evaluations = n
+	return best, nil
+}
+
+// GridVector exhaustively evaluates all k-combinations of a gridSize
+// log-spaced frequency grid and returns the best — the deterministic
+// baseline. Cost grows as C(gridSize, k); keep gridSize modest.
+func (a *ATPG) GridVector(k int, bandLo, bandHi float64, gridSize int) (*TestVector, error) {
+	if k < 1 || gridSize < k {
+		return nil, fmt.Errorf("core: bad grid baseline k=%d grid=%d", k, gridSize)
+	}
+	if !(bandLo > 0 && bandHi > bandLo) {
+		return nil, fmt.Errorf("core: bad band [%g, %g]", bandLo, bandHi)
+	}
+	grid := logspace(bandLo, bandHi, gridSize)
+	best := &TestVector{Fitness: -1}
+	evals := 0
+	var rec func(start int, chosen []float64) error
+	rec = func(start int, chosen []float64) error {
+		if len(chosen) == k {
+			omegas := append([]float64(nil), chosen...)
+			m, err := trajectory.Build(a.dict, omegas)
+			if err != nil {
+				return nil // skip unsolvable combos
+			}
+			evals++
+			if fit := fitnessOf(m, PaperFitness); fit > best.Fitness {
+				best = &TestVector{Omegas: omegas, Fitness: fit, Intersections: m.Intersections()}
+			}
+			return nil
+		}
+		for i := start; i < len(grid); i++ {
+			if err := rec(i+1, append(chosen, grid[i])); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0, nil); err != nil {
+		return nil, err
+	}
+	if best.Omegas == nil {
+		return nil, fmt.Errorf("core: grid search found no solvable vector")
+	}
+	best.Evaluations = evals
+	return best, nil
+}
+
+// SensitivityVector picks k frequencies greedily from a log grid,
+// maximizing the summed magnitude of per-component relative
+// sensitivities while keeping picks at least minDecades apart — the
+// classical heuristic a test engineer would use without the trajectory
+// machinery.
+func (a *ATPG) SensitivityVector(k int, bandLo, bandHi float64, gridSize int, minDecades float64) (*TestVector, error) {
+	if k < 1 || gridSize < k {
+		return nil, fmt.Errorf("core: bad sensitivity baseline k=%d grid=%d", k, gridSize)
+	}
+	golden := a.dict.Golden()
+	u := a.dict.Universe()
+	grid := logspace(bandLo, bandHi, gridSize)
+	score := make([]float64, len(grid))
+	for i, w := range grid {
+		var total float64
+		for _, comp := range u.Components {
+			s, err := analysis.RelativeSensitivity(golden, comp, a.dict.Source(), a.dict.Output(), w, 1e-4)
+			if err != nil {
+				total = -1 // unsolvable frequency: never pick it
+				break
+			}
+			total += math.Abs(s)
+		}
+		score[i] = total
+	}
+	var picked []float64
+	used := make([]bool, len(grid))
+	for len(picked) < k {
+		bestIdx, bestScore := -1, math.Inf(-1)
+		for i := range grid {
+			if used[i] || score[i] < 0 {
+				continue
+			}
+			ok := true
+			for _, p := range picked {
+				if math.Abs(math.Log10(grid[i])-math.Log10(p)) < minDecades {
+					ok = false
+					break
+				}
+			}
+			if ok && score[i] > bestScore {
+				bestIdx, bestScore = i, score[i]
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("core: sensitivity baseline could not pick %d separated frequencies", k)
+		}
+		used[bestIdx] = true
+		picked = append(picked, grid[bestIdx])
+	}
+	sortFloats(picked)
+	m, err := trajectory.Build(a.dict, picked)
+	if err != nil {
+		return nil, err
+	}
+	return &TestVector{
+		Omegas:        picked,
+		Fitness:       fitnessOf(m, PaperFitness),
+		Intersections: m.Intersections(),
+		Evaluations:   len(grid),
+	}, nil
+}
+
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	llo, lhi := math.Log10(lo), math.Log10(hi)
+	for i := range out {
+		out[i] = math.Pow(10, llo+float64(i)*(lhi-llo)/float64(n-1))
+	}
+	return out
+}

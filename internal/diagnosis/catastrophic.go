@@ -1,0 +1,95 @@
+package diagnosis
+
+import (
+	"fmt"
+
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/geometry"
+)
+
+// CatastrophicPoint is the signature of one hard (open/short) fault in
+// the test-vector space. Unlike parametric faults, a catastrophic fault
+// is a single point, not a trajectory: there is no deviation to sweep.
+type CatastrophicPoint struct {
+	// ID is the fault identifier, e.g. "R3#open".
+	ID string
+	// Point is the signature (response difference from golden).
+	Point geometry.VecN
+}
+
+// CatastrophicPoints computes the signature of every given hard fault at
+// the test vector. Faults whose circuits cannot be solved (an open that
+// floats a node beyond numerical reach) are skipped with their IDs
+// returned in the second value — the caller decides whether that is
+// acceptable.
+func CatastrophicPoints(d *dictionary.Dictionary, targets []fault.Catastrophic, omegas []float64) ([]CatastrophicPoint, []string, error) {
+	if len(omegas) == 0 {
+		return nil, nil, fmt.Errorf("diagnosis: empty test vector")
+	}
+	var out []CatastrophicPoint
+	var skipped []string
+	for _, cat := range targets {
+		circ, err := cat.Apply(d.Golden())
+		if err != nil {
+			return nil, nil, err
+		}
+		sig, err := d.CircuitSignature(circ, omegas)
+		if err != nil {
+			skipped = append(skipped, cat.ID())
+			continue
+		}
+		out = append(out, CatastrophicPoint{ID: cat.ID(), Point: geometry.VecN(sig)})
+	}
+	return out, skipped, nil
+}
+
+// AllCatastrophic enumerates open and short faults for every component
+// of the universe.
+func AllCatastrophic(u *fault.Universe) []fault.Catastrophic {
+	out := make([]fault.Catastrophic, 0, 2*len(u.Components))
+	for _, c := range u.Components {
+		out = append(out, fault.Catastrophic{Component: c, Open: true})
+		out = append(out, fault.Catastrophic{Component: c, Open: false})
+	}
+	return out
+}
+
+// DiagnoseWithCatastrophic ranks parametric trajectories and
+// catastrophic points together: hard-fault candidates appear with their
+// ID as the Component and a ±1 deviation marker (+1 open, −1 short).
+// This extends the paper's dictionary from a parametric-only universe to
+// the full catalogue a production test program carries.
+func (d *Diagnoser) DiagnoseWithCatastrophic(point geometry.VecN, cats []CatastrophicPoint) (*Result, error) {
+	res, err := d.Diagnose(point)
+	if err != nil {
+		return nil, err
+	}
+	for _, cat := range cats {
+		if len(cat.Point) != len(point) {
+			return nil, fmt.Errorf("diagnosis: catastrophic point %s has dimension %d, want %d", cat.ID, len(cat.Point), len(point))
+		}
+		dev := 1.0
+		if len(cat.ID) > 6 && cat.ID[len(cat.ID)-5:] == "short" {
+			dev = -1
+		}
+		res.Candidates = append(res.Candidates, Candidate{
+			Component: cat.ID,
+			Distance:  geometry.DistN(point, cat.Point),
+			Deviation: dev,
+		})
+	}
+	// Re-sort with the extended candidate set (plain distance; hard
+	// faults have no perpendicular evidence).
+	sortCandidates(res.Candidates)
+	return res, nil
+}
+
+func sortCandidates(cands []Candidate) {
+	// Insertion sort: candidate lists are small and mostly sorted.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].Distance < cands[j-1].Distance; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+}

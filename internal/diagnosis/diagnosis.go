@@ -1,0 +1,345 @@
+// Package diagnosis implements the paper's classification step: given an
+// observed response point in the test-vector plane, drop perpendiculars
+// from every known fault-trajectory segment and name the component whose
+// trajectory is closest — preferring segments for which the
+// perpendicular foot actually exists, exactly as the paper's Figure 3
+// procedure prescribes. Interpolating the foot's position along the
+// trajectory also estimates the deviation magnitude.
+package diagnosis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/geometry"
+	"repro/internal/trajectory"
+)
+
+// Candidate is one component's claim on an observed fault point.
+type Candidate struct {
+	// Component is the candidate faulty component.
+	Component string
+	// Distance is the point's distance to the trajectory (to the
+	// perpendicular foot when one exists, else to the nearest endpoint).
+	Distance float64
+	// Deviation is the estimated fractional deviation at the projection
+	// foot.
+	Deviation float64
+	// Perpendicular reports whether a perpendicular foot exists inside
+	// some segment of the trajectory (the paper's preferred evidence).
+	Perpendicular bool
+}
+
+// Result is a ranked diagnosis.
+type Result struct {
+	// Candidates is sorted best-first.
+	Candidates []Candidate
+	// Point is the observed signature the diagnosis explains.
+	Point geometry.VecN
+}
+
+// Best returns the top candidate.
+func (r *Result) Best() Candidate {
+	if len(r.Candidates) == 0 {
+		return Candidate{}
+	}
+	return r.Candidates[0]
+}
+
+// AmbiguitySet returns every candidate whose distance is within ratio of
+// the best candidate's distance (ratio >= 1). With a degenerate zero
+// best distance, only exact ties are included.
+func (r *Result) AmbiguitySet(ratio float64) []Candidate {
+	if len(r.Candidates) == 0 {
+		return nil
+	}
+	best := r.Candidates[0].Distance
+	var out []Candidate
+	for _, c := range r.Candidates {
+		if best == 0 {
+			if c.Distance == 0 {
+				out = append(out, c)
+			}
+			continue
+		}
+		if c.Distance <= best*ratio {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the ranking.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diagnosis of point %v:\n", []float64(r.Point))
+	for i, c := range r.Candidates {
+		perp := " "
+		if c.Perpendicular {
+			perp = "⊥"
+		}
+		fmt.Fprintf(&b, "  %d. %-8s dist=%.5g dev=%+.1f%% %s\n", i+1, c.Component, c.Distance, c.Deviation*100, perp)
+	}
+	return b.String()
+}
+
+// Rejected reports whether the diagnosis should be distrusted: the
+// observed point is farther from every known single-fault trajectory
+// than ratio × the map's extent. Points from multiple simultaneous
+// faults, gross measurement errors, or fault classes outside the
+// dictionary land here — the honest alternative to confidently naming
+// the wrong component. A ratio around 0.02–0.05 works well in practice
+// (see experiment E10).
+func (r *Result) Rejected(extent, ratio float64) bool {
+	if len(r.Candidates) == 0 {
+		return true
+	}
+	if extent <= 0 || ratio <= 0 {
+		return false
+	}
+	return r.Candidates[0].Distance > ratio*extent
+}
+
+// Diagnoser classifies observed signature points against a trajectory
+// map.
+type Diagnoser struct {
+	m *trajectory.Map
+}
+
+// Extent returns the trajectory map's scale (max point distance from the
+// origin), the natural normalizer for rejection thresholds.
+func (d *Diagnoser) Extent() float64 { return d.m.Extent() }
+
+// New builds a diagnoser over a trajectory map.
+func New(m *trajectory.Map) (*Diagnoser, error) {
+	if m == nil || len(m.Trajectories) == 0 {
+		return nil, fmt.Errorf("diagnosis: empty trajectory map")
+	}
+	return &Diagnoser{m: m}, nil
+}
+
+// Map returns the underlying trajectory map.
+func (d *Diagnoser) Map() *trajectory.Map { return d.m }
+
+// Diagnose ranks components for an observed signature point. The point's
+// dimension must match the map's test vector.
+func (d *Diagnoser) Diagnose(point geometry.VecN) (*Result, error) {
+	if len(point) != d.m.Dim() {
+		return nil, fmt.Errorf("diagnosis: point dimension %d, map dimension %d", len(point), d.m.Dim())
+	}
+	res := &Result{Point: append(geometry.VecN(nil), point...)}
+	for _, tr := range d.m.Trajectories {
+		seg, proj, ok := tr.Points.NearestSegmentN(point)
+		if !ok {
+			continue
+		}
+		// The paper prefers projections whose perpendicular exists; scan
+		// all segments for the best interior projection too.
+		bestInterior, hasInterior := bestInteriorProjection(tr, point)
+		cand := Candidate{Component: tr.Component}
+		if hasInterior {
+			cand.Distance = bestInterior.dist
+			cand.Deviation = tr.DeviationAt(bestInterior.seg, bestInterior.t)
+			cand.Perpendicular = true
+		} else {
+			cand.Distance = proj.Dist
+			cand.Deviation = tr.DeviationAt(seg, proj.T)
+		}
+		res.Candidates = append(res.Candidates, cand)
+	}
+	sort.SliceStable(res.Candidates, func(i, j int) bool {
+		a, b := res.Candidates[i], res.Candidates[j]
+		// Perpendicular evidence wins when distances are comparable
+		// (within 1%); otherwise plain distance decides.
+		if a.Perpendicular != b.Perpendicular && math.Abs(a.Distance-b.Distance) <= 0.01*math.Max(a.Distance, b.Distance) {
+			return a.Perpendicular
+		}
+		return a.Distance < b.Distance
+	})
+	return res, nil
+}
+
+type interiorProj struct {
+	seg  int
+	t    float64
+	dist float64
+}
+
+func bestInteriorProjection(tr *trajectory.Trajectory, p geometry.VecN) (interiorProj, bool) {
+	best := interiorProj{dist: math.Inf(1)}
+	found := false
+	for i := 0; i+1 < len(tr.Points); i++ {
+		pr := geometry.ProjectN(p, tr.Points[i], tr.Points[i+1])
+		if pr.Interior && pr.Dist < best.dist {
+			best = interiorProj{seg: i, t: pr.T, dist: pr.Dist}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// DiagnoseFault is a convenience that computes the fault's signature from
+// the dictionary at the map's test vector and diagnoses it — the
+// closed-loop "simulate an unknown fault, then find it" experiment.
+func (d *Diagnoser) DiagnoseFault(dict *dictionary.Dictionary, f fault.Fault) (*Result, error) {
+	sig, err := dict.Signature(f, d.m.Omegas)
+	if err != nil {
+		return nil, err
+	}
+	return d.Diagnose(geometry.VecN(sig))
+}
+
+// Evaluation aggregates diagnosis quality over a set of trial faults.
+type Evaluation struct {
+	// Total is the number of trials.
+	Total int
+	// Correct counts trials whose top candidate named the right
+	// component.
+	Correct int
+	// TopTwo counts trials where the right component ranked first or
+	// second.
+	TopTwo int
+	// MeanDevError is the average |estimated − true| deviation among the
+	// correctly named trials.
+	MeanDevError float64
+	// Confusion[actual][predicted] counts outcomes.
+	Confusion map[string]map[string]int
+	// PerComponent maps component → correct/total for that component.
+	PerComponent map[string]*ComponentScore
+}
+
+// ComponentScore is a per-component tally.
+type ComponentScore struct {
+	Total   int
+	Correct int
+}
+
+// Accuracy returns Correct/Total (0 for an empty evaluation).
+func (e *Evaluation) Accuracy() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.Correct) / float64(e.Total)
+}
+
+// TopTwoAccuracy returns TopTwo/Total.
+func (e *Evaluation) TopTwoAccuracy() float64 {
+	if e.Total == 0 {
+		return 0
+	}
+	return float64(e.TopTwo) / float64(e.Total)
+}
+
+// Evaluate runs the diagnoser over every trial fault, computing each
+// fault's signature from the dictionary. Trial faults may sit off the
+// dictionary's deviation grid (the realistic case).
+func (d *Diagnoser) Evaluate(dict *dictionary.Dictionary, trials []fault.Fault) (*Evaluation, error) {
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("diagnosis: no trial faults")
+	}
+	ev := &Evaluation{
+		Confusion:    make(map[string]map[string]int),
+		PerComponent: make(map[string]*ComponentScore),
+	}
+	var devErrSum float64
+	for _, f := range trials {
+		res, err := d.DiagnoseFault(dict, f)
+		if err != nil {
+			return nil, err
+		}
+		best := res.Best()
+		ev.Total++
+		if ev.Confusion[f.Component] == nil {
+			ev.Confusion[f.Component] = make(map[string]int)
+		}
+		ev.Confusion[f.Component][best.Component]++
+		cs := ev.PerComponent[f.Component]
+		if cs == nil {
+			cs = &ComponentScore{}
+			ev.PerComponent[f.Component] = cs
+		}
+		cs.Total++
+		if best.Component == f.Component {
+			ev.Correct++
+			cs.Correct++
+			devErrSum += math.Abs(best.Deviation - f.Deviation)
+		}
+		for i, c := range res.Candidates {
+			if i > 1 {
+				break
+			}
+			if c.Component == f.Component {
+				ev.TopTwo++
+				break
+			}
+		}
+	}
+	if ev.Correct > 0 {
+		ev.MeanDevError = devErrSum / float64(ev.Correct)
+	}
+	return ev, nil
+}
+
+// ConfusionTable renders the confusion matrix with components sorted.
+func (e *Evaluation) ConfusionTable() string {
+	comps := make([]string, 0, len(e.Confusion))
+	for c := range e.Confusion {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	// Collect predicted labels too (may include components never the
+	// actual fault).
+	predSet := make(map[string]bool)
+	for _, row := range e.Confusion {
+		for p := range row {
+			predSet[p] = true
+		}
+	}
+	preds := make([]string, 0, len(predSet))
+	for p := range predSet {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "actual\\pred")
+	for _, p := range preds {
+		fmt.Fprintf(&b, "%8s", p)
+	}
+	b.WriteByte('\n')
+	for _, c := range comps {
+		fmt.Fprintf(&b, "%-10s", c)
+		for _, p := range preds {
+			fmt.Fprintf(&b, "%8d", e.Confusion[c][p])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HoldOutTrials builds the standard trial set: every component of the
+// universe at deviations that fall between the dictionary's grid points
+// (e.g. ±15%, ±25%, ±35% for the paper grid), exercising interpolation
+// rather than memorization.
+func HoldOutTrials(u *fault.Universe, deviations []float64) []fault.Fault {
+	var out []fault.Fault
+	for _, c := range u.Components {
+		for _, d := range deviations {
+			if d == 0 {
+				continue
+			}
+			out = append(out, fault.Fault{Component: c, Deviation: d})
+		}
+	}
+	return out
+}
+
+// DefaultHoldOutDeviations returns off-grid deviations between the
+// paper's ±10..40% grid points.
+func DefaultHoldOutDeviations() []float64 {
+	return []float64{-0.35, -0.25, -0.15, 0.15, 0.25, 0.35}
+}

@@ -1,0 +1,336 @@
+// Package dictionary implements the paper's fault-simulation (FS) step:
+// from the golden circuit it derives one faulty circuit per fault in the
+// universe and serves their AC magnitude responses on demand, memoized by
+// (fault, frequency).
+//
+// The GA probes responses at arbitrary candidate frequencies, so the
+// dictionary evaluates lazily instead of precomputing a fixed grid; a
+// fixed grid can still be precomputed concurrently with BuildGrid for
+// reporting (Figure 1) or export.
+package dictionary
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/cmplx"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+	"repro/internal/fault"
+)
+
+// Dictionary serves golden and faulty magnitude responses.
+type Dictionary struct {
+	golden   *circuit.Circuit
+	source   string
+	output   string
+	universe *fault.Universe
+
+	mu        sync.Mutex
+	analyzers map[string]*analysis.AC        // fault ID → analyzer over the faulty circuit
+	memo      map[string]map[float64]float64 // fault ID → ω → |H|
+}
+
+// New builds a dictionary for the golden circuit observed at output and
+// driven by the named source, over the given fault universe.
+func New(golden *circuit.Circuit, source, output string, u *fault.Universe) (*Dictionary, error) {
+	if u == nil {
+		return nil, fmt.Errorf("dictionary: nil universe")
+	}
+	if err := u.Validate(golden); err != nil {
+		return nil, err
+	}
+	d := &Dictionary{
+		golden:    golden.Clone(),
+		source:    source,
+		output:    output,
+		universe:  u,
+		analyzers: make(map[string]*analysis.AC),
+		memo:      make(map[string]map[float64]float64),
+	}
+	// Fail fast on unbuildable golden circuits.
+	if _, err := d.analyzer(fault.Fault{}); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Universe returns the dictionary's fault universe.
+func (d *Dictionary) Universe() *fault.Universe { return d.universe }
+
+// Source returns the driving source name.
+func (d *Dictionary) Source() string { return d.source }
+
+// Output returns the observed node name.
+func (d *Dictionary) Output() string { return d.output }
+
+// Golden returns a clone of the golden circuit.
+func (d *Dictionary) Golden() *circuit.Circuit { return d.golden.Clone() }
+
+// analyzer returns (building if needed) the AC analyzer for a fault.
+func (d *Dictionary) analyzer(f fault.Fault) (*analysis.AC, error) {
+	id := f.ID()
+	d.mu.Lock()
+	ac, ok := d.analyzers[id]
+	d.mu.Unlock()
+	if ok {
+		return ac, nil
+	}
+	// Build outside the lock: cloning and assembling may be slow.
+	faulty, err := f.Apply(d.golden)
+	if err != nil {
+		return nil, err
+	}
+	ac, err = analysis.NewAC(faulty)
+	if err != nil {
+		return nil, fmt.Errorf("dictionary: fault %s: %w", id, err)
+	}
+	d.mu.Lock()
+	// Another goroutine may have raced us; keep the first.
+	if prev, ok := d.analyzers[id]; ok {
+		ac = prev
+	} else {
+		d.analyzers[id] = ac
+	}
+	d.mu.Unlock()
+	return ac, nil
+}
+
+// Response returns |H(jω)| for the given fault (use the zero Fault for
+// the golden circuit). Results are memoized.
+func (d *Dictionary) Response(f fault.Fault, omega float64) (float64, error) {
+	id := f.ID()
+	d.mu.Lock()
+	if byW, ok := d.memo[id]; ok {
+		if v, ok := byW[omega]; ok {
+			d.mu.Unlock()
+			return v, nil
+		}
+	}
+	d.mu.Unlock()
+
+	ac, err := d.analyzer(f)
+	if err != nil {
+		return 0, err
+	}
+	h, err := ac.Transfer(d.source, d.output, omega)
+	if err != nil {
+		return 0, fmt.Errorf("dictionary: fault %s at ω=%g: %w", id, omega, err)
+	}
+	mag := cmplx.Abs(h)
+
+	d.mu.Lock()
+	byW, ok := d.memo[id]
+	if !ok {
+		byW = make(map[float64]float64)
+		d.memo[id] = byW
+	}
+	byW[omega] = mag
+	d.mu.Unlock()
+	return mag, nil
+}
+
+// GoldenResponse returns the nominal |H(jω)|.
+func (d *Dictionary) GoldenResponse(omega float64) (float64, error) {
+	return d.Response(fault.Fault{}, omega)
+}
+
+// Signature maps a fault to its point in the test-vector space: the
+// vector of |H_fault(ωi)| − |H_golden(ωi)| over the test frequencies.
+// Per the paper's simplification, the golden response sits at the origin.
+func (d *Dictionary) Signature(f fault.Fault, omegas []float64) ([]float64, error) {
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("dictionary: empty test vector")
+	}
+	out := make([]float64, len(omegas))
+	for i, w := range omegas {
+		fm, err := d.Response(f, w)
+		if err != nil {
+			return nil, err
+		}
+		gm, err := d.GoldenResponse(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = fm - gm
+	}
+	return out, nil
+}
+
+// CircuitSignature computes the signature point of an arbitrary circuit
+// variant — a multiple fault, a tolerance-perturbed board, anything with
+// the same source and output — against this dictionary's golden
+// response. Unlike Signature it is not memoized (variants are one-off).
+func (d *Dictionary) CircuitSignature(c *circuit.Circuit, omegas []float64) ([]float64, error) {
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("dictionary: empty test vector")
+	}
+	ac, err := analysis.NewAC(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(omegas))
+	for i, w := range omegas {
+		h, err := ac.Transfer(d.source, d.output, w)
+		if err != nil {
+			return nil, err
+		}
+		gm, err := d.GoldenResponse(w)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cmplx.Abs(h) - gm
+	}
+	return out, nil
+}
+
+// BuildGrid precomputes every fault's response (plus the golden one) on a
+// frequency grid, fanning out across workers goroutines (0 → a sensible
+// default). It returns the first error encountered.
+func (d *Dictionary) BuildGrid(omegas []float64, workers int) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	jobs := make(chan fault.Fault)
+	errs := make(chan error, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range jobs {
+				// Keep draining after a failure so the producer's
+				// unbuffered sends never block on dead workers.
+				if failed.Load() {
+					continue
+				}
+				for _, w := range omegas {
+					if _, err := d.Response(f, w); err != nil {
+						failed.Store(true)
+						select {
+						case errs <- err:
+						default:
+						}
+						break
+					}
+				}
+			}
+		}()
+	}
+	jobs <- fault.Fault{}
+	for _, f := range d.universe.Faults() {
+		jobs <- f
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Entry is one exported dictionary row.
+type Entry struct {
+	// ID is the fault identifier ("golden" for the nominal row).
+	ID string `json:"id"`
+	// Mags holds |H| per grid frequency, index-aligned with the export's
+	// Omegas.
+	Mags []float64 `json:"mags"`
+}
+
+// Export is the JSON-serializable snapshot of a dictionary grid.
+type Export struct {
+	Circuit string    `json:"circuit"`
+	Source  string    `json:"source"`
+	Output  string    `json:"output"`
+	Omegas  []float64 `json:"omegas"`
+	Entries []Entry   `json:"entries"`
+}
+
+// Snapshot evaluates (memoized) the grid and returns an Export with the
+// golden row first and fault rows in universe order.
+func (d *Dictionary) Snapshot(omegas []float64) (*Export, error) {
+	ex := &Export{
+		Circuit: d.golden.Name(),
+		Source:  d.source,
+		Output:  d.output,
+		Omegas:  append([]float64(nil), omegas...),
+	}
+	row := func(f fault.Fault) (Entry, error) {
+		mags := make([]float64, len(omegas))
+		for i, w := range omegas {
+			m, err := d.Response(f, w)
+			if err != nil {
+				return Entry{}, err
+			}
+			mags[i] = m
+		}
+		return Entry{ID: f.ID(), Mags: mags}, nil
+	}
+	g, err := row(fault.Fault{})
+	if err != nil {
+		return nil, err
+	}
+	ex.Entries = append(ex.Entries, g)
+	for _, f := range d.universe.Faults() {
+		e, err := row(f)
+		if err != nil {
+			return nil, err
+		}
+		ex.Entries = append(ex.Entries, e)
+	}
+	return ex, nil
+}
+
+// MarshalIndent renders the export as indented JSON.
+func (e *Export) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(e, "", "  ")
+}
+
+// ParseExport loads a snapshot produced by MarshalIndent.
+func ParseExport(data []byte) (*Export, error) {
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, fmt.Errorf("dictionary: bad export: %w", err)
+	}
+	if len(e.Entries) == 0 {
+		return nil, fmt.Errorf("dictionary: export has no entries")
+	}
+	for _, ent := range e.Entries {
+		if len(ent.Mags) != len(e.Omegas) {
+			return nil, fmt.Errorf("dictionary: entry %s has %d mags for %d omegas", ent.ID, len(ent.Mags), len(e.Omegas))
+		}
+	}
+	return &e, nil
+}
+
+// CachedCount reports how many (fault, ω) pairs are memoized — useful in
+// tests and benchmarks to verify laziness.
+func (d *Dictionary) CachedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, byW := range d.memo {
+		n += len(byW)
+	}
+	return n
+}
+
+// CachedFaultIDs lists the fault IDs with at least one memoized response,
+// sorted.
+func (d *Dictionary) CachedFaultIDs() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.memo))
+	for id := range d.memo {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

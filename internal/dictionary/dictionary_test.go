@@ -1,0 +1,276 @@
+package dictionary
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/numeric"
+)
+
+// circuitNewDanglingResistor returns a resistor touching a node nothing
+// else references, which fails circuit validation on assembly.
+func circuitNewDanglingResistor() circuit.Element {
+	return circuit.NewResistor("Rdangle", "nowhere", "0", 1)
+}
+
+func paperDict(t *testing.T) *Dictionary {
+	t.Helper()
+	cut := circuits.NFLowpass7()
+	u, err := fault.PaperUniverse(cut.Passives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(cut.Circuit, cut.Source, cut.Output, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestNewValidates(t *testing.T) {
+	cut := circuits.NFLowpass7()
+	if _, err := New(cut.Circuit, cut.Source, cut.Output, nil); err == nil {
+		t.Fatal("nil universe accepted")
+	}
+	u, _ := fault.PaperUniverse([]string{"R99"})
+	if _, err := New(cut.Circuit, cut.Source, cut.Output, u); err == nil {
+		t.Fatal("bad universe accepted")
+	}
+}
+
+func TestGoldenResponseMatchesDirectAnalysis(t *testing.T) {
+	d := paperDict(t)
+	// DC gain of the CUT is 0.5 (|−R4/(R1+R2)|).
+	m, err := d.GoldenResponse(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.5) > 1e-3 {
+		t.Fatalf("golden |H(0)| = %g, want 0.5", m)
+	}
+}
+
+func TestResponseMovesWithFault(t *testing.T) {
+	d := paperDict(t)
+	f := fault.Fault{Component: "C2", Deviation: 0.4}
+	g, err := d.GoldenResponse(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := d.Response(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fm-g) < 1e-4 {
+		t.Fatalf("C2+40%% did not move |H(1)|: %g vs %g", fm, g)
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	d := paperDict(t)
+	if d.CachedCount() != 0 {
+		t.Fatalf("fresh dictionary has %d cached", d.CachedCount())
+	}
+	if _, err := d.GoldenResponse(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.CachedCount() != 1 {
+		t.Fatalf("cached = %d, want 1", d.CachedCount())
+	}
+	// Re-query: no growth.
+	if _, err := d.GoldenResponse(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.CachedCount() != 1 {
+		t.Fatalf("cache grew on repeat query: %d", d.CachedCount())
+	}
+	ids := d.CachedFaultIDs()
+	if len(ids) != 1 || ids[0] != "golden" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestSignatureGoldenAtOrigin(t *testing.T) {
+	d := paperDict(t)
+	sig, err := d.Signature(fault.Fault{}, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sig {
+		if v != 0 {
+			t.Fatalf("golden signature = %v, want zeros", sig)
+		}
+	}
+	if _, err := d.Signature(fault.Fault{}, nil); err == nil {
+		t.Fatal("empty test vector accepted")
+	}
+}
+
+func TestSignatureAntisymmetricDirections(t *testing.T) {
+	// Opposite deviations of the same component must push the signature
+	// to opposite sides of the origin (the paper's monotonicity premise).
+	// R4 sets the DC gain (|H(0)| = R4/(R1+R2)), so at a deep in-band
+	// frequency its ± deviations move |H| in opposite directions.
+	d := paperDict(t)
+	up, err := d.Signature(fault.Fault{Component: "R4", Deviation: 0.4}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn, err := d.Signature(fault.Fault{Component: "R4", Deviation: -0.4}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up[0] <= 0 || dn[0] >= 0 {
+		t.Fatalf("R4 ±40%% signatures not antisymmetric: %g and %g", up[0], dn[0])
+	}
+}
+
+func TestBuildGridAndSnapshot(t *testing.T) {
+	d := paperDict(t)
+	grid := numeric.Logspace(0.1, 10, 5)
+	if err := d.BuildGrid(grid, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Universe 7 components × 8 deviations + golden = 57 rows × 5 freqs.
+	want := (7*8 + 1) * 5
+	if got := d.CachedCount(); got != want {
+		t.Fatalf("cached = %d, want %d", got, want)
+	}
+	snap, err := d.Snapshot(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Entries) != 57 {
+		t.Fatalf("entries = %d, want 57", len(snap.Entries))
+	}
+	if snap.Entries[0].ID != "golden" {
+		t.Fatalf("first entry = %q", snap.Entries[0].ID)
+	}
+	data, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseExport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Entries) != len(snap.Entries) || back.Circuit != snap.Circuit {
+		t.Fatal("export round trip mismatch")
+	}
+}
+
+func TestParseExportRejectsBad(t *testing.T) {
+	if _, err := ParseExport([]byte("{")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := ParseExport([]byte(`{"omegas":[1],"entries":[]}`)); err == nil {
+		t.Fatal("empty entries accepted")
+	}
+	if _, err := ParseExport([]byte(`{"omegas":[1,2],"entries":[{"id":"golden","mags":[1]}]}`)); err == nil {
+		t.Fatal("misaligned mags accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := paperDict(t)
+	if d.Source() != "Vin" || d.Output() != "out" {
+		t.Fatalf("source/output = %q/%q", d.Source(), d.Output())
+	}
+	if d.Universe().Size() != 56 {
+		t.Fatalf("universe size = %d", d.Universe().Size())
+	}
+	g := d.Golden()
+	if err := g.SetValue("R1", 999); err != nil {
+		t.Fatal(err)
+	}
+	// The dictionary's own golden must be unaffected.
+	m1, _ := d.GoldenResponse(0.5)
+	d2 := paperDict(t)
+	m2, _ := d2.GoldenResponse(0.5)
+	if math.Abs(m1-m2) > 1e-12 {
+		t.Fatal("Golden() leaked internal state")
+	}
+}
+
+func TestCircuitSignatureVariants(t *testing.T) {
+	d := paperDict(t)
+	// A clone of the golden circuit has a zero signature.
+	sig, err := d.CircuitSignature(d.Golden(), []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sig {
+		if v != 0 {
+			t.Fatalf("golden variant signature = %v", sig)
+		}
+	}
+	// Validation.
+	if _, err := d.CircuitSignature(d.Golden(), nil); err == nil {
+		t.Fatal("empty test vector accepted")
+	}
+	// A structurally broken variant errors instead of returning junk.
+	broken := d.Golden()
+	broken.MustAdd(circuitNewDanglingResistor())
+	if _, err := d.CircuitSignature(broken, []float64{1}); err == nil {
+		t.Fatal("broken variant accepted")
+	}
+}
+
+func TestResponseErrorPaths(t *testing.T) {
+	d := paperDict(t)
+	// Unknown component in the fault: surfaces from the clone/scale.
+	if _, err := d.Response(fault.Fault{Component: "R99", Deviation: 0.1}, 1); err == nil {
+		t.Fatal("unknown component accepted")
+	}
+	// Negative frequency propagates the analysis error.
+	if _, err := d.GoldenResponse(-1); err == nil {
+		t.Fatal("negative frequency accepted")
+	}
+	// Deviation at -100% is rejected by Apply.
+	if _, err := d.Response(fault.Fault{Component: "R1", Deviation: -1}, 1); err == nil {
+		t.Fatal("-100% deviation accepted")
+	}
+}
+
+func TestBuildGridPropagatesErrors(t *testing.T) {
+	d := paperDict(t)
+	if err := d.BuildGrid([]float64{1, -5}, 2); err == nil {
+		t.Fatal("grid with negative frequency accepted")
+	}
+	// Default worker count path.
+	if err := d.BuildGrid([]float64{0.7}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotPropagatesErrors(t *testing.T) {
+	d := paperDict(t)
+	if _, err := d.Snapshot([]float64{-2}); err == nil {
+		t.Fatal("snapshot with bad frequency accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := paperDict(t)
+	grid := []float64{0.3, 1, 3}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			var err error
+			for _, f := range d.Universe().Faults()[:10] {
+				if _, e := d.Signature(f, grid); e != nil {
+					err = e
+				}
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

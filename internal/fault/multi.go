@@ -1,0 +1,127 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Multi is a simultaneous multiple parametric fault — the case the
+// paper's single-fault assumption excludes. The diagnosis stage cannot
+// name such faults, but it can (and should) *reject* them instead of
+// confidently misdiagnosing; see diagnosis.Result.Rejected.
+type Multi []Fault
+
+// NewMulti builds a multiple fault after validating that components are
+// distinct and every part is a genuine deviation.
+func NewMulti(parts ...Fault) (Multi, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("fault: empty multiple fault")
+	}
+	seen := make(map[string]bool)
+	for _, p := range parts {
+		if p.IsGolden() {
+			return nil, fmt.Errorf("fault: multiple fault includes a zero deviation on %q", p.Component)
+		}
+		if seen[p.Component] {
+			return nil, fmt.Errorf("fault: component %q faulted twice", p.Component)
+		}
+		seen[p.Component] = true
+	}
+	m := make(Multi, len(parts))
+	copy(m, parts)
+	sort.Slice(m, func(i, j int) bool { return m[i].Component < m[j].Component })
+	return m, nil
+}
+
+// ID renders e.g. "C1@-20%+R3@+30%".
+func (m Multi) ID() string {
+	ids := make([]string, len(m))
+	for i, f := range m {
+		ids[i] = f.ID()
+	}
+	return strings.Join(ids, "+")
+}
+
+// Apply injects every part into one clone of the golden circuit.
+func (m Multi) Apply(golden *circuit.Circuit) (*circuit.Circuit, error) {
+	if len(m) == 0 {
+		return nil, fmt.Errorf("fault: empty multiple fault")
+	}
+	c := golden.Clone()
+	for _, f := range m {
+		if f.Scale() <= 0 {
+			return nil, fmt.Errorf("fault: %s: nonpositive scale", f.ID())
+		}
+		if err := c.ScaleValue(f.Component, f.Scale()); err != nil {
+			return nil, fmt.Errorf("fault: %s: %w", m.ID(), err)
+		}
+	}
+	return c, nil
+}
+
+// RandomMulti draws a random n-component multiple fault over the
+// universe's components, each part's deviation drawn uniformly from the
+// universe's deviation set.
+func RandomMulti(u *Universe, n int, rng *rand.Rand) (Multi, error) {
+	if n < 2 || n > len(u.Components) {
+		return nil, fmt.Errorf("fault: multiple fault of %d parts over %d components", n, len(u.Components))
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fault: nil rng")
+	}
+	perm := rng.Perm(len(u.Components))
+	parts := make([]Fault, n)
+	for i := 0; i < n; i++ {
+		parts[i] = Fault{
+			Component: u.Components[perm[i]],
+			Deviation: u.Deviations[rng.Intn(len(u.Deviations))],
+		}
+	}
+	return NewMulti(parts...)
+}
+
+// Tolerance models manufacturing spread: every Valued component of the
+// circuit is independently perturbed by a Gaussian factor
+// (1 + N(0, sigma)), truncated at ±3σ so values stay positive for any
+// reasonable sigma. This is the background against which a diagnosis
+// must still work (experiment E11).
+type Tolerance struct {
+	// Sigma is the relative standard deviation, e.g. 0.01 for 1%.
+	Sigma float64
+}
+
+// Perturb returns a clone of the circuit with every Valued component
+// (optionally excluding the given names) perturbed.
+func (t Tolerance) Perturb(golden *circuit.Circuit, rng *rand.Rand, exclude ...string) (*circuit.Circuit, error) {
+	if t.Sigma < 0 || t.Sigma > 0.3 {
+		return nil, fmt.Errorf("fault: tolerance sigma %g outside [0, 0.3]", t.Sigma)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("fault: nil rng")
+	}
+	skip := make(map[string]bool, len(exclude))
+	for _, n := range exclude {
+		skip[n] = true
+	}
+	c := golden.Clone()
+	for _, name := range c.ValuedNames() {
+		if skip[name] {
+			continue
+		}
+		g := rng.NormFloat64()
+		if g > 3 {
+			g = 3
+		}
+		if g < -3 {
+			g = -3
+		}
+		if err := c.ScaleValue(name, 1+t.Sigma*g); err != nil {
+			return nil, fmt.Errorf("fault: tolerance on %s: %w", name, err)
+		}
+	}
+	return c, nil
+}

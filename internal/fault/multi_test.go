@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(); err == nil {
+		t.Fatal("empty multi accepted")
+	}
+	if _, err := NewMulti(Fault{Component: "R1"}); err == nil {
+		t.Fatal("golden part accepted")
+	}
+	if _, err := NewMulti(
+		Fault{Component: "R1", Deviation: 0.1},
+		Fault{Component: "R1", Deviation: 0.2},
+	); err == nil {
+		t.Fatal("duplicate component accepted")
+	}
+	m, err := NewMulti(
+		Fault{Component: "R3", Deviation: 0.3},
+		Fault{Component: "C1", Deviation: -0.2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted by component name; ID joins with +.
+	if m.ID() != "C1@-20%+R3@+30%" {
+		t.Fatalf("ID = %q", m.ID())
+	}
+}
+
+func TestMultiApply(t *testing.T) {
+	g := golden()
+	m, err := NewMulti(
+		Fault{Component: "R1", Deviation: 0.2},
+		Fault{Component: "C1", Deviation: -0.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := c.Value("R1")
+	cv, _ := c.Value("C1")
+	if math.Abs(r-1200) > 1e-9 || math.Abs(cv-0.6e-6) > 1e-15 {
+		t.Fatalf("applied values %g, %g", r, cv)
+	}
+	// Golden untouched.
+	if v, _ := g.Value("R1"); v != 1000 {
+		t.Fatal("golden mutated")
+	}
+	// Bad component inside.
+	bad := Multi{{Component: "R9", Deviation: 0.1}}
+	if _, err := bad.Apply(g); err == nil {
+		t.Fatal("missing component accepted")
+	}
+	if _, err := (Multi{}).Apply(g); err == nil {
+		t.Fatal("empty apply accepted")
+	}
+}
+
+func TestRandomMulti(t *testing.T) {
+	u, _ := PaperUniverse([]string{"R1", "R2", "R3", "C1"})
+	rng := rand.New(rand.NewSource(3))
+	m, err := RandomMulti(u, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m[0].Component == m[1].Component {
+		t.Fatalf("multi = %v", m)
+	}
+	for _, f := range m {
+		if f.Deviation == 0 {
+			t.Fatal("zero deviation drawn")
+		}
+	}
+	if _, err := RandomMulti(u, 1, rng); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := RandomMulti(u, 9, rng); err == nil {
+		t.Fatal("n > components accepted")
+	}
+	if _, err := RandomMulti(u, 2, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestTolerancePerturb(t *testing.T) {
+	g := golden()
+	tol := Tolerance{Sigma: 0.02}
+	rng := rand.New(rand.NewSource(5))
+	c, err := tol.Perturb(g, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both components moved, within ±3σ = ±6%.
+	for _, name := range []string{"R1", "C1"} {
+		before, _ := g.Value(name)
+		after, _ := c.Value(name)
+		rel := math.Abs(after-before) / before
+		if rel == 0 {
+			t.Errorf("%s unperturbed", name)
+		}
+		if rel > 0.061 {
+			t.Errorf("%s moved %.1f%%, beyond 3σ", name, rel*100)
+		}
+	}
+	// Exclusion.
+	c2, err := tol.Perturb(g, rand.New(rand.NewSource(5)), "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c2.Value("R1"); v != 1000 {
+		t.Fatal("excluded component perturbed")
+	}
+	// Validation.
+	if _, err := (Tolerance{Sigma: -1}).Perturb(g, rng); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := (Tolerance{Sigma: 0.5}).Perturb(g, rng); err == nil {
+		t.Fatal("huge sigma accepted")
+	}
+	if _, err := tol.Perturb(g, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestToleranceZeroSigmaIsIdentity(t *testing.T) {
+	g := golden()
+	c, err := (Tolerance{Sigma: 0}).Perturb(g, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"R1", "C1"} {
+		before, _ := g.Value(name)
+		after, _ := c.Value(name)
+		if before != after {
+			t.Fatalf("%s changed with sigma 0", name)
+		}
+	}
+}

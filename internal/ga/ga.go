@@ -1,0 +1,428 @@
+// Package ga implements the real-coded genetic algorithm the paper uses
+// to optimize test vectors. The paper's configuration (§2.4): 128
+// individuals, 15 generations, 50% reproduction rate, 40% mutation rate,
+// roulette-wheel selection, and the generation count as the stop
+// criterion. The fitness function is supplied by the caller (for the
+// paper's problem: 1/(1+I) with I the trajectory intersection count).
+//
+// The engine is deterministic for a fixed seed: all stochastic decisions
+// draw from one *rand.Rand in a fixed order, while fitness evaluations —
+// which consume no randomness — may fan out over worker goroutines.
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Interval bounds one gene.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Width returns Hi - Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+// Clamp restricts v to the interval.
+func (iv Interval) Clamp(v float64) float64 {
+	return math.Max(iv.Lo, math.Min(iv.Hi, v))
+}
+
+// Problem is a bounded maximization problem over real gene vectors.
+type Problem struct {
+	// Bounds gives one interval per gene; its length is the genome size.
+	Bounds []Interval
+	// Fitness scores a genome; it must be finite and >= 0 (roulette
+	// selection interprets fitness as probability mass). Larger is
+	// better. It is called from Config.Workers goroutines concurrently
+	// and must be safe for that.
+	Fitness func(genes []float64) float64
+}
+
+// SelectionMethod names a parent-selection strategy.
+type SelectionMethod int
+
+const (
+	// Roulette is fitness-proportional selection, the paper's "mining
+	// method".
+	Roulette SelectionMethod = iota
+	// Tournament selects the best of 2 random individuals.
+	Tournament
+	// Rank is linear rank-based selection, robust to fitness scaling.
+	Rank
+)
+
+func (s SelectionMethod) String() string {
+	switch s {
+	case Roulette:
+		return "roulette"
+	case Tournament:
+		return "tournament"
+	case Rank:
+		return "rank"
+	default:
+		return fmt.Sprintf("SelectionMethod(%d)", int(s))
+	}
+}
+
+// CrossoverMethod names a recombination operator.
+type CrossoverMethod int
+
+const (
+	// Arithmetic blends parents gene-wise with a random weight.
+	Arithmetic CrossoverMethod = iota
+	// SinglePoint swaps tails after a random cut.
+	SinglePoint
+	// Uniform swaps each gene with probability 1/2.
+	Uniform
+)
+
+func (c CrossoverMethod) String() string {
+	switch c {
+	case Arithmetic:
+		return "arithmetic"
+	case SinglePoint:
+		return "single-point"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("CrossoverMethod(%d)", int(c))
+	}
+}
+
+// Config holds the GA hyperparameters.
+type Config struct {
+	// PopSize is the population size (paper: 128).
+	PopSize int
+	// Generations is the stop criterion (paper: 15).
+	Generations int
+	// ReproductionRate is the fraction of each new generation produced
+	// by crossover (paper: 0.5); the rest are selected survivors.
+	ReproductionRate float64
+	// MutationRate is the per-individual mutation probability
+	// (paper: 0.4).
+	MutationRate float64
+	// Selection picks the parent-selection strategy (paper: Roulette).
+	Selection SelectionMethod
+	// Crossover picks the recombination operator.
+	Crossover CrossoverMethod
+	// Elitism preserves the best n individuals unchanged each
+	// generation.
+	Elitism int
+	// MutSigma is the Gaussian mutation step as a fraction of each
+	// gene's interval width.
+	MutSigma float64
+	// Workers bounds concurrent fitness evaluations (0 → 4).
+	Workers int
+}
+
+// PaperConfig returns the configuration of the paper's §2.4 (plus
+// single-individual elitism so the reported best never regresses, and a
+// 10% Gaussian mutation step, which the paper leaves unspecified).
+func PaperConfig() Config {
+	return Config{
+		PopSize:          128,
+		Generations:      15,
+		ReproductionRate: 0.5,
+		MutationRate:     0.4,
+		Selection:        Roulette,
+		Crossover:        Arithmetic,
+		Elitism:          1,
+		MutSigma:         0.1,
+		Workers:          4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PopSize < 2 {
+		return fmt.Errorf("ga: population size %d < 2", c.PopSize)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("ga: generations %d < 1", c.Generations)
+	}
+	if c.ReproductionRate < 0 || c.ReproductionRate > 1 {
+		return fmt.Errorf("ga: reproduction rate %g outside [0,1]", c.ReproductionRate)
+	}
+	if c.MutationRate < 0 || c.MutationRate > 1 {
+		return fmt.Errorf("ga: mutation rate %g outside [0,1]", c.MutationRate)
+	}
+	if c.Elitism < 0 || c.Elitism >= c.PopSize {
+		return fmt.Errorf("ga: elitism %d outside [0, popsize)", c.Elitism)
+	}
+	if c.MutSigma <= 0 {
+		return fmt.Errorf("ga: mutation sigma %g must be positive", c.MutSigma)
+	}
+	return nil
+}
+
+// GenStats summarizes one generation.
+type GenStats struct {
+	Generation  int
+	Best        float64
+	Mean        float64
+	Worst       float64
+	BestGenes   []float64
+	Evaluations int // cumulative fitness evaluations so far
+}
+
+// Result is the outcome of a GA run.
+type Result struct {
+	// Best is the best genome ever seen.
+	Best []float64
+	// BestFitness is its fitness.
+	BestFitness float64
+	// History has one entry per generation.
+	History []GenStats
+	// Evaluations counts total fitness calls.
+	Evaluations int
+}
+
+type individual struct {
+	genes   []float64
+	fitness float64
+	scored  bool
+}
+
+// Run executes the GA. The rng drives every stochastic choice; pass
+// rand.New(rand.NewSource(seed)) for reproducibility.
+func Run(p Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Bounds) == 0 {
+		return nil, fmt.Errorf("ga: empty genome bounds")
+	}
+	for i, b := range p.Bounds {
+		if !(b.Lo < b.Hi) || math.IsNaN(b.Lo) || math.IsNaN(b.Hi) {
+			return nil, fmt.Errorf("ga: bad bounds for gene %d: [%g, %g]", i, b.Lo, b.Hi)
+		}
+	}
+	if p.Fitness == nil {
+		return nil, fmt.Errorf("ga: nil fitness function")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ga: nil rng")
+	}
+
+	pop := make([]individual, cfg.PopSize)
+	for i := range pop {
+		pop[i] = individual{genes: randomGenome(p.Bounds, rng)}
+	}
+
+	res := &Result{}
+	evals := 0
+	for gen := 0; gen < cfg.Generations; gen++ {
+		evals += evaluate(pop, p.Fitness, cfg.Workers)
+		sortByFitness(pop)
+
+		stats := summarize(pop, gen, evals)
+		res.History = append(res.History, stats)
+		if pop[0].fitness > res.BestFitness || res.Best == nil {
+			res.Best = append([]float64(nil), pop[0].genes...)
+			res.BestFitness = pop[0].fitness
+		}
+
+		if gen == cfg.Generations-1 {
+			break
+		}
+		pop = nextGeneration(pop, p, cfg, rng)
+	}
+	res.Evaluations = evals
+	return res, nil
+}
+
+func randomGenome(bounds []Interval, rng *rand.Rand) []float64 {
+	g := make([]float64, len(bounds))
+	for i, b := range bounds {
+		g[i] = b.Lo + rng.Float64()*b.Width()
+	}
+	return g
+}
+
+// evaluate scores all unscored individuals, returning how many fitness
+// calls it made. Worker goroutines preserve determinism because each
+// writes only its own index.
+func evaluate(pop []individual, fit func([]float64) float64, workers int) int {
+	if workers <= 0 {
+		workers = 4
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var count int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := range idx {
+				f := fit(pop[i].genes)
+				if math.IsNaN(f) || f < 0 {
+					f = 0 // defensive: keep roulette well-defined
+				}
+				pop[i].fitness = f
+				pop[i].scored = true
+				n++
+			}
+			mu.Lock()
+			count += n
+			mu.Unlock()
+		}()
+	}
+	for i := range pop {
+		if !pop[i].scored {
+			idx <- i
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return count
+}
+
+func sortByFitness(pop []individual) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].fitness > pop[j].fitness })
+}
+
+func summarize(pop []individual, gen, evals int) GenStats {
+	var sum float64
+	for _, ind := range pop {
+		sum += ind.fitness
+	}
+	return GenStats{
+		Generation:  gen,
+		Best:        pop[0].fitness,
+		Mean:        sum / float64(len(pop)),
+		Worst:       pop[len(pop)-1].fitness,
+		BestGenes:   append([]float64(nil), pop[0].genes...),
+		Evaluations: evals,
+	}
+}
+
+// nextGeneration builds the successor population: elites first, then
+// crossover offspring (ReproductionRate of the population), then selected
+// survivors; non-elites face mutation.
+func nextGeneration(pop []individual, p Problem, cfg Config, rng *rand.Rand) []individual {
+	n := len(pop)
+	next := make([]individual, 0, n)
+
+	for i := 0; i < cfg.Elitism; i++ {
+		elite := individual{genes: append([]float64(nil), pop[i].genes...), fitness: pop[i].fitness, scored: true}
+		next = append(next, elite)
+	}
+
+	sel := newSelector(pop, cfg.Selection, rng)
+	offspring := int(math.Round(cfg.ReproductionRate * float64(n)))
+	for len(next) < cfg.Elitism+offspring && len(next) < n {
+		a := sel.pick()
+		b := sel.pick()
+		child := crossover(a.genes, b.genes, cfg.Crossover, rng)
+		next = append(next, individual{genes: child})
+	}
+	for len(next) < n {
+		s := sel.pick()
+		next = append(next, individual{genes: append([]float64(nil), s.genes...), fitness: s.fitness, scored: true})
+	}
+
+	for i := cfg.Elitism; i < n; i++ {
+		if rng.Float64() < cfg.MutationRate {
+			mutate(next[i].genes, p.Bounds, cfg.MutSigma, rng)
+			next[i].scored = false
+		}
+	}
+	return next
+}
+
+type selector struct {
+	pop    []individual
+	method SelectionMethod
+	rng    *rand.Rand
+	cum    []float64 // cumulative fitness for roulette / rank mass
+}
+
+// newSelector precomputes the selection distribution over the (sorted)
+// population.
+func newSelector(pop []individual, m SelectionMethod, rng *rand.Rand) *selector {
+	s := &selector{pop: pop, method: m, rng: rng}
+	switch m {
+	case Roulette:
+		s.cum = make([]float64, len(pop))
+		acc := 0.0
+		for i, ind := range pop {
+			acc += ind.fitness
+			s.cum[i] = acc
+		}
+	case Rank:
+		// pop is sorted best-first; rank mass n, n-1, ..., 1.
+		s.cum = make([]float64, len(pop))
+		acc := 0.0
+		for i := range pop {
+			acc += float64(len(pop) - i)
+			s.cum[i] = acc
+		}
+	}
+	return s
+}
+
+func (s *selector) pick() individual {
+	n := len(s.pop)
+	switch s.method {
+	case Tournament:
+		a := s.rng.Intn(n)
+		b := s.rng.Intn(n)
+		if s.pop[a].fitness >= s.pop[b].fitness {
+			return s.pop[a]
+		}
+		return s.pop[b]
+	default:
+		total := s.cum[n-1]
+		if total <= 0 {
+			return s.pop[s.rng.Intn(n)] // degenerate: uniform
+		}
+		r := s.rng.Float64() * total
+		i := sort.SearchFloat64s(s.cum, r)
+		if i >= n {
+			i = n - 1
+		}
+		return s.pop[i]
+	}
+}
+
+func crossover(a, b []float64, m CrossoverMethod, rng *rand.Rand) []float64 {
+	child := make([]float64, len(a))
+	switch m {
+	case SinglePoint:
+		cut := rng.Intn(len(a))
+		copy(child, a[:cut])
+		copy(child[cut:], b[cut:])
+	case Uniform:
+		for i := range child {
+			if rng.Float64() < 0.5 {
+				child[i] = a[i]
+			} else {
+				child[i] = b[i]
+			}
+		}
+	default: // Arithmetic
+		for i := range child {
+			w := rng.Float64()
+			child[i] = w*a[i] + (1-w)*b[i]
+		}
+	}
+	return child
+}
+
+func mutate(genes []float64, bounds []Interval, sigma float64, rng *rand.Rand) {
+	// Perturb one random gene with a Gaussian step; with 20% probability
+	// reset it uniformly instead, which preserves global exploration.
+	i := rng.Intn(len(genes))
+	b := bounds[i]
+	if rng.Float64() < 0.2 {
+		genes[i] = b.Lo + rng.Float64()*b.Width()
+		return
+	}
+	genes[i] = b.Clamp(genes[i] + rng.NormFloat64()*sigma*b.Width())
+}

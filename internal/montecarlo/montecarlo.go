@@ -1,0 +1,166 @@
+// Package montecarlo provides the small statistics engine behind the
+// tolerance/yield experiments: run a stochastic trial function many
+// times, accumulate outcome statistics, and estimate quantiles — plus a
+// diagnosis-yield convenience that ties it to the fault-trajectory
+// pipeline.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/diagnosis"
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/geometry"
+)
+
+// Stats summarizes the outcomes of a Monte-Carlo run.
+type Stats struct {
+	values []float64
+	sorted bool
+}
+
+// Run executes trials sequentially (the trial function owns any RNG; a
+// deterministic seed there makes the whole run reproducible) and
+// collects the outcomes.
+func Run(trials int, f func(trial int) (float64, error)) (*Stats, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("montecarlo: trials %d < 1", trials)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("montecarlo: nil trial function")
+	}
+	s := &Stats{values: make([]float64, 0, trials)}
+	for i := 0; i < trials; i++ {
+		v, err := f(i)
+		if err != nil {
+			return nil, fmt.Errorf("montecarlo: trial %d: %w", i, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("montecarlo: trial %d produced non-finite value", i)
+		}
+		s.values = append(s.values, v)
+	}
+	return s, nil
+}
+
+// N returns the number of collected outcomes.
+func (s *Stats) N() int { return len(s.values) }
+
+// Mean returns the sample mean.
+func (s *Stats) Mean() float64 {
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Std returns the sample standard deviation (n−1 denominator; 0 for a
+// single sample).
+func (s *Stats) Std() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.values {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n-1))
+}
+
+// Min returns the smallest outcome.
+func (s *Stats) Min() float64 {
+	mn := math.Inf(1)
+	for _, v := range s.values {
+		mn = math.Min(mn, v)
+	}
+	return mn
+}
+
+// Max returns the largest outcome.
+func (s *Stats) Max() float64 {
+	mx := math.Inf(-1)
+	for _, v := range s.values {
+		mx = math.Max(mx, v)
+	}
+	return mx
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation of
+// the order statistics.
+func (s *Stats) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := q * float64(len(s.values)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s.values) {
+		return s.values[len(s.values)-1]
+	}
+	return s.values[i] + frac*(s.values[i+1]-s.values[i])
+}
+
+// MeanCI95 returns the mean and its ±1.96·σ/√n half-width — the normal
+// 95% confidence interval, adequate for the repository's trial counts.
+func (s *Stats) MeanCI95() (mean, halfWidth float64) {
+	mean = s.Mean()
+	halfWidth = 1.96 * s.Std() / math.Sqrt(float64(len(s.values)))
+	return mean, halfWidth
+}
+
+// DiagnosisYield estimates the probability that a single hard fault is
+// correctly named when every other component carries manufacturing
+// tolerance: one trial perturbs the golden circuit (σ = tol.Sigma),
+// injects a fault with the given deviation on a cyclically chosen
+// component, and scores 1 for a correct top-1 diagnosis. The returned
+// Stats' Mean is the yield.
+func DiagnosisYield(d *dictionary.Dictionary, dg *diagnosis.Diagnoser, tol fault.Tolerance, deviation float64, trials int, rng *rand.Rand) (*Stats, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("montecarlo: nil rng")
+	}
+	if deviation == 0 {
+		return nil, fmt.Errorf("montecarlo: zero fault deviation")
+	}
+	comps := d.Universe().Components
+	omegas := dg.Map().Omegas
+	return Run(trials, func(i int) (float64, error) {
+		comp := comps[i%len(comps)]
+		board, err := tol.Perturb(d.Golden(), rng, comp)
+		if err != nil {
+			return 0, err
+		}
+		if err := board.ScaleValue(comp, 1+deviation); err != nil {
+			return 0, err
+		}
+		sig, err := d.CircuitSignature(board, omegas)
+		if err != nil {
+			return 0, err
+		}
+		res, err := dg.Diagnose(geometry.VecN(sig))
+		if err != nil {
+			return 0, err
+		}
+		if res.Best().Component == comp {
+			return 1, nil
+		}
+		return 0, nil
+	})
+}

@@ -1,0 +1,155 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuits"
+	"repro/internal/diagnosis"
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/trajectory"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(0, func(int) (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, err := Run(1, nil); err == nil {
+		t.Fatal("nil trial function accepted")
+	}
+	boom := errors.New("boom")
+	if _, err := Run(3, func(i int) (float64, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return 1, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := Run(1, func(int) (float64, error) { return math.NaN(), nil }); err == nil {
+		t.Fatal("NaN outcome accepted")
+	}
+}
+
+func TestStatsKnownValues(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	i := 0
+	s, err := Run(5, func(int) (float64, error) {
+		v := vals[i]
+		i++
+		return v, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	if math.Abs(s.Std()-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("Std = %g, want %g", s.Std(), math.Sqrt(2.5))
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Fatalf("median = %g", s.Quantile(0.5))
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if got := s.Quantile(0.25); got != 2 {
+		t.Fatalf("Q1 = %g, want 2", got)
+	}
+	mean, hw := s.MeanCI95()
+	if mean != 3 || hw <= 0 {
+		t.Fatalf("CI = %g ± %g", mean, hw)
+	}
+}
+
+func TestSingleSampleStd(t *testing.T) {
+	s, err := Run(1, func(int) (float64, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Std() != 0 {
+		t.Fatalf("single-sample Std = %g", s.Std())
+	}
+}
+
+// Property: quantiles are monotone in q and bracketed by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		s, err := Run(n, func(int) (float64, error) { return rng.NormFloat64(), nil })
+		if err != nil {
+			return false
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev-1e-12 || v < s.Min()-1e-12 || v > s.Max()+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiagnosisYield(t *testing.T) {
+	cut := circuits.NFLowpass7()
+	u, err := fault.PaperUniverse(cut.Passives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dictionary.New(cut.Circuit, cut.Source, cut.Output, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trajectory.Build(d, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := diagnosis.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	// Clean boards (σ = 0): yield must be 1.
+	s, err := DiagnosisYield(d, dg, fault.Tolerance{Sigma: 0}, 0.25, 14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean() != 1 {
+		t.Fatalf("clean yield = %g, want 1", s.Mean())
+	}
+	// Heavy tolerance: yield drops but stays a probability.
+	s2, err := DiagnosisYield(d, dg, fault.Tolerance{Sigma: 0.05}, 0.25, 14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Mean() < 0 || s2.Mean() > 1 {
+		t.Fatalf("yield = %g", s2.Mean())
+	}
+	if s2.Mean() > s.Mean() {
+		t.Fatalf("5%% tolerance yield %g exceeds clean yield %g", s2.Mean(), s.Mean())
+	}
+	// Validation.
+	if _, err := DiagnosisYield(d, dg, fault.Tolerance{}, 0.25, 5, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	if _, err := DiagnosisYield(d, dg, fault.Tolerance{}, 0, 5, rng); err == nil {
+		t.Fatal("zero deviation accepted")
+	}
+}

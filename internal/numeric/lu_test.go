@@ -1,0 +1,221 @@
+package numeric
+
+import (
+	"errors"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorNonSquare(t *testing.T) {
+	if _, err := Factor(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := Factor(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	a, _ := MatrixFromRows([][]complex128{{2, 1}, {1, 3}})
+	x, err := Solve(a, []complex128{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-1) > 1e-12 || cmplx.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveComplexSystem(t *testing.T) {
+	// (1+i)x = 2i → x = 2i/(1+i) = 1+i.
+	a, _ := MatrixFromRows([][]complex128{{1 + 1i}})
+	x, err := Solve(a, []complex128{2i})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-(1+1i)) > 1e-12 {
+		t.Fatalf("x = %v, want 1+i", x[0])
+	}
+}
+
+func TestSolveRhsLenMismatch(t *testing.T) {
+	f, err := Factor(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]complex128{1, 2}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+func TestDetTriangularAndPermutation(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{
+		{2, 1, 0},
+		{0, 3, 5},
+		{0, 0, 4},
+	})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); cmplx.Abs(d-24) > 1e-12 {
+		t.Fatalf("det = %v, want 24", d)
+	}
+	// Swapping two rows flips the sign.
+	b, _ := MatrixFromRows([][]complex128{
+		{0, 3, 5},
+		{2, 1, 0},
+		{0, 0, 4},
+	})
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fb.Det(); cmplx.Abs(d+24) > 1e-12 {
+		t.Fatalf("det = %v, want -24", d)
+	}
+}
+
+func TestDetSingularViaHelper(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{1, 1}, {1, 1}})
+	d, err := Det(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("det = %v, want 0", d)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomMatrix(rng, 6, 6)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := f.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := a.Mul(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prod.Equalish(Identity(6), 1e-9) {
+		t.Fatal("A * A^-1 != I")
+	}
+}
+
+func TestSolveMatrixMultipleRhs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 5, 5)
+	b := randomMatrix(rng, 5, 3)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.SolveMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, err := a.Mul(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ax.Equalish(b, 1e-9) {
+		t.Fatal("A*X != B")
+	}
+}
+
+func TestConditionEstimateOrdersOfMagnitude(t *testing.T) {
+	// Well-conditioned: identity has κ = 1.
+	f, _ := Factor(Identity(4))
+	if c := f.ConditionEstimate(); c < 0.5 || c > 10 {
+		t.Fatalf("cond(I) estimate = %g, want about 1", c)
+	}
+	// Badly scaled diagonal: κ = 1e12.
+	d := Identity(3)
+	d.Set(2, 2, 1e-12)
+	fd, _ := Factor(d)
+	if c := fd.ConditionEstimate(); c < 1e10 {
+		t.Fatalf("cond estimate = %g, want >= 1e10", c)
+	}
+}
+
+func TestSolveInto(t *testing.T) {
+	a, _ := MatrixFromRows([][]complex128{{4, 0}, {0, 2}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]complex128, 2)
+	if err := f.SolveInto(dst, []complex128{8, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 2 || dst[1] != 3 {
+		t.Fatalf("dst = %v, want [2 3]", dst)
+	}
+	if err := f.SolveInto(dst[:1], []complex128{8, 6}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("err = %v, want ErrDimension", err)
+	}
+}
+
+// Property: for random well-conditioned systems, the solve residual is tiny.
+func TestQuickSolveResidual(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomMatrix(r, n, n)
+		// Diagonal boost keeps the test focused on solver accuracy, not
+		// random near-singularity.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, complex(float64(n), float64(n)))
+		}
+		b := randomVector(r, n)
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res, err := Residual(a, x, b)
+		if err != nil {
+			return false
+		}
+		return res < 1e-9*(1+NormInfVec(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: det(A·B) = det(A)·det(B).
+func TestQuickDetMultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomMatrix(r, n, n)
+		b := randomMatrix(r, n, n)
+		ab, _ := a.Mul(b)
+		da, err1 := Det(a)
+		db, err2 := Det(b)
+		dab, err3 := Det(ab)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		scale := cmplx.Abs(da)*cmplx.Abs(db) + 1
+		return cmplx.Abs(dab-da*db) < 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package opamp provides a functional opamp macromodel in the spirit of
+// the FFM (functional fault model) of Calvano et al. (JETTA 2001), the
+// paper's reference [7]: an opamp is characterized by a small set of
+// functional parameters — DC open-loop gain, gain-bandwidth product,
+// input resistance, output resistance — and an active-device fault is a
+// percentage deviation of one of those parameters.
+//
+// The macromodel expands into primitive MNA elements (resistors, one
+// capacitor, one VCVS), so the analysis package needs no special cases.
+package opamp
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// Params are the functional parameters of the single-pole macromodel.
+type Params struct {
+	// A0 is the DC open-loop voltage gain (dimensionless, e.g. 2e5).
+	A0 float64
+	// GBW is the gain-bandwidth product in rad/s (e.g. 2π·1MHz).
+	GBW float64
+	// Rin is the differential input resistance in ohms.
+	Rin float64
+	// Rout is the output resistance in ohms.
+	Rout float64
+}
+
+// Typical741 returns parameters close to the classic µA741:
+// A0 = 2·10⁵, GBW = 2π·1 MHz, Rin = 2 MΩ, Rout = 75 Ω.
+func Typical741() Params {
+	return Params{A0: 2e5, GBW: 6.2832e6, Rin: 2e6, Rout: 75}
+}
+
+// Ideal returns parameters so extreme the macromodel behaves nearly
+// ideally over the audio band; useful to cross-check macromodel circuits
+// against their IdealOpAmp versions.
+func Ideal() Params {
+	return Params{A0: 1e9, GBW: 1e12, Rin: 1e12, Rout: 1e-3}
+}
+
+// Validate reports parameter sanity errors.
+func (p Params) Validate() error {
+	if p.A0 <= 0 {
+		return fmt.Errorf("opamp: A0 must be positive, got %g", p.A0)
+	}
+	if p.GBW <= 0 {
+		return fmt.Errorf("opamp: GBW must be positive, got %g", p.GBW)
+	}
+	if p.Rin <= 0 {
+		return fmt.Errorf("opamp: Rin must be positive, got %g", p.Rin)
+	}
+	if p.Rout <= 0 {
+		return fmt.Errorf("opamp: Rout must be positive, got %g", p.Rout)
+	}
+	return nil
+}
+
+// Pole returns the dominant-pole frequency ω_p = GBW / A0 in rad/s.
+func (p Params) Pole() float64 { return p.GBW / p.A0 }
+
+// FaultParam identifies one macromodel parameter for fault injection.
+type FaultParam string
+
+// Macromodel parameter names usable as fault targets.
+const (
+	ParamA0   FaultParam = "A0"
+	ParamGBW  FaultParam = "GBW"
+	ParamRin  FaultParam = "Rin"
+	ParamRout FaultParam = "Rout"
+)
+
+// AllParams lists every macromodel fault target.
+func AllParams() []FaultParam {
+	return []FaultParam{ParamA0, ParamGBW, ParamRin, ParamRout}
+}
+
+// Scale returns a copy of p with the named parameter multiplied by k.
+func (p Params) Scale(param FaultParam, k float64) (Params, error) {
+	out := p
+	switch param {
+	case ParamA0:
+		out.A0 *= k
+	case ParamGBW:
+		out.GBW *= k
+	case ParamRin:
+		out.Rin *= k
+	case ParamRout:
+		out.Rout *= k
+	default:
+		return Params{}, fmt.Errorf("opamp: unknown parameter %q", param)
+	}
+	return out, out.Validate()
+}
+
+// Expand adds the macromodel's primitive elements to circuit c for an
+// opamp named name with the given input and output nodes. The expansion
+// uses three internal nodes derived from the name.
+//
+// Topology:
+//
+//	inP —[Rin]— inN                      (differential input resistance)
+//	VCVS A0·(V(inP)-V(inN)) → node g     (ideal gain stage)
+//	g —[Rp]—(p)—[Cp to ground]           (dominant pole ω_p = GBW/A0)
+//	p —[Rout]— out                       (output resistance)
+//
+// The pole RC uses Rp = 1 kΩ and Cp = 1/(Rp·ω_p).
+func Expand(c *circuit.Circuit, name, inP, inN, out string, p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	gNode := name + ".g"
+	pNode := name + ".p"
+	const rp = 1000.0
+	cp := 1 / (rp * p.Pole())
+	els := []circuit.Element{
+		circuit.NewResistor(name+".Rin", inP, inN, p.Rin),
+		circuit.NewVCVS(name+".E", gNode, "0", inP, inN, p.A0),
+		circuit.NewResistor(name+".Rp", gNode, pNode, rp),
+		circuit.NewCapacitor(name+".Cp", pNode, "0", cp),
+		circuit.NewResistor(name+".Rout", pNode, out, p.Rout),
+	}
+	for _, e := range els {
+		if err := c.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ElementNames returns the names of the primitive elements Expand creates
+// for an opamp called name, useful for inspecting or faulting them
+// directly.
+func ElementNames(name string) []string {
+	return []string{name + ".Rin", name + ".E", name + ".Rp", name + ".Cp", name + ".Rout"}
+}
+
+// InjectFault rebuilds the macromodel parameter deviation as direct
+// element-value changes on an expanded macromodel inside circuit c.
+// A0 scales the VCVS gain; GBW scales the pole capacitor inversely;
+// Rin and Rout scale their resistors.
+func InjectFault(c *circuit.Circuit, name string, param FaultParam, k float64) error {
+	if k <= 0 {
+		return fmt.Errorf("opamp: fault scale must be positive, got %g", k)
+	}
+	switch param {
+	case ParamA0:
+		// A0 appears in the gain stage and in the pole (ω_p = GBW/A0):
+		// scaling A0 by k scales the pole capacitor by k as well.
+		if err := c.ScaleValue(name+".E", k); err != nil {
+			return err
+		}
+		return c.ScaleValue(name+".Cp", k)
+	case ParamGBW:
+		// ω_p ∝ GBW → Cp ∝ 1/GBW.
+		return c.ScaleValue(name+".Cp", 1/k)
+	case ParamRin:
+		return c.ScaleValue(name+".Rin", k)
+	case ParamRout:
+		return c.ScaleValue(name+".Rout", k)
+	default:
+		return fmt.Errorf("opamp: unknown parameter %q", param)
+	}
+}

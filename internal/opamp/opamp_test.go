@@ -1,0 +1,200 @@
+package opamp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := Typical741().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		{A0: 0, GBW: 1, Rin: 1, Rout: 1},
+		{A0: 1, GBW: -1, Rin: 1, Rout: 1},
+		{A0: 1, GBW: 1, Rin: 0, Rout: 1},
+		{A0: 1, GBW: 1, Rin: 1, Rout: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestPole(t *testing.T) {
+	p := Typical741()
+	want := p.GBW / p.A0
+	if got := p.Pole(); got != want {
+		t.Fatalf("Pole = %g, want %g", got, want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := Typical741()
+	up, err := p.Scale(ParamA0, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.A0 != p.A0*1.4 || up.GBW != p.GBW {
+		t.Fatalf("Scale(A0) = %+v", up)
+	}
+	if _, err := p.Scale("bogus", 1.1); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if _, err := p.Scale(ParamRin, -1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+	if len(AllParams()) != 4 {
+		t.Fatal("AllParams should list 4 parameters")
+	}
+}
+
+// buildInverting returns an inverting amplifier (gain -rf/rin) using the
+// macromodel.
+func buildInverting(p Params, rin, rf float64) *circuit.Circuit {
+	c := circuit.New("inv-macro")
+	c.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	c.MustAdd(circuit.NewResistor("Ri", "in", "sum", rin))
+	c.MustAdd(circuit.NewResistor("Rf", "sum", "out", rf))
+	if err := Expand(c, "U1", "0", "sum", "out", p); err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestMacromodelInvertingAmp(t *testing.T) {
+	c := buildInverting(Typical741(), 1000, 10000)
+	ac, err := analysis.NewAC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low frequency: loop gain huge, gain ≈ -10.
+	h, err := ac.Transfer("V1", "out", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h+10) > 0.01 {
+		t.Fatalf("low-freq gain = %v, want about -10", h)
+	}
+	// At the closed-loop corner (GBW / noise gain = 6.28e6/11 ≈ 571k
+	// rad/s) the gain magnitude drops to ~0.707 of 10.
+	corner := Typical741().GBW / 11
+	hc, err := ac.Transfer("V1", "out", corner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := cmplx.Abs(hc) / 10
+	if math.Abs(ratio-math.Sqrt(0.5)) > 0.05 {
+		t.Fatalf("corner ratio = %g, want about 0.707", ratio)
+	}
+	// Far above GBW the gain collapses.
+	hh, err := ac.Transfer("V1", "out", Typical741().GBW*100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(hh) > 0.2 {
+		t.Fatalf("super-GBW gain = %v, want tiny", cmplx.Abs(hh))
+	}
+}
+
+func TestMacromodelMatchesIdealWhenIdeal(t *testing.T) {
+	macro := buildInverting(Ideal(), 1000, 4000)
+	acM, err := analysis.NewAC(macro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := circuit.New("inv-ideal")
+	ideal.MustAdd(circuit.NewVSource("V1", "in", "0", 1))
+	ideal.MustAdd(circuit.NewResistor("Ri", "in", "sum", 1000))
+	ideal.MustAdd(circuit.NewResistor("Rf", "sum", "out", 4000))
+	ideal.MustAdd(circuit.NewIdealOpAmp("U1", "0", "sum", "out"))
+	acI, err := analysis.NewAC(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{1, 100, 10000} {
+		hm, err := acM.Transfer("V1", "out", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := acI.Transfer("V1", "out", w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(hm-hi) > 1e-3 {
+			t.Fatalf("ω=%g: macro %v vs ideal %v", w, hm, hi)
+		}
+	}
+}
+
+func TestExpandElementNamesAndDuplicate(t *testing.T) {
+	c := circuit.New("t")
+	if err := Expand(c, "U1", "a", "b", "c", Typical741()); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ElementNames("U1") {
+		if _, ok := c.Element(n); !ok {
+			t.Errorf("missing expanded element %q", n)
+		}
+	}
+	// Second expansion under the same name must fail (duplicate names).
+	if err := Expand(c, "U1", "a", "b", "c", Typical741()); err == nil {
+		t.Fatal("duplicate expansion accepted")
+	}
+	// Invalid parameters rejected before any mutation.
+	if err := Expand(c, "U2", "a", "b", "c", Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestInjectFault(t *testing.T) {
+	base := buildInverting(Typical741(), 1000, 10000)
+
+	// GBW down 40% shifts the closed-loop corner down by 40%.
+	faulty := base.Clone()
+	if err := InjectFault(faulty, "U1", ParamGBW, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	acB, _ := analysis.NewAC(base)
+	acF, _ := analysis.NewAC(faulty)
+	w := Typical741().GBW / 11 // nominal corner
+	hb, _ := acB.Transfer("V1", "out", w)
+	hf, _ := acF.Transfer("V1", "out", w)
+	if !(cmplx.Abs(hf) < cmplx.Abs(hb)) {
+		t.Fatalf("GBW fault did not reduce corner gain: %g vs %g", cmplx.Abs(hf), cmplx.Abs(hb))
+	}
+
+	// A0 fault changes DC loop precision only slightly in closed loop —
+	// check it is applied to the VCVS element value.
+	f2 := base.Clone()
+	if err := InjectFault(f2, "U1", ParamA0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	v, err := f2.Value("U1.E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Typical741().A0*0.5 {
+		t.Fatalf("A0 fault value = %g", v)
+	}
+
+	// Rout / Rin faults scale their resistors.
+	f3 := base.Clone()
+	if err := InjectFault(f3, "U1", ParamRout, 2); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := f3.Value("U1.Rout"); v != Typical741().Rout*2 {
+		t.Fatalf("Rout fault value = %g", v)
+	}
+	if err := InjectFault(base.Clone(), "U1", "bogus", 1.1); err == nil {
+		t.Fatal("unknown param accepted")
+	}
+	if err := InjectFault(base.Clone(), "U1", ParamRin, 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}

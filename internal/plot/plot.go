@@ -1,0 +1,190 @@
+// Package plot renders simple ASCII charts so the ftbench tool can show
+// the paper's figures — response families (Fig. 1) and trajectory planes
+// (Fig. 3) — directly in a terminal, with no graphics dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // 0 → auto-assigned
+}
+
+// Chart accumulates series and renders them on a character grid.
+type Chart struct {
+	title      string
+	width      int
+	height     int
+	series     []Series
+	logX       bool
+	xLab, yLab string
+}
+
+// New returns a chart of the given interior size (columns × rows).
+func New(title string, width, height int) *Chart {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	return &Chart{title: title, width: width, height: height}
+}
+
+// LogX switches the x axis to log10 scale (all x must be positive).
+func (c *Chart) LogX() *Chart { c.logX = true; return c }
+
+// Labels sets the axis labels.
+func (c *Chart) Labels(x, y string) *Chart { c.xLab, c.yLab = x, y; return c }
+
+// Add appends a series. Points with non-finite coordinates are dropped
+// at render time.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("plot: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("plot: series %q is empty", s.Name)
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+var autoMarkers = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&', '~', '='}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	if len(c.series) == 0 {
+		return c.title + "\n(no data)\n"
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if c.logX {
+			return math.Log10(x)
+		}
+		return x
+	}
+	usable := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+			return false
+		}
+		if c.logX && x <= 0 {
+			return false
+		}
+		return true
+	}
+	for _, s := range c.series {
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			v := tx(s.X[i])
+			xmin = math.Min(xmin, v)
+			xmax = math.Max(xmax, v)
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmin > xmax || ymin > ymax {
+		return c.title + "\n(no finite data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, c.height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", c.width))
+	}
+	// Origin axes when in range.
+	if ymin < 0 && ymax > 0 {
+		r := c.rowOf(0, ymin, ymax)
+		for j := 0; j < c.width; j++ {
+			grid[r][j] = '·'
+		}
+	}
+	if xmin < 0 && xmax > 0 && !c.logX {
+		col := c.colOf(0, xmin, xmax)
+		for i := 0; i < c.height; i++ {
+			if grid[i][col] == ' ' {
+				grid[i][col] = '·'
+			}
+		}
+	}
+
+	for si, s := range c.series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = autoMarkers[si%len(autoMarkers)]
+		}
+		for i := range s.X {
+			if !usable(s.X[i], s.Y[i]) {
+				continue
+			}
+			col := c.colOf(tx(s.X[i]), xmin, xmax)
+			row := c.rowOf(s.Y[i], ymin, ymax)
+			grid[row][col] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	for i, row := range grid {
+		edge := "|"
+		if i == 0 || i == c.height-1 {
+			edge = "+"
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", edge, string(row), edge)
+	}
+	// X range footer.
+	lo, hi := xmin, xmax
+	unit := ""
+	if c.logX {
+		lo, hi = math.Pow(10, xmin), math.Pow(10, xmax)
+		unit = " (log)"
+	}
+	fmt.Fprintf(&b, " x: %.4g .. %.4g%s %s | y: %.4g .. %.4g %s\n", lo, hi, unit, c.xLab, ymin, ymax, c.yLab)
+	// Legend.
+	for si, s := range c.series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = autoMarkers[si%len(autoMarkers)]
+		}
+		fmt.Fprintf(&b, "   %c %s\n", marker, s.Name)
+	}
+	return b.String()
+}
+
+func (c *Chart) colOf(x, xmin, xmax float64) int {
+	col := int(math.Round((x - xmin) / (xmax - xmin) * float64(c.width-1)))
+	if col < 0 {
+		col = 0
+	}
+	if col >= c.width {
+		col = c.width - 1
+	}
+	return col
+}
+
+func (c *Chart) rowOf(y, ymin, ymax float64) int {
+	row := int(math.Round((ymax - y) / (ymax - ymin) * float64(c.height-1)))
+	if row < 0 {
+		row = 0
+	}
+	if row >= c.height {
+		row = c.height - 1
+	}
+	return row
+}

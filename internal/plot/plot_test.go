@@ -1,0 +1,122 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEmptyChart(t *testing.T) {
+	c := New("t", 40, 10)
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart rendered: %q", out)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	c := New("t", 40, 10)
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	if err := c.Add(Series{Name: "empty"}); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	c := New("line", 40, 10)
+	if err := c.Add(Series{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}, Marker: 'A'}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "line") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "A up") {
+		t.Fatal("missing legend")
+	}
+	if strings.Count(out, "A") < 3 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// Increasing series: the first A should be below the last A.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if strings.ContainsRune(l, 'A') && !strings.Contains(l, "A up") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow >= lastRow {
+		t.Fatalf("no vertical spread: rows %d..%d\n%s", firstRow, lastRow, out)
+	}
+}
+
+func TestLogXAndNonFiniteDropped(t *testing.T) {
+	c := New("log", 40, 8).LogX().Labels("rad/s", "|H|")
+	err := c.Add(Series{
+		Name: "resp",
+		X:    []float64{0.01, 0.1, 1, 10, 100, -5, math.NaN()},
+		Y:    []float64{1, 1, 0.7, 0.1, 0.01, 3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "(log)") || !strings.Contains(out, "rad/s") {
+		t.Fatalf("log footer missing:\n%s", out)
+	}
+}
+
+func TestOriginAxesDrawn(t *testing.T) {
+	c := New("axes", 30, 9)
+	if err := c.Add(Series{Name: "s", X: []float64{-1, 0, 1}, Y: []float64{-1, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.ContainsRune(out, '·') {
+		t.Fatalf("origin axes missing:\n%s", out)
+	}
+}
+
+func TestMinimumSizesEnforced(t *testing.T) {
+	c := New("tiny", 1, 1)
+	if err := c.Add(Series{Name: "p", X: []float64{0, 5}, Y: []float64{0, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if len(out) == 0 {
+		t.Fatal("no render")
+	}
+}
+
+func TestConstantSeries(t *testing.T) {
+	c := New("const", 30, 6)
+	if err := c.Add(Series{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}); err != nil {
+		t.Fatal(err)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("flat series unrendered:\n%s", out)
+	}
+}
+
+func TestAutoMarkersDiffer(t *testing.T) {
+	c := New("multi", 40, 8)
+	for i, name := range []string{"a", "b", "c"} {
+		x := []float64{0, 1, 2}
+		y := []float64{float64(i), float64(i), float64(i)}
+		if err := c.Add(Series{Name: name, X: x, Y: y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := c.Render()
+	for _, m := range []string{"* a", "o b", "+ c"} {
+		if !strings.Contains(out, m) {
+			t.Fatalf("legend %q missing:\n%s", m, out)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/geometry"
+)
+
+// BuildFromExport reconstructs a trajectory map from a serialized
+// dictionary snapshot alone — no circuit, no simulator. This is the
+// deployment scenario: the test program ships the JSON grid and the
+// tester interpolates it at the chosen test frequencies.
+//
+// Responses are interpolated linearly in log ω between grid points; the
+// requested frequencies must lie inside the grid's range.
+func BuildFromExport(ex *dictionary.Export, omegas []float64) (*Map, error) {
+	if ex == nil || len(ex.Entries) == 0 {
+		return nil, fmt.Errorf("trajectory: empty export")
+	}
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("trajectory: empty test vector")
+	}
+	if len(ex.Omegas) < 2 {
+		return nil, fmt.Errorf("trajectory: export grid needs at least 2 frequencies")
+	}
+	for i := 1; i < len(ex.Omegas); i++ {
+		if ex.Omegas[i] <= ex.Omegas[i-1] {
+			return nil, fmt.Errorf("trajectory: export grid not strictly ascending at %d", i)
+		}
+	}
+	lo, hi := ex.Omegas[0], ex.Omegas[len(ex.Omegas)-1]
+	for _, w := range omegas {
+		if w < lo || w > hi {
+			return nil, fmt.Errorf("trajectory: test frequency %g outside export grid [%g, %g]", w, lo, hi)
+		}
+	}
+
+	// Index entries: golden plus per-component deviation rows.
+	var goldenMags []float64
+	type row struct {
+		dev  float64
+		mags []float64
+	}
+	byComp := make(map[string][]row)
+	var compOrder []string
+	for _, ent := range ex.Entries {
+		if ent.ID == "golden" {
+			goldenMags = ent.Mags
+			continue
+		}
+		f, err := fault.ParseID(ent.ID)
+		if err != nil {
+			return nil, fmt.Errorf("trajectory: export entry %q: %w", ent.ID, err)
+		}
+		if _, seen := byComp[f.Component]; !seen {
+			compOrder = append(compOrder, f.Component)
+		}
+		byComp[f.Component] = append(byComp[f.Component], row{dev: f.Deviation, mags: ent.Mags})
+	}
+	if goldenMags == nil {
+		return nil, fmt.Errorf("trajectory: export has no golden entry")
+	}
+
+	interp := func(mags []float64, w float64) float64 {
+		// Locate the bracketing grid interval.
+		i := sort.SearchFloat64s(ex.Omegas, w)
+		if i == 0 {
+			return mags[0]
+		}
+		if i >= len(ex.Omegas) {
+			return mags[len(mags)-1]
+		}
+		w0, w1 := ex.Omegas[i-1], ex.Omegas[i]
+		t := (math.Log(w) - math.Log(w0)) / (math.Log(w1) - math.Log(w0))
+		return mags[i-1] + t*(mags[i]-mags[i-1])
+	}
+
+	m := &Map{Omegas: append([]float64(nil), omegas...)}
+	for _, comp := range compOrder {
+		rows := byComp[comp]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].dev < rows[j].dev })
+		tr := &Trajectory{Component: comp}
+		origin := make(geometry.VecN, len(omegas))
+		inserted := false
+		appendPoint := func(dev float64, pt geometry.VecN) {
+			tr.Deviations = append(tr.Deviations, dev)
+			tr.Points = append(tr.Points, pt)
+		}
+		for _, r := range rows {
+			if !inserted && r.dev > 0 {
+				appendPoint(0, origin)
+				inserted = true
+			}
+			pt := make(geometry.VecN, len(omegas))
+			for k, w := range omegas {
+				pt[k] = interp(r.mags, w) - interp(goldenMags, w)
+			}
+			appendPoint(r.dev, pt)
+		}
+		if !inserted {
+			appendPoint(0, origin)
+		}
+		m.Trajectories = append(m.Trajectories, tr)
+	}
+	return m, nil
+}
+
+// GoldenFromExport interpolates the golden magnitude at the given
+// frequencies from a snapshot — what a tester subtracts from raw
+// measurements to form the observed point.
+func GoldenFromExport(ex *dictionary.Export, omegas []float64) ([]float64, error) {
+	if ex == nil || len(ex.Entries) == 0 {
+		return nil, fmt.Errorf("trajectory: empty export")
+	}
+	var golden []float64
+	for _, ent := range ex.Entries {
+		if ent.ID == "golden" {
+			golden = ent.Mags
+			break
+		}
+	}
+	if golden == nil {
+		return nil, fmt.Errorf("trajectory: export has no golden entry")
+	}
+	if len(ex.Omegas) < 2 {
+		return nil, fmt.Errorf("trajectory: export grid needs at least 2 frequencies")
+	}
+	lo, hi := ex.Omegas[0], ex.Omegas[len(ex.Omegas)-1]
+	out := make([]float64, len(omegas))
+	for k, w := range omegas {
+		if w < lo || w > hi {
+			return nil, fmt.Errorf("trajectory: frequency %g outside export grid [%g, %g]", w, lo, hi)
+		}
+		i := sort.SearchFloat64s(ex.Omegas, w)
+		if i == 0 {
+			out[k] = golden[0]
+			continue
+		}
+		w0, w1 := ex.Omegas[i-1], ex.Omegas[i]
+		t := (math.Log(w) - math.Log(w0)) / (math.Log(w1) - math.Log(w0))
+		out[k] = golden[i-1] + t*(golden[i]-golden[i-1])
+	}
+	return out, nil
+}

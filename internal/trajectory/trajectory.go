@@ -1,0 +1,308 @@
+// Package trajectory implements the paper's central construct: the
+// component parametric fault trajectory. Sampling every faulty circuit's
+// magnitude response at the k test frequencies maps each fault to a point
+// in R^k (golden response at the origin); connecting one component's
+// points in deviation order yields that component's trajectory. The
+// number of pairwise trajectory intersections I is the GA's fitness
+// input (fitness = 1/(1+I)), and the trajectories themselves are the
+// reference map the diagnosis stage projects unknown faults onto.
+package trajectory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dictionary"
+	"repro/internal/geometry"
+)
+
+// Trajectory is one component's fault trajectory in R^k: the polyline of
+// signature points ordered from the most negative deviation, through the
+// golden origin, to the most positive deviation.
+type Trajectory struct {
+	// Component is the circuit element this trajectory belongs to.
+	Component string
+	// Deviations holds the fractional deviation of each point, aligned
+	// with Points; the golden origin appears as deviation 0.
+	Deviations []float64
+	// Points holds the signature points, aligned with Deviations.
+	Points geometry.PolylineN
+}
+
+// Dim returns the test-vector dimension k.
+func (t *Trajectory) Dim() int { return t.Points.Dim() }
+
+// Planar returns the 2D polyline for k = 2 trajectories.
+func (t *Trajectory) Planar() (geometry.Polyline, error) {
+	if t.Dim() != 2 {
+		return nil, fmt.Errorf("trajectory: %s has dimension %d, not 2", t.Component, t.Dim())
+	}
+	return t.Points.Project2D(0, 1), nil
+}
+
+// DeviationAt linearly interpolates the deviation corresponding to the
+// point at segment index i, local parameter tloc (clamped to [0,1]) —
+// how the diagnosis stage turns a projection foot into a deviation
+// estimate.
+func (t *Trajectory) DeviationAt(i int, tloc float64) float64 {
+	if len(t.Deviations) < 2 {
+		if len(t.Deviations) == 1 {
+			return t.Deviations[0]
+		}
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i > len(t.Deviations)-2 {
+		i = len(t.Deviations) - 2
+	}
+	tloc = math.Max(0, math.Min(1, tloc))
+	return t.Deviations[i] + tloc*(t.Deviations[i+1]-t.Deviations[i])
+}
+
+// Map is the full set of component trajectories for one test vector.
+type Map struct {
+	// Omegas is the test vector (angular frequencies) the map was built
+	// with.
+	Omegas []float64
+	// Trajectories holds one entry per component, in universe order.
+	Trajectories []*Trajectory
+}
+
+// Build constructs the trajectory map for the given test vector from a
+// fault dictionary. Each component's trajectory runs from its most
+// negative deviation through the origin (golden) to its most positive.
+func Build(d *dictionary.Dictionary, omegas []float64) (*Map, error) {
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("trajectory: empty test vector")
+	}
+	for _, w := range omegas {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("trajectory: invalid test frequency %g", w)
+		}
+	}
+	u := d.Universe()
+	m := &Map{Omegas: append([]float64(nil), omegas...)}
+	for _, comp := range u.Components {
+		faults, err := u.ComponentFaults(comp)
+		if err != nil {
+			return nil, err
+		}
+		tr := &Trajectory{Component: comp}
+		// Faults are sorted ascending by deviation; insert the golden
+		// origin between the last negative and first positive.
+		inserted := false
+		appendPoint := func(dev float64, pt geometry.VecN) {
+			tr.Deviations = append(tr.Deviations, dev)
+			tr.Points = append(tr.Points, pt)
+		}
+		origin := make(geometry.VecN, len(omegas))
+		for _, f := range faults {
+			if !inserted && f.Deviation > 0 {
+				appendPoint(0, origin)
+				inserted = true
+			}
+			sig, err := d.Signature(f, omegas)
+			if err != nil {
+				return nil, err
+			}
+			appendPoint(f.Deviation, geometry.VecN(sig))
+		}
+		if !inserted {
+			appendPoint(0, origin)
+		}
+		m.Trajectories = append(m.Trajectories, tr)
+	}
+	return m, nil
+}
+
+// ByComponent returns the trajectory of a named component.
+func (m *Map) ByComponent(comp string) (*Trajectory, error) {
+	for _, t := range m.Trajectories {
+		if t.Component == comp {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("trajectory: no trajectory for component %q", comp)
+}
+
+// Dim returns the test-vector dimension.
+func (m *Map) Dim() int { return len(m.Omegas) }
+
+// originTolerance derives the tolerance for excluding origin-touching
+// intersections: a small fraction of the largest trajectory extent, so
+// it scales with the map.
+func (m *Map) originTolerance() float64 {
+	var maxNorm float64
+	for _, t := range m.Trajectories {
+		for _, p := range t.Points {
+			if n := geometry.NormN(p); n > maxNorm {
+				maxNorm = n
+			}
+		}
+	}
+	if maxNorm == 0 {
+		return geometry.Eps
+	}
+	return 1e-6 * maxNorm
+}
+
+// Intersections counts the paper's I: the number of intersection points
+// between distinct component trajectories, excluding the structural
+// meeting at the shared golden origin. For k = 2 this is the planar
+// count; for other k the count is taken over every coordinate-plane
+// projection.
+func (m *Map) Intersections() int {
+	tol := m.originTolerance()
+	total := 0
+	for i := 0; i < len(m.Trajectories); i++ {
+		for j := i + 1; j < len(m.Trajectories); j++ {
+			total += pairIntersections(m.Trajectories[i], m.Trajectories[j], m.Dim(), tol)
+		}
+	}
+	return total
+}
+
+// PairIntersections counts off-origin intersections between the named
+// pair of components.
+func (m *Map) PairIntersections(a, b string) (int, error) {
+	ta, err := m.ByComponent(a)
+	if err != nil {
+		return 0, err
+	}
+	tb, err := m.ByComponent(b)
+	if err != nil {
+		return 0, err
+	}
+	return pairIntersections(ta, tb, m.Dim(), m.originTolerance()), nil
+}
+
+func pairIntersections(a, b *Trajectory, dim int, tol float64) int {
+	if dim == 2 {
+		pa := a.Points.Project2D(0, 1)
+		pb := b.Points.Project2D(0, 1)
+		return geometry.SharedOriginIntersections(pa, pb, geometry.Point{}, tol)
+	}
+	// k != 2: sum the planar counts over coordinate-plane projections,
+	// excluding each plane's origin.
+	total := 0
+	for i := 0; i < dim; i++ {
+		for j := i + 1; j < dim; j++ {
+			pa := a.Points.Project2D(i, j)
+			pb := b.Points.Project2D(i, j)
+			total += geometry.SharedOriginIntersections(pa, pb, geometry.Point{}, tol)
+		}
+	}
+	if dim == 1 {
+		// Intervals on a line: overlap length beyond tol counts as one.
+		pa := project1(a)
+		pb := project1(b)
+		if overlap1(pa, pb) > tol {
+			total++
+		}
+	}
+	return total
+}
+
+func project1(t *Trajectory) [2]float64 {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, p := range t.Points {
+		mn = math.Min(mn, p[0])
+		mx = math.Max(mx, p[0])
+	}
+	return [2]float64{mn, mx}
+}
+
+func overlap1(a, b [2]float64) float64 {
+	lo := math.Max(a[0], b[0])
+	hi := math.Min(a[1], b[1])
+	return hi - lo
+}
+
+// MinSeparation returns the smallest distance between any two distinct
+// trajectories measured away from the origin: for each vertex of one
+// trajectory at least minDevNorm from the origin, the distance to the
+// other trajectory. It quantifies how confusable the best-separated map
+// still is (larger is better).
+func (m *Map) MinSeparation() float64 {
+	best := math.Inf(1)
+	tol := m.originTolerance()
+	for i := 0; i < len(m.Trajectories); i++ {
+		for j := 0; j < len(m.Trajectories); j++ {
+			if i == j {
+				continue
+			}
+			a, b := m.Trajectories[i], m.Trajectories[j]
+			for _, p := range a.Points {
+				if geometry.NormN(p) <= tol {
+					continue // the shared origin is structurally close
+				}
+				if d := b.Points.DistToN(p); d < best {
+					best = d
+				}
+			}
+		}
+	}
+	return best
+}
+
+// OverlapScore sums, over all trajectory pairs, the approximate length of
+// shared pathway (portions within tol of each other) — the "common
+// pathways" the paper's fitness criterion also penalizes. 2D only.
+func (m *Map) OverlapScore(tol float64, samplesPerSegment int) (float64, error) {
+	if m.Dim() != 2 {
+		return 0, fmt.Errorf("trajectory: overlap score requires k=2, have k=%d", m.Dim())
+	}
+	var total float64
+	for i := 0; i < len(m.Trajectories); i++ {
+		for j := i + 1; j < len(m.Trajectories); j++ {
+			pa := m.Trajectories[i].Points.Project2D(0, 1)
+			pb := m.Trajectories[j].Points.Project2D(0, 1)
+			total += geometry.OverlapLength(pa, pb, tol, samplesPerSegment)
+		}
+	}
+	return total, nil
+}
+
+// Extent returns the maximum distance of any trajectory point from the
+// origin — the overall scale of the map, used to normalize distances.
+func (m *Map) Extent() float64 {
+	var mx float64
+	for _, t := range m.Trajectories {
+		for _, p := range t.Points {
+			if n := geometry.NormN(p); n > mx {
+				mx = n
+			}
+		}
+	}
+	return mx
+}
+
+// Describe renders a table of trajectory points for reporting (Figure 3
+// style): component, deviation, coordinates.
+func (m *Map) Describe() string {
+	out := fmt.Sprintf("trajectory map at ω = %v (I = %d)\n", m.Omegas, m.Intersections())
+	comps := make([]string, 0, len(m.Trajectories))
+	for _, t := range m.Trajectories {
+		comps = append(comps, t.Component)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		t, _ := m.ByComponent(c)
+		out += fmt.Sprintf("  %s:", c)
+		for i, p := range t.Points {
+			out += fmt.Sprintf(" [%+.0f%%](", t.Deviations[i]*100)
+			for k, v := range p {
+				if k > 0 {
+					out += ","
+				}
+				out += fmt.Sprintf("%.4g", v)
+			}
+			out += ")"
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package repro is the public API of the fault-trajectory analog fault
+// diagnosis library, a reproduction of "Fault-Trajectory Approach for
+// Fault Diagnosis on Analog Circuits" (Savioli, Szendrodi, Calvano,
+// Mesquita; DATE 2005).
+//
+// The workflow mirrors the paper:
+//
+//  1. Pick (or parse) a circuit under test — see Benchmarks and
+//     ParseNetlist.
+//  2. Build a Pipeline: it runs the fault simulation and produces the
+//     fault dictionary over a parametric fault universe
+//     (±10%…±40% deviations by default, per the paper).
+//  3. Optimize a test vector — a small set of stimulus frequencies —
+//     with the paper's GA (fitness 1/(1+I), I = fault-trajectory
+//     intersections).
+//  4. Diagnose observed responses: an unknown fault maps to a point in
+//     the trajectory plane and is assigned to the nearest trajectory by
+//     perpendicular projection.
+//
+// Minimal use:
+//
+//	cut := repro.PaperCUT()
+//	p, err := repro.NewPipeline(cut, nil)
+//	tv, err := p.Optimize(repro.PaperOptimizeConfig(cut.Omega0))
+//	diag, err := p.Diagnoser(tv.Omegas)
+//	res, err := diag.DiagnoseFault(p.Dictionary(), repro.Fault{Component: "R3", Deviation: 0.25})
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/circuit"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/diagnosis"
+	"repro/internal/dictionary"
+	"repro/internal/fault"
+	"repro/internal/ga"
+	"repro/internal/geometry"
+	"repro/internal/netlist"
+	"repro/internal/numeric"
+	"repro/internal/opamp"
+	"repro/internal/trajectory"
+)
+
+// Re-exported types: the library's user-facing vocabulary.
+type (
+	// CUT is a circuit under test with measurement metadata.
+	CUT = circuits.CUT
+	// Circuit is a lumped linear analog network.
+	Circuit = circuit.Circuit
+	// Fault is a single parametric deviation of one component.
+	Fault = fault.Fault
+	// Universe is the set of faults the dictionary covers.
+	Universe = fault.Universe
+	// TestVector is an optimized set of test frequencies.
+	TestVector = core.TestVector
+	// OptimizeConfig drives GA test-vector optimization.
+	OptimizeConfig = core.Config
+	// GAConfig holds the genetic-algorithm hyperparameters.
+	GAConfig = ga.Config
+	// Diagnoser classifies observed response points.
+	Diagnoser = diagnosis.Diagnoser
+	// DiagnosisResult is a ranked component diagnosis.
+	DiagnosisResult = diagnosis.Result
+	// Evaluation aggregates diagnosis accuracy over trials.
+	Evaluation = diagnosis.Evaluation
+	// TrajectoryMap is the set of component fault trajectories for one
+	// test vector.
+	TrajectoryMap = trajectory.Map
+	// Dictionary serves golden and faulty AC responses.
+	Dictionary = dictionary.Dictionary
+	// MultiFault is a simultaneous multiple parametric fault (out of the
+	// paper's single-fault model; diagnosable only as a rejection).
+	MultiFault = fault.Multi
+	// Tolerance models manufacturing spread on every component.
+	Tolerance = fault.Tolerance
+	// Rational is a fitted transfer function N(s)/D(s).
+	Rational = numeric.Rational
+)
+
+// PaperCUT returns the stand-in for the paper's circuit under test: a
+// normalized negative-feedback low-pass filter with exactly seven
+// passive components (see DESIGN.md for the substitution rationale).
+func PaperCUT() CUT { return circuits.NFLowpass7() }
+
+// PaperCUTMacro returns the paper CUT with the opamp replaced by the
+// FFM-style macromodel (moderate parameters: A0 = 10⁴, pole at
+// 10 rad/s) and the macromodel's four elements appended to the fault
+// targets — the active-device fault setup of experiment E12.
+func PaperCUTMacro() (CUT, error) {
+	cut, err := circuits.NFLowpass7Macro(opamp.Params{A0: 1e4, GBW: 1e5, Rin: 1e6, Rout: 1})
+	if err != nil {
+		return CUT{}, err
+	}
+	cut.Passives = append(append([]string(nil), cut.Passives...),
+		"U1.E", "U1.Cp", "U1.Rin", "U1.Rout")
+	return cut, nil
+}
+
+// Benchmarks returns every built-in circuit under test.
+func Benchmarks() []CUT { return circuits.All() }
+
+// BenchmarkByName returns a built-in CUT by its circuit name.
+func BenchmarkByName(name string) (CUT, error) { return circuits.ByName(name) }
+
+// PaperDeviations returns the paper's fault grid: ±10%…±40% in 10%
+// steps.
+func PaperDeviations() []float64 { return fault.PaperDeviations() }
+
+// PaperGAConfig returns the paper's §2.4 GA parameters (128 individuals,
+// 15 generations, 50% reproduction, 40% mutation, roulette wheel).
+func PaperGAConfig() GAConfig { return ga.PaperConfig() }
+
+// PaperOptimizeConfig returns the paper's full optimization setup
+// centered on a CUT's characteristic frequency.
+func PaperOptimizeConfig(omega0 float64) OptimizeConfig {
+	return core.PaperOptimizeConfig(omega0)
+}
+
+// ParseNetlist parses SPICE-like netlist text into a Circuit (see the
+// netlist card reference in the internal/netlist package docs).
+func ParseNetlist(text string) (*Circuit, error) { return netlist.Parse(text) }
+
+// SerializeNetlist renders a Circuit back to netlist text.
+func SerializeNetlist(c *Circuit) (string, error) { return netlist.Serialize(c) }
+
+// Pipeline bundles the whole fault-trajectory flow for one CUT.
+type Pipeline struct {
+	cut  CUT
+	atpg *core.ATPG
+}
+
+// NewPipeline builds the fault dictionary for a CUT. deviations may be
+// nil for the paper's ±10%…±40% grid; otherwise it lists the fractional
+// deviations of the fault universe.
+func NewPipeline(cut CUT, deviations []float64) (*Pipeline, error) {
+	if err := cut.Validate(); err != nil {
+		return nil, err
+	}
+	if deviations == nil {
+		deviations = fault.PaperDeviations()
+	}
+	u, err := fault.NewUniverse(cut.Passives, deviations)
+	if err != nil {
+		return nil, err
+	}
+	atpg, err := core.New(cut.Circuit, cut.Source, cut.Output, u)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{cut: cut, atpg: atpg}, nil
+}
+
+// NewPipelineFromNetlist builds a pipeline from netlist text plus the
+// measurement metadata a netlist does not carry: the driving source, the
+// observed output node, and the fault-target components (nil → every
+// Valued element). deviations may be nil for the paper grid.
+func NewPipelineFromNetlist(text, source, output string, components []string, deviations []float64) (*Pipeline, error) {
+	c, err := netlist.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if components == nil {
+		components = c.ValuedNames()
+	}
+	if len(components) == 0 {
+		return nil, fmt.Errorf("repro: netlist has no faultable components")
+	}
+	cut := CUT{
+		Circuit:     c,
+		Source:      source,
+		Output:      output,
+		Passives:    components,
+		Omega0:      1,
+		Description: "netlist-defined circuit under test",
+	}
+	return NewPipeline(cut, deviations)
+}
+
+// CUT returns the pipeline's circuit under test.
+func (p *Pipeline) CUT() CUT { return p.cut }
+
+// Dictionary exposes the fault dictionary.
+func (p *Pipeline) Dictionary() *Dictionary { return p.atpg.Dictionary() }
+
+// Optimize searches for a test vector with the GA.
+func (p *Pipeline) Optimize(cfg OptimizeConfig) (*TestVector, error) {
+	return p.atpg.Optimize(cfg)
+}
+
+// Fitness evaluates the paper's fitness for an explicit test vector.
+func (p *Pipeline) Fitness(omegas []float64) (float64, error) {
+	return p.atpg.Fitness(omegas, core.PaperFitness)
+}
+
+// Trajectories builds the trajectory map for a test vector.
+func (p *Pipeline) Trajectories(omegas []float64) (*TrajectoryMap, error) {
+	return trajectory.Build(p.atpg.Dictionary(), omegas)
+}
+
+// Diagnoser builds the diagnosis stage for a test vector.
+func (p *Pipeline) Diagnoser(omegas []float64) (*Diagnoser, error) {
+	return p.atpg.BuildDiagnoser(omegas)
+}
+
+// Evaluate runs the hold-out evaluation: off-grid deviations (nil → the
+// default ±15/25/35% set) on every universe component.
+func (p *Pipeline) Evaluate(omegas []float64, holdOut []float64) (*Evaluation, error) {
+	if holdOut == nil {
+		holdOut = diagnosis.DefaultHoldOutDeviations()
+	}
+	return p.atpg.EvaluateVector(omegas, holdOut)
+}
+
+// ATPG exposes the underlying test generator for advanced use (baseline
+// strategies, custom fitness modes).
+func (p *Pipeline) ATPG() *core.ATPG { return p.atpg }
+
+// DiagnoseCircuit diagnoses an arbitrary variant of the CUT (a multiple
+// fault, a tolerance-perturbed board — anything with the same source and
+// output) against the trajectory map for the given test vector. The
+// boolean reports whether the result should be rejected as
+// out-of-model at the given rejection ratio (0 disables rejection).
+func (p *Pipeline) DiagnoseCircuit(variant *Circuit, omegas []float64, rejectRatio float64) (*DiagnosisResult, bool, error) {
+	dg, err := p.Diagnoser(omegas)
+	if err != nil {
+		return nil, false, err
+	}
+	sig, err := p.Dictionary().CircuitSignature(variant, omegas)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := dg.Diagnose(geometry.VecN(sig))
+	if err != nil {
+		return nil, false, err
+	}
+	rejected := false
+	if rejectRatio > 0 {
+		rejected = res.Rejected(dg.Extent(), rejectRatio)
+	}
+	return res, rejected, nil
+}
+
+// FitTransfer recovers the CUT's transfer function N(s)/D(s) from
+// sampled AC analysis (degrees chosen by the caller; see
+// analysis.FitRational). It hands downstream users poles, zeros and
+// filter parameters without symbolic analysis.
+func (p *Pipeline) FitTransfer(numDeg, denDeg int, omegas []float64) (Rational, error) {
+	ac, err := analysis.NewAC(p.Dictionary().Golden())
+	if err != nil {
+		return Rational{}, err
+	}
+	return ac.FitRational(p.cut.Source, p.cut.Output, numDeg, denDeg, omegas)
+}
