@@ -232,6 +232,42 @@ func BenchmarkE9Circuits(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchVsScalar: the batched engine against the seed's
+// per-point solver on the same workload — the full paper universe (56
+// faults + golden) across a 13-point grid. "scalar" clones, assembles
+// and LU-factors one system per (fault, ω) pair (analyzer assembly
+// amortized, as the seed's BuildGrid did); "batch" is Dictionary.BuildGrid
+// on a fresh dictionary: one golden factorization per frequency plus
+// rank-1 Sherman–Morrison updates per fault.
+func BenchmarkBatchVsScalar(b *testing.B) {
+	grid := numeric.Logspace(0.01, 100, 13)
+	b.Run("scalar", func(b *testing.B) {
+		d := mustPipeline(b).Dictionary()
+		faults := append([]Fault{{}}, d.Universe().Faults()...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, f := range faults {
+				for _, w := range grid {
+					if _, err := d.ScalarResponse(f, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Fresh pipeline per iteration so BuildGrid computes instead
+			// of hitting the memo; template compilation is part of the
+			// measured cost.
+			p := mustPipeline(b)
+			if err := p.Dictionary().BuildGrid(grid, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkACSolve: the innermost substrate cost — one MNA factor+solve
 // of the paper CUT at one frequency.
 func BenchmarkACSolve(b *testing.B) {

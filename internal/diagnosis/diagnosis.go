@@ -234,20 +234,25 @@ func (e *Evaluation) TopTwoAccuracy() float64 {
 	return float64(e.TopTwo) / float64(e.Total)
 }
 
-// Evaluate runs the diagnoser over every trial fault, computing each
-// fault's signature from the dictionary. Trial faults may sit off the
-// dictionary's deviation grid (the realistic case).
+// Evaluate runs the diagnoser over every trial fault, computing all
+// trial signatures from the dictionary in one batched solve. Trial
+// faults may sit off the dictionary's deviation grid (the realistic
+// case).
 func (d *Diagnoser) Evaluate(dict *dictionary.Dictionary, trials []fault.Fault) (*Evaluation, error) {
 	if len(trials) == 0 {
 		return nil, fmt.Errorf("diagnosis: no trial faults")
+	}
+	sigs, err := dict.Signatures(trials, d.m.Omegas)
+	if err != nil {
+		return nil, err
 	}
 	ev := &Evaluation{
 		Confusion:    make(map[string]map[string]int),
 		PerComponent: make(map[string]*ComponentScore),
 	}
 	var devErrSum float64
-	for _, f := range trials {
-		res, err := d.DiagnoseFault(dict, f)
+	for ti, f := range trials {
+		res, err := d.Diagnose(geometry.VecN(sigs[ti]))
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,15 @@
 // Package dictionary implements the paper's fault-simulation (FS) step:
-// from the golden circuit it derives one faulty circuit per fault in the
-// universe and serves their AC magnitude responses on demand, memoized by
+// from the golden circuit it derives the faulty AC magnitude responses of
+// every fault in the universe and serves them on demand, memoized by
 // (fault, frequency).
 //
-// The GA probes responses at arbitrary candidate frequencies, so the
-// dictionary evaluates lazily instead of precomputing a fixed grid; a
-// fixed grid can still be precomputed concurrently with BuildGrid for
-// reporting (Figure 1) or export.
+// Responses are computed by the batched solver in internal/engine: the
+// golden circuit is compiled once into a stamp template, a fault is a
+// rank-1 coefficient patch, and whole (fault × frequency) grids are
+// filled with one golden factorization per frequency. The GA probes
+// responses at arbitrary candidate frequencies, so the dictionary
+// evaluates lazily instead of precomputing a fixed grid; a fixed grid can
+// still be precomputed with BuildGrid for reporting (Figure 1) or export.
 package dictionary
 
 import (
@@ -15,10 +18,10 @@ import (
 	"math/cmplx"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/circuit"
+	"repro/internal/engine"
 	"repro/internal/fault"
 )
 
@@ -28,9 +31,10 @@ type Dictionary struct {
 	source   string
 	output   string
 	universe *fault.Universe
+	eng      *engine.Engine
 
 	mu        sync.Mutex
-	analyzers map[string]*analysis.AC        // fault ID → analyzer over the faulty circuit
+	analyzers map[string]*analysis.AC        // fault ID → analyzer, scalar reference path only
 	memo      map[string]map[float64]float64 // fault ID → ω → |H|
 }
 
@@ -51,12 +55,18 @@ func New(golden *circuit.Circuit, source, output string, u *fault.Universe) (*Di
 		analyzers: make(map[string]*analysis.AC),
 		memo:      make(map[string]map[float64]float64),
 	}
-	// Fail fast on unbuildable golden circuits.
-	if _, err := d.analyzer(fault.Fault{}); err != nil {
-		return nil, err
+	// Compiling the template fails fast on unbuildable golden circuits and
+	// unusable measurements (missing source, zero amplitude).
+	eng, err := engine.New(d.golden, source, output)
+	if err != nil {
+		return nil, fmt.Errorf("dictionary: %w", err)
 	}
+	d.eng = eng
 	return d, nil
 }
+
+// Engine exposes the batched solver the dictionary computes with.
+func (d *Dictionary) Engine() *engine.Engine { return d.eng }
 
 // Universe returns the dictionary's fault universe.
 func (d *Dictionary) Universe() *fault.Universe { return d.universe }
@@ -70,7 +80,8 @@ func (d *Dictionary) Output() string { return d.output }
 // Golden returns a clone of the golden circuit.
 func (d *Dictionary) Golden() *circuit.Circuit { return d.golden.Clone() }
 
-// analyzer returns (building if needed) the AC analyzer for a fault.
+// analyzer returns (building if needed) the AC analyzer for a fault —
+// the classic clone+assemble path kept as the scalar reference.
 func (d *Dictionary) analyzer(f fault.Fault) (*analysis.AC, error) {
 	id := f.ID()
 	d.mu.Lock()
@@ -99,8 +110,33 @@ func (d *Dictionary) analyzer(f fault.Fault) (*analysis.AC, error) {
 	return ac, nil
 }
 
+// ScalarResponse computes |H(jω)| the pre-engine way: clone the golden
+// circuit, inject the fault, assemble and factor a fresh MNA system.
+// It is unmemoized (only the assembled analyzer is cached per fault) and
+// exists as the reference implementation the engine is verified against
+// and benchmarked in BenchmarkBatchVsScalar.
+func (d *Dictionary) ScalarResponse(f fault.Fault, omega float64) (float64, error) {
+	ac, err := d.analyzer(f)
+	if err != nil {
+		return 0, err
+	}
+	h, err := ac.Transfer(d.source, d.output, omega)
+	if err != nil {
+		return 0, fmt.Errorf("dictionary: fault %s at ω=%g: %w", f.ID(), omega, err)
+	}
+	return cmplx.Abs(h), nil
+}
+
 // Response returns |H(jω)| for the given fault (use the zero Fault for
 // the golden circuit). Results are memoized.
+//
+// Lazy queries solve the faulted system exactly (full factorization of
+// the patched template); BuildGrid fills the same memo through the
+// batched Sherman–Morrison path. The two agree to within 1e-9 relative
+// error (enforced by the engine's fallback guards and tests), so a memo
+// entry may differ in its last few ulps depending on which path computed
+// it first — callers comparing exports bit-for-bit should produce them
+// through the same call sequence.
 func (d *Dictionary) Response(f fault.Fault, omega float64) (float64, error) {
 	id := f.ID()
 	d.mu.Lock()
@@ -112,25 +148,25 @@ func (d *Dictionary) Response(f fault.Fault, omega float64) (float64, error) {
 	}
 	d.mu.Unlock()
 
-	ac, err := d.analyzer(f)
+	mag, err := d.eng.Response(f, omega)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("dictionary: %w", err)
 	}
-	h, err := ac.Transfer(d.source, d.output, omega)
-	if err != nil {
-		return 0, fmt.Errorf("dictionary: fault %s at ω=%g: %w", id, omega, err)
-	}
-	mag := cmplx.Abs(h)
 
 	d.mu.Lock()
+	d.memoize(id, omega, mag)
+	d.mu.Unlock()
+	return mag, nil
+}
+
+// memoize stores one response; the caller holds d.mu.
+func (d *Dictionary) memoize(id string, omega, mag float64) {
 	byW, ok := d.memo[id]
 	if !ok {
 		byW = make(map[float64]float64)
 		d.memo[id] = byW
 	}
 	byW[omega] = mag
-	d.mu.Unlock()
-	return mag, nil
 }
 
 // GoldenResponse returns the nominal |H(jω)|.
@@ -188,51 +224,56 @@ func (d *Dictionary) CircuitSignature(c *circuit.Circuit, omegas []float64) ([]f
 }
 
 // BuildGrid precomputes every fault's response (plus the golden one) on a
-// frequency grid, fanning out across workers goroutines (0 → a sensible
-// default). It returns the first error encountered.
+// frequency grid via the batched engine, fanning the frequencies out
+// across workers goroutines (0 → one per CPU). Results land in the memo,
+// so subsequent Response/Signature/Snapshot calls on grid points are pure
+// lookups. It returns the first error encountered.
 func (d *Dictionary) BuildGrid(omegas []float64, workers int) error {
-	if workers <= 0 {
-		workers = 4
+	faults := d.universe.Faults()
+	batch, err := d.eng.BatchResponses(faults, omegas, workers)
+	if err != nil {
+		return fmt.Errorf("dictionary: %w", err)
 	}
-	jobs := make(chan fault.Fault)
-	errs := make(chan error, workers)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for f := range jobs {
-				// Keep draining after a failure so the producer's
-				// unbuffered sends never block on dead workers.
-				if failed.Load() {
-					continue
-				}
-				for _, w := range omegas {
-					if _, err := d.Response(f, w); err != nil {
-						failed.Store(true)
-						select {
-						case errs <- err:
-						default:
-						}
-						break
-					}
-				}
-			}
-		}()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for j, w := range omegas {
+		d.memoize("golden", w, batch.Golden[j])
 	}
-	jobs <- fault.Fault{}
-	for _, f := range d.universe.Faults() {
-		jobs <- f
+	for i, f := range faults {
+		id := f.ID()
+		for j, w := range omegas {
+			d.memoize(id, w, batch.Mags[i][j])
+		}
 	}
-	close(jobs)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return err
-	default:
-		return nil
+	return nil
+}
+
+// Signatures computes the signature points of an arbitrary fault list at
+// the given test frequencies in one batched solve — the bulk analogue of
+// Signature. Row i is |H_fault[i](ω)| − |H_golden(ω)| over omegas.
+// Unlike Signature it does not touch the memo: bulk probe grids (GA
+// candidates, hold-out trials) are one-off and would only bloat it.
+//
+// The solve runs inline on the calling goroutine: test vectors are a
+// handful of frequencies, and the heavy caller — the GA's fitness
+// evaluation — is already parallel at the population level, so a nested
+// per-call worker pool would only oversubscribe the CPUs.
+func (d *Dictionary) Signatures(faults []fault.Fault, omegas []float64) ([][]float64, error) {
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("dictionary: empty test vector")
 	}
+	batch, err := d.eng.BatchResponses(faults, omegas, 1)
+	if err != nil {
+		return nil, fmt.Errorf("dictionary: %w", err)
+	}
+	return batch.Signatures(), nil
+}
+
+// UniverseSignatures computes the signature of every fault in the
+// universe at the given test frequencies, row-aligned with
+// Universe().Faults() — the one-call path trajectory building rides on.
+func (d *Dictionary) UniverseSignatures(omegas []float64) ([][]float64, error) {
+	return d.Signatures(d.universe.Faults(), omegas)
 }
 
 // Entry is one exported dictionary row.

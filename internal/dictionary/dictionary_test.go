@@ -93,6 +93,58 @@ func TestMemoization(t *testing.T) {
 	}
 }
 
+func TestResponseMatchesScalarReference(t *testing.T) {
+	// The engine-backed Response must agree with the pre-engine
+	// clone+assemble+solve path on the whole universe.
+	d := paperDict(t)
+	omegas := numeric.Logspace(0.05, 20, 5)
+	faults := append([]fault.Fault{{}}, d.Universe().Faults()...)
+	for _, f := range faults {
+		for _, w := range omegas {
+			fast, err := d.Response(f, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := d.ScalarResponse(f, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if diff := math.Abs(fast - ref); diff > 1e-9*math.Max(1, ref) {
+				t.Fatalf("fault %s ω=%g: engine %.15g vs scalar %.15g", f.ID(), w, fast, ref)
+			}
+		}
+	}
+}
+
+func TestUniverseSignaturesAlignment(t *testing.T) {
+	// Batched signatures are row-aligned with Universe().Faults() and
+	// agree with the per-point Signature path.
+	d := paperDict(t)
+	omegas := []float64{0.5, 2}
+	sigs, err := d.UniverseSignatures(omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := d.Universe().Faults()
+	if len(sigs) != len(faults) {
+		t.Fatalf("rows = %d, want %d", len(sigs), len(faults))
+	}
+	for i, f := range faults {
+		want, err := d.Signature(f, omegas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if diff := math.Abs(sigs[i][j] - want[j]); diff > 1e-9 {
+				t.Fatalf("fault %s: batch %v vs scalar %v", f.ID(), sigs[i], want)
+			}
+		}
+	}
+	if _, err := d.Signatures(faults, nil); err == nil {
+		t.Fatal("empty test vector accepted")
+	}
+}
+
 func TestSignatureGoldenAtOrigin(t *testing.T) {
 	d := paperDict(t)
 	sig, err := d.Signature(fault.Fault{}, []float64{0.5, 2})

@@ -1,0 +1,383 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/numeric"
+)
+
+// denGuard is the relative threshold below which a Sherman–Morrison
+// denominator counts as ill-conditioned and the fault falls back to a
+// full factorization.
+const denGuard = 1e-3
+
+// cancelGuard flags catastrophic cancellation in the rank-1 correction:
+// when the corrected output is this much smaller than the golden output,
+// the subtraction may have destroyed the trailing digits, so the fault is
+// re-solved exactly.
+const cancelGuard = 1e-6
+
+// Engine evaluates |H(jω)| for batches of parametric faults against one
+// compiled circuit template.
+type Engine struct {
+	tmpl   *Template
+	source string
+	output string
+	outIdx int // -1 when the output is ground (H ≡ 0)
+	amp    complex128
+	pool   sync.Pool // *workspace, shared across BatchResponses calls
+}
+
+// New compiles the circuit and binds the measurement: the named driving
+// voltage source and the observed output node.
+func New(c *circuit.Circuit, source, output string) (*Engine, error) {
+	tmpl, err := Compile(c)
+	if err != nil {
+		return nil, err
+	}
+	e, ok := c.Element(source)
+	if !ok {
+		return nil, fmt.Errorf("engine: no source element %q", source)
+	}
+	vs, ok := e.(*circuit.VSource)
+	if !ok {
+		return nil, fmt.Errorf("engine: element %q is not a voltage source", source)
+	}
+	if vs.Amplitude == 0 {
+		return nil, fmt.Errorf("engine: source %q has zero amplitude", source)
+	}
+	outIdx, err := tmpl.sys.NodeIndex(output)
+	if err != nil {
+		return nil, err
+	}
+	eng := &Engine{tmpl: tmpl, source: source, output: output, outIdx: outIdx, amp: vs.Amplitude}
+	// Workspaces are sized for the worst case (every slot distinct) so one
+	// pool serves every batch shape; callers in tight loops (the GA's
+	// fitness evaluations) then reuse scratch instead of reallocating
+	// three n×n matrices per call.
+	eng.pool.New = func() any { return newWorkspace(tmpl.n, len(tmpl.slots)) }
+	return eng, nil
+}
+
+// Template exposes the compiled stamp program.
+func (e *Engine) Template() *Template { return e.tmpl }
+
+// Source returns the driving source name.
+func (e *Engine) Source() string { return e.source }
+
+// Output returns the observed node name.
+func (e *Engine) Output() string { return e.output }
+
+// checkOmega rejects the frequencies the per-point analysis path rejects.
+func checkOmega(omega float64) error {
+	if omega < 0 {
+		return fmt.Errorf("engine: negative frequency %g", omega)
+	}
+	if math.IsNaN(omega) || math.IsInf(omega, 0) {
+		return fmt.Errorf("engine: non-finite frequency %g", omega)
+	}
+	return nil
+}
+
+// resolve maps a fault onto its template slot and faulted value. Golden
+// faults resolve to slot -1.
+func (e *Engine) resolve(f fault.Fault) (int, float64, error) {
+	if f.IsGolden() {
+		return -1, 0, nil
+	}
+	if f.Scale() <= 0 {
+		return 0, 0, fmt.Errorf("engine: fault %s: deviation %+.0f%% makes the value nonpositive", f.ID(), f.Deviation*100)
+	}
+	i, ok := e.tmpl.byName[f.Component]
+	if !ok {
+		return 0, 0, fmt.Errorf("engine: fault %s: no parameter slot for element %q", f.ID(), f.Component)
+	}
+	return i, e.tmpl.slots[i].value * f.Scale(), nil
+}
+
+// Response computes |H(jω)| for one fault exactly: the template is
+// patched at the fault's slot and the full system factored — no
+// Sherman–Morrison shortcut. This is the reference the batch path must
+// agree with, and the path Dictionary.Response memoizes behind.
+func (e *Engine) Response(f fault.Fault, omega float64) (float64, error) {
+	if err := checkOmega(omega); err != nil {
+		return 0, err
+	}
+	si, fv, err := e.resolve(f)
+	if err != nil {
+		return 0, err
+	}
+	s := complex(0, omega)
+	m := numeric.NewMatrix(e.tmpl.n, e.tmpl.n)
+	e.tmpl.stampGolden(m, s)
+	if si >= 0 {
+		sl := &e.tmpl.slots[si]
+		e.tmpl.addRank1(m, sl, sl.coeff(fv, s)-sl.coeff(sl.value, s))
+	}
+	lu, err := numeric.FactorInPlace(m)
+	if err != nil {
+		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", f.ID(), omega, err)
+	}
+	x, err := lu.Solve(e.tmpl.b)
+	if err != nil {
+		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", f.ID(), omega, err)
+	}
+	return cmplx.Abs(e.out(x) / e.amp), nil
+}
+
+// GoldenResponse computes the nominal |H(jω)|.
+func (e *Engine) GoldenResponse(omega float64) (float64, error) {
+	return e.Response(fault.Fault{}, omega)
+}
+
+func (e *Engine) out(x []complex128) complex128 {
+	if e.outIdx < 0 {
+		return 0
+	}
+	return x[e.outIdx]
+}
+
+// Batch is a dense response table: Mags[i][j] is |H(jω_j)| under
+// faults[i], and Golden[j] is the nominal |H(jω_j)|.
+type Batch struct {
+	// Omegas is the frequency axis the table was evaluated on.
+	Omegas []float64
+	// Golden holds the nominal magnitudes per frequency.
+	Golden []float64
+	// Mags holds one row per requested fault, aligned with the input.
+	Mags [][]float64
+}
+
+// Signatures returns the fault-space points: Mags − Golden, row-aligned
+// with the batch's faults.
+func (b *Batch) Signatures() [][]float64 {
+	out := make([][]float64, len(b.Mags))
+	for i, row := range b.Mags {
+		sig := make([]float64, len(row))
+		for j, m := range row {
+			sig[j] = m - b.Golden[j]
+		}
+		out[i] = sig
+	}
+	return out
+}
+
+// workspace is one worker's preallocated scratch: stamped matrix, two
+// factorization targets (golden and fallback), solution vectors, and one
+// z = A⁻¹u vector per distinct fault slot in the batch.
+type workspace struct {
+	m   *numeric.Matrix // golden A(s), kept unfactored for fallbacks
+	f   *numeric.Matrix // golden factorization storage
+	f2  *numeric.Matrix // fallback factorization storage
+	x0  []complex128    // golden solution
+	xf  []complex128    // fallback solution
+	rhs []complex128    // dense u for z-solves
+	z   [][]complex128  // per distinct slot
+}
+
+func newWorkspace(n, nslots int) *workspace {
+	ws := &workspace{
+		m:   numeric.NewMatrix(n, n),
+		f:   numeric.NewMatrix(n, n),
+		f2:  numeric.NewMatrix(n, n),
+		x0:  make([]complex128, n),
+		xf:  make([]complex128, n),
+		rhs: make([]complex128, n),
+		z:   make([][]complex128, nslots),
+	}
+	for i := range ws.z {
+		ws.z[i] = make([]complex128, n)
+	}
+	return ws
+}
+
+func sparseDot(v []sparseEntry, x []complex128) complex128 {
+	var s complex128
+	for _, e := range v {
+		s += e.w * x[e.idx]
+	}
+	return s
+}
+
+// BatchResponses fills the dense [fault][omega] response table. Per
+// frequency the golden system is factored once; every fault is then
+// solved by a rank-1 Sherman–Morrison update against that factorization,
+// with a full refactorization fallback for ill-conditioned updates.
+// Frequencies fan out over workers goroutines (≤0 → runtime.NumCPU()),
+// each with its own preallocated workspace.
+func (e *Engine) BatchResponses(faults []fault.Fault, omegas []float64, workers int) (*Batch, error) {
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("engine: empty frequency list")
+	}
+	for _, w := range omegas {
+		if err := checkOmega(w); err != nil {
+			return nil, err
+		}
+	}
+	// Resolve every fault up front: slot index and faulted value.
+	slotOf := make([]int, len(faults))
+	valOf := make([]float64, len(faults))
+	for i, f := range faults {
+		si, fv, err := e.resolve(f)
+		if err != nil {
+			return nil, err
+		}
+		slotOf[i], valOf[i] = si, fv
+	}
+	// Distinct slots present in the batch get one z-solve per frequency.
+	zIdx := make(map[int]int)
+	var distinct []int
+	for _, si := range slotOf {
+		if si < 0 {
+			continue
+		}
+		if _, ok := zIdx[si]; !ok {
+			zIdx[si] = len(distinct)
+			distinct = append(distinct, si)
+		}
+	}
+
+	out := &Batch{
+		Omegas: append([]float64(nil), omegas...),
+		Golden: make([]float64, len(omegas)),
+		Mags:   make([][]float64, len(faults)),
+	}
+	for i := range out.Mags {
+		out.Mags[i] = make([]float64, len(omegas))
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(omegas) {
+		workers = len(omegas)
+	}
+
+	if workers == 1 {
+		// Inline path: no goroutine or channel overhead for the common
+		// small batches (a GA candidate is k=2 frequencies).
+		ws := e.pool.Get().(*workspace)
+		defer e.pool.Put(ws)
+		for j := range omegas {
+			if err := e.solveColumn(ws, omegas[j], faults, slotOf, valOf, distinct, zIdx, out, j); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	jobs := make(chan int)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := e.pool.Get().(*workspace)
+			defer e.pool.Put(ws)
+			for j := range jobs {
+				if err := e.solveColumn(ws, omegas[j], faults, slotOf, valOf, distinct, zIdx, out, j); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					// Keep draining so the producer never blocks.
+					for range jobs {
+					}
+					return
+				}
+			}
+		}()
+	}
+	for j := range omegas {
+		jobs <- j
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+		return out, nil
+	}
+}
+
+// solveColumn fills column j of the batch table: one golden
+// factorization, one z-solve per distinct slot, then O(1) work per fault.
+func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
+	slotOf []int, valOf []float64, distinct []int, zIdx map[int]int, out *Batch, j int) error {
+	s := complex(0, omega)
+	t := e.tmpl
+	t.stampGolden(ws.m, s)
+	if err := ws.f.CopyFrom(ws.m); err != nil {
+		return err
+	}
+	lu, err := numeric.FactorInPlace(ws.f)
+	if err != nil {
+		return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
+	}
+	if err := lu.SolveInto(ws.x0, t.b); err != nil {
+		return err
+	}
+	x0out := e.out(ws.x0)
+	out.Golden[j] = cmplx.Abs(x0out / e.amp)
+
+	for zi, si := range distinct {
+		for i := range ws.rhs {
+			ws.rhs[i] = 0
+		}
+		for _, ue := range t.slots[si].u {
+			ws.rhs[ue.idx] = ue.w
+		}
+		if err := lu.SolveInto(ws.z[zi], ws.rhs); err != nil {
+			return err
+		}
+	}
+
+	for fi := range faults {
+		si := slotOf[fi]
+		if si < 0 {
+			out.Mags[fi][j] = out.Golden[j]
+			continue
+		}
+		sl := &t.slots[si]
+		delta := sl.coeff(valOf[fi], s) - sl.coeff(sl.value, s)
+		if delta == 0 {
+			out.Mags[fi][j] = out.Golden[j]
+			continue
+		}
+		z := ws.z[zIdx[si]]
+		vtz := sparseDot(sl.v, z)
+		den := 1 + delta*vtz
+		var zout complex128
+		if e.outIdx >= 0 {
+			zout = z[e.outIdx]
+		}
+		xout := x0out - delta*sparseDot(sl.v, ws.x0)/den*zout
+		if cmplx.Abs(den) < denGuard*(1+cmplx.Abs(delta*vtz)) ||
+			cmplx.Abs(xout) < cancelGuard*cmplx.Abs(x0out) {
+			// Ill-conditioned update or catastrophic cancellation: solve
+			// the faulted system exactly.
+			if err := ws.f2.CopyFrom(ws.m); err != nil {
+				return err
+			}
+			t.addRank1(ws.f2, sl, delta)
+			flu, err := numeric.FactorInPlace(ws.f2)
+			if err != nil {
+				return fmt.Errorf("engine: fault %s at ω=%g: %w", faults[fi].ID(), omega, err)
+			}
+			if err := flu.SolveInto(ws.xf, t.b); err != nil {
+				return err
+			}
+			xout = e.out(ws.xf)
+		}
+		out.Mags[fi][j] = cmplx.Abs(xout / e.amp)
+	}
+	return nil
+}

@@ -1,0 +1,329 @@
+// Package engine is the batched AC solver behind the fault dictionary.
+//
+// It compiles a circuit once into a stamp template: the MNA matrix is
+// expressed as
+//
+//	A(s) = A_static + Σ_e coeff_e(value_e, s) · u_e v_eᵀ
+//
+// where the sum runs over the Valued elements (the fault targets) and
+// u_e, v_e are fixed sparse pattern vectors. Every Valued element in this
+// repository — R, C, L, VCVS, VCCS, CCVS, CCCS — contributes to A through
+// exactly one scalar coefficient times a rank-1 pattern, so a parametric
+// fault is a rank-1 perturbation of the golden matrix. Per frequency the
+// engine factors the golden system once and solves every fault in a batch
+// via the Sherman–Morrison identity, falling back to a full LU when the
+// update is ill-conditioned. Frequencies fan out over a worker pool with
+// per-worker scratch workspaces, so a whole dictionary grid costs one
+// O(n³) factorization per frequency instead of one per (fault, frequency).
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/numeric"
+)
+
+// sparseEntry is one weighted index of a pattern vector.
+type sparseEntry struct {
+	idx int
+	w   complex128
+}
+
+// staticEntry is one constant A-matrix contribution.
+type staticEntry struct {
+	i, j int
+	v    complex128
+}
+
+// coeffKind selects how a slot's scalar coefficient depends on the
+// element value and the complex frequency s.
+type coeffKind int
+
+const (
+	coeffConductance coeffKind = iota // θ = 1/value        (resistor)
+	coeffCapacitance                  // θ = s·value        (capacitor)
+	coeffInductance                   // θ = -s·value       (inductor branch eq)
+	coeffGain                         // θ = value          (controlled sources)
+)
+
+// slot is one Valued element's parameter-dependent contribution:
+// coeff(value, s) · u vᵀ added into A.
+type slot struct {
+	elem  string
+	value float64 // nominal value at compile time
+	kind  coeffKind
+	u, v  []sparseEntry
+}
+
+// coeff evaluates the slot's scalar coefficient for an arbitrary value.
+func (sl *slot) coeff(value float64, s complex128) complex128 {
+	switch sl.kind {
+	case coeffConductance:
+		return complex(1/value, 0)
+	case coeffCapacitance:
+		return s * complex(value, 0)
+	case coeffInductance:
+		return -s * complex(value, 0)
+	default:
+		return complex(value, 0)
+	}
+}
+
+// Template is a compiled MNA stamp program for one circuit: the fixed
+// variable ordering, the constant part of the matrix and RHS, and one
+// parameter slot per Valued element. A faulted or re-valued circuit is a
+// coefficient patch on the shared template — no clone, no reassembly.
+type Template struct {
+	sys    *circuit.System
+	n      int
+	static []staticEntry
+	b      []complex128
+	slots  []slot
+	byName map[string]int // element name → slot index
+}
+
+// Compile builds the template for a circuit. It fails on circuits that do
+// not assemble, and self-checks the compiled stamp program against the
+// element Stamp methods at two probe frequencies so a template can never
+// silently disagree with the classic per-point path.
+func Compile(c *circuit.Circuit) (*Template, error) {
+	sys, err := c.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	t := &Template{
+		sys:    sys,
+		n:      sys.Size(),
+		b:      make([]complex128, sys.Size()),
+		byName: make(map[string]int),
+	}
+	for _, e := range c.Elements() {
+		if err := t.compileElement(sys, e); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range []complex128{0, complex(0, 2.7182818)} {
+		if err := t.verifyAt(s); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// node resolves a node name to its matrix index (-1 for ground); compile
+// runs after Assemble so unknown nodes cannot occur.
+func node(sys *circuit.System, name string) int {
+	i, err := sys.NodeIndex(name)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
+	}
+	return i
+}
+
+// pair returns the ground-dropped ±1 pattern over two node indices.
+func pair(i, j int) []sparseEntry {
+	var out []sparseEntry
+	if i >= 0 {
+		out = append(out, sparseEntry{i, 1})
+	}
+	if j >= 0 {
+		out = append(out, sparseEntry{j, -1})
+	}
+	return out
+}
+
+// addStatic records a constant A entry, dropping ground indices.
+func (t *Template) addStatic(i, j int, v complex128) {
+	if i < 0 || j < 0 {
+		return
+	}
+	t.static = append(t.static, staticEntry{i, j, v})
+}
+
+// addB accumulates a constant RHS entry, dropping ground.
+func (t *Template) addB(i int, v complex128) {
+	if i < 0 {
+		return
+	}
+	t.b[i] += v
+}
+
+// addSlot registers a Valued element's rank-1 contribution.
+func (t *Template) addSlot(name string, value float64, kind coeffKind, u, v []sparseEntry) {
+	t.byName[name] = len(t.slots)
+	t.slots = append(t.slots, slot{elem: name, value: value, kind: kind, u: u, v: v})
+}
+
+// aux returns an element's auxiliary-variable index; compile runs after
+// Assemble, which allocated one for every element that declares NumAux>0.
+func aux(sys *circuit.System, name string) (int, error) {
+	k, ok := sys.BranchIndex(name)
+	if !ok {
+		return 0, fmt.Errorf("engine: element %s: missing aux variable", name)
+	}
+	return k, nil
+}
+
+func (t *Template) compileElement(sys *circuit.System, e circuit.Element) error {
+	switch el := e.(type) {
+	case *circuit.Resistor:
+		p := pair(node(sys, el.Nodes()[0]), node(sys, el.Nodes()[1]))
+		t.addSlot(el.Name(), el.Ohms, coeffConductance, p, p)
+	case *circuit.Capacitor:
+		p := pair(node(sys, el.Nodes()[0]), node(sys, el.Nodes()[1]))
+		t.addSlot(el.Name(), el.Farads, coeffCapacitance, p, p)
+	case *circuit.Inductor:
+		k, err := aux(sys, el.Name())
+		if err != nil {
+			return err
+		}
+		i, j := node(sys, el.Nodes()[0]), node(sys, el.Nodes()[1])
+		t.addStatic(i, k, 1)
+		t.addStatic(j, k, -1)
+		t.addStatic(k, i, 1)
+		t.addStatic(k, j, -1)
+		ek := []sparseEntry{{k, 1}}
+		t.addSlot(el.Name(), el.Henries, coeffInductance, ek, ek)
+	case *circuit.VSource:
+		k, err := aux(sys, el.Name())
+		if err != nil {
+			return err
+		}
+		i, j := node(sys, el.Nodes()[0]), node(sys, el.Nodes()[1])
+		t.addStatic(i, k, 1)
+		t.addStatic(j, k, -1)
+		t.addStatic(k, i, 1)
+		t.addStatic(k, j, -1)
+		t.addB(k, el.Amplitude)
+	case *circuit.ISource:
+		i, j := node(sys, el.Nodes()[0]), node(sys, el.Nodes()[1])
+		t.addB(i, -el.Amplitude)
+		t.addB(j, el.Amplitude)
+	case *circuit.VCVS:
+		k, err := aux(sys, el.Name())
+		if err != nil {
+			return err
+		}
+		op, on := node(sys, el.OutP), node(sys, el.OutN)
+		cp, cn := node(sys, el.CtlP), node(sys, el.CtlN)
+		t.addStatic(op, k, 1)
+		t.addStatic(on, k, -1)
+		t.addStatic(k, op, 1)
+		t.addStatic(k, on, -1)
+		// A[k,cp] = -Gain, A[k,cn] = +Gain → Gain · e_k (e_cn - e_cp)ᵀ.
+		t.addSlot(el.Name(), el.Gain, coeffGain, []sparseEntry{{k, 1}}, pair(cn, cp))
+	case *circuit.VCCS:
+		op, on := node(sys, el.OutP), node(sys, el.OutN)
+		cp, cn := node(sys, el.CtlP), node(sys, el.CtlN)
+		t.addSlot(el.Name(), el.Gm, coeffGain, pair(op, on), pair(cp, cn))
+	case *circuit.CCVS:
+		k, err := aux(sys, el.Name())
+		if err != nil {
+			return err
+		}
+		kc, err := aux(sys, el.Control)
+		if err != nil {
+			return fmt.Errorf("engine: %s: controlling element %q has no branch current", el.Name(), el.Control)
+		}
+		op, on := node(sys, el.OutP), node(sys, el.OutN)
+		t.addStatic(op, k, 1)
+		t.addStatic(on, k, -1)
+		t.addStatic(k, op, 1)
+		t.addStatic(k, on, -1)
+		// A[k,kc] = -R.
+		t.addSlot(el.Name(), el.R, coeffGain, []sparseEntry{{k, 1}}, []sparseEntry{{kc, -1}})
+	case *circuit.CCCS:
+		kc, err := aux(sys, el.Control)
+		if err != nil {
+			return fmt.Errorf("engine: %s: controlling element %q has no branch current", el.Name(), el.Control)
+		}
+		op, on := node(sys, el.OutP), node(sys, el.OutN)
+		t.addSlot(el.Name(), el.Gain, coeffGain, pair(op, on), []sparseEntry{{kc, 1}})
+	case *circuit.IdealOpAmp:
+		k, err := aux(sys, el.Name())
+		if err != nil {
+			return err
+		}
+		out := node(sys, el.Out)
+		ip, in := node(sys, el.InP), node(sys, el.InN)
+		t.addStatic(out, k, 1)
+		t.addStatic(k, ip, 1)
+		t.addStatic(k, in, -1)
+	default:
+		return fmt.Errorf("engine: cannot compile element %s of type %T", e.Name(), e)
+	}
+	return nil
+}
+
+// Size returns the MNA system order.
+func (t *Template) Size() int { return t.n }
+
+// System returns the underlying assembled system (variable ordering).
+func (t *Template) System() *circuit.System { return t.sys }
+
+// HasSlot reports whether the named element is a compiled parameter slot
+// (i.e. a legal rank-1 fault target).
+func (t *Template) HasSlot(elem string) bool {
+	_, ok := t.byName[elem]
+	return ok
+}
+
+// SlotValue returns the nominal value of a named slot.
+func (t *Template) SlotValue(elem string) (float64, bool) {
+	i, ok := t.byName[elem]
+	if !ok {
+		return 0, false
+	}
+	return t.slots[i].value, true
+}
+
+// stampGolden fills dst (which must be n×n) with the golden A(s): the
+// static entries plus every slot at its nominal value.
+func (t *Template) stampGolden(dst *numeric.Matrix, s complex128) {
+	dst.Zero()
+	for _, e := range t.static {
+		dst.Add(e.i, e.j, e.v)
+	}
+	for i := range t.slots {
+		sl := &t.slots[i]
+		t.addRank1(dst, sl, sl.coeff(sl.value, s))
+	}
+}
+
+// addRank1 accumulates θ · u vᵀ for one slot into dst.
+func (t *Template) addRank1(dst *numeric.Matrix, sl *slot, theta complex128) {
+	if theta == 0 {
+		return
+	}
+	for _, ue := range sl.u {
+		w := theta * ue.w
+		for _, ve := range sl.v {
+			dst.Add(ue.idx, ve.idx, w*ve.w)
+		}
+	}
+}
+
+// RHS returns the template's constant source vector (not a copy).
+func (t *Template) RHS() []complex128 { return t.b }
+
+// verifyAt cross-checks the compiled template against the elements' own
+// Stamp methods at one complex frequency.
+func (t *Template) verifyAt(s complex128) error {
+	want, wantB, err := t.sys.StampAt(s)
+	if err != nil {
+		return err
+	}
+	got := numeric.NewMatrix(t.n, t.n)
+	t.stampGolden(got, s)
+	tol := 1e-12 * (1 + want.MaxAbs())
+	if !got.Equalish(want, tol) {
+		return fmt.Errorf("engine: compiled template disagrees with element stamps at s=%v", s)
+	}
+	for i := range wantB {
+		if d := t.b[i] - wantB[i]; real(d)*real(d)+imag(d)*imag(d) > tol*tol {
+			return fmt.Errorf("engine: compiled RHS disagrees with element stamps at s=%v", s)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -115,13 +116,19 @@ type Config struct {
 	// MutSigma is the Gaussian mutation step as a fraction of each
 	// gene's interval width.
 	MutSigma float64
-	// Workers bounds concurrent fitness evaluations (0 → 4).
+	// Workers bounds concurrent fitness evaluations; 0 means one worker
+	// per CPU (runtime.NumCPU()). The worker count never affects results:
+	// fitness evaluations consume no randomness and each worker writes
+	// only its own population slot, so runs are deterministic for a fixed
+	// seed at any parallelism.
 	Workers int
 }
 
 // PaperConfig returns the configuration of the paper's §2.4 (plus
 // single-individual elitism so the reported best never regresses, and a
 // 10% Gaussian mutation step, which the paper leaves unspecified).
+// Workers is left at 0 (one worker per CPU); this cannot perturb results
+// for a fixed seed — see Config.Workers.
 func PaperConfig() Config {
 	return Config{
 		PopSize:          128,
@@ -132,7 +139,6 @@ func PaperConfig() Config {
 		Crossover:        Arithmetic,
 		Elitism:          1,
 		MutSigma:         0.1,
-		Workers:          4,
 	}
 }
 
@@ -248,7 +254,7 @@ func randomGenome(bounds []Interval, rng *rand.Rand) []float64 {
 // writes only its own index.
 func evaluate(pop []individual, fit func([]float64) float64, workers int) int {
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.NumCPU()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup

@@ -27,8 +27,23 @@ func Factor(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("numeric: factor %dx%d: %w", a.rows, a.cols, ErrDimension)
 	}
+	return factorStorage(a.Clone())
+}
+
+// FactorInPlace factors a using a's own storage as the packed LU — the
+// allocation-free path for batched solvers that rebuild the matrix each
+// round anyway. The caller must not use a afterwards; its contents are
+// destroyed.
+func FactorInPlace(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("numeric: factor %dx%d: %w", a.rows, a.cols, ErrDimension)
+	}
+	return factorStorage(a)
+}
+
+func factorStorage(a *Matrix) (*LU, error) {
 	n := a.rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1, n: n, normA: a.NormInf()}
+	f := &LU{lu: a, piv: make([]int, n), sign: 1, n: n, normA: a.NormInf()}
 	for i := range f.piv {
 		f.piv[i] = i
 	}

@@ -112,6 +112,15 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
+// CopyFrom overwrites m with src without reallocating. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) error {
+	if m.rows != src.rows || m.cols != src.cols {
+		return fmt.Errorf("numeric: copy %dx%d into %dx%d: %w", src.rows, src.cols, m.rows, m.cols, ErrDimension)
+	}
+	copy(m.data, src.data)
+	return nil
+}
+
 // Equalish reports whether m and n have the same shape and all elements
 // within tol of each other (element-wise modulus of the difference).
 func (m *Matrix) Equalish(n *Matrix, tol float64) bool {

@@ -74,6 +74,11 @@ type Map struct {
 // Build constructs the trajectory map for the given test vector from a
 // fault dictionary. Each component's trajectory runs from its most
 // negative deviation through the origin (golden) to its most positive.
+//
+// The whole universe is evaluated in one batched engine call — per test
+// frequency the golden system is factored once and every fault solved by
+// a rank-1 update — so building a map costs O(k) factorizations instead
+// of O(k · universe size). This is the GA's per-candidate cost.
 func Build(d *dictionary.Dictionary, omegas []float64) (*Map, error) {
 	if len(omegas) == 0 {
 		return nil, fmt.Errorf("trajectory: empty test vector")
@@ -84,31 +89,30 @@ func Build(d *dictionary.Dictionary, omegas []float64) (*Map, error) {
 		}
 	}
 	u := d.Universe()
+	// Signatures are row-aligned with u.Faults(): component-major, each
+	// component's block sorted ascending by deviation.
+	sigs, err := d.UniverseSignatures(omegas)
+	if err != nil {
+		return nil, err
+	}
+	perComp := len(u.Deviations)
 	m := &Map{Omegas: append([]float64(nil), omegas...)}
-	for _, comp := range u.Components {
-		faults, err := u.ComponentFaults(comp)
-		if err != nil {
-			return nil, err
-		}
+	for ci, comp := range u.Components {
 		tr := &Trajectory{Component: comp}
-		// Faults are sorted ascending by deviation; insert the golden
-		// origin between the last negative and first positive.
+		// Deviations are sorted ascending; insert the golden origin
+		// between the last negative and first positive.
 		inserted := false
 		appendPoint := func(dev float64, pt geometry.VecN) {
 			tr.Deviations = append(tr.Deviations, dev)
 			tr.Points = append(tr.Points, pt)
 		}
 		origin := make(geometry.VecN, len(omegas))
-		for _, f := range faults {
-			if !inserted && f.Deviation > 0 {
+		for di, dev := range u.Deviations {
+			if !inserted && dev > 0 {
 				appendPoint(0, origin)
 				inserted = true
 			}
-			sig, err := d.Signature(f, omegas)
-			if err != nil {
-				return nil, err
-			}
-			appendPoint(f.Deviation, geometry.VecN(sig))
+			appendPoint(dev, geometry.VecN(sigs[ci*perComp+di]))
 		}
 		if !inserted {
 			appendPoint(0, origin)
