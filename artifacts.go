@@ -1,0 +1,159 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/artifact"
+	"repro/internal/dictionary"
+)
+
+// DictionaryExport is the serializable snapshot of a dictionary grid:
+// golden and per-fault magnitudes over a frequency axis.
+type DictionaryExport = dictionary.Export
+
+// Artifact kinds: the envelope tags distinguishing the three persisted
+// products so a test-vector file is never misread as a dictionary.
+const (
+	kindDictionary   = "repro.dictionary-grid"
+	kindTestVector   = "repro.test-vector"
+	kindTrajectories = "repro.trajectory-map"
+
+	// KindDiagnosisReport tags the machine-readable report ftdiag -json
+	// emits. Exported so downstream consumers can dispatch on it.
+	KindDiagnosisReport = "repro.diagnosis-report"
+)
+
+// EncodeArtifact wraps a payload in the versioned envelope used by every
+// Save method, stamped with the session's netlist checksum. It exists
+// for tools (e.g. ftdiag -json) that persist their own payload kinds.
+func (s *Session) EncodeArtifact(kind string, payload any) ([]byte, error) {
+	return artifact.Encode(kind, s.checksum, payload)
+}
+
+// SaveDictionary persists the fault dictionary evaluated on the given
+// frequency grid: it precomputes the grid (streaming StageDictionary
+// progress, honoring the context per frequency), snapshots it, and
+// writes a versioned, checksummed artifact to path.
+//
+// The stored responses are produced by the same batched solver that
+// builds in-process trajectory maps, so a map rebuilt from the artifact
+// at grid frequencies (TrajectoriesFromExport) matches the in-process
+// map bit-for-bit.
+func (s *Session) SaveDictionary(ctx context.Context, path string, omegas []float64) error {
+	if len(omegas) < 2 {
+		return fmt.Errorf("repro: %w: dictionary artifact needs at least 2 grid frequencies, got %d", ErrBadConfig, len(omegas))
+	}
+	if err := s.Precompute(ctx, omegas); err != nil {
+		return err
+	}
+	snap, err := s.Dictionary().Snapshot(omegas)
+	if err != nil {
+		return err
+	}
+	data, err := artifact.Encode(kindDictionary, s.checksum, snap)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadDictionary reads a dictionary artifact saved by SaveDictionary,
+// rejecting wrong kinds and schema versions (ErrArtifact) and grids
+// built from a different netlist than this session's CUT
+// (ErrStaleArtifact).
+func (s *Session) LoadDictionary(path string) (*DictionaryExport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := artifact.Decode(data, kindDictionary, s.checksum)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := dictionary.ParseExport(payload)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w: %v", ErrArtifact, err)
+	}
+	return ex, nil
+}
+
+// SaveTestVector persists an optimized test vector (frequencies,
+// fitness, GA history) as a versioned, checksummed artifact.
+func (s *Session) SaveTestVector(path string, tv *TestVector) error {
+	if tv == nil {
+		return fmt.Errorf("repro: %w: nil test vector", ErrBadConfig)
+	}
+	data, err := artifact.Encode(kindTestVector, s.checksum, tv)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTestVector reads a test-vector artifact saved by SaveTestVector,
+// with the same kind/version/checksum verification as LoadDictionary.
+func (s *Session) LoadTestVector(path string) (*TestVector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tv TestVector
+	if err := artifact.DecodeInto(data, kindTestVector, s.checksum, &tv); err != nil {
+		return nil, err
+	}
+	if len(tv.Omegas) == 0 {
+		// Catches payload "null"/"{}" (json.Unmarshal no-ops on null), so
+		// corruption surfaces here rather than as a confusing downstream
+		// "empty test vector" failure.
+		return nil, fmt.Errorf("repro: %w: test vector has no frequencies", ErrArtifact)
+	}
+	return &tv, nil
+}
+
+// SaveTrajectories persists a trajectory map as a versioned, checksummed
+// artifact — the deployment product a tester loads to diagnose without a
+// simulator.
+func (s *Session) SaveTrajectories(path string, m *TrajectoryMap) error {
+	if m == nil {
+		return fmt.Errorf("repro: %w: nil trajectory map", ErrBadConfig)
+	}
+	data, err := artifact.Encode(kindTrajectories, s.checksum, m)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTrajectories reads a trajectory-map artifact saved by
+// SaveTrajectories, with the same verification as LoadDictionary. The
+// loaded map reproduces the saved one exactly: JSON float64 encoding is
+// round-trip lossless, so a Diagnoser built on it yields identical
+// results.
+func (s *Session) LoadTrajectories(path string) (*TrajectoryMap, error) {
+	return loadTrajectoryMap(path, s.checksum)
+}
+
+// LoadTrajectoryMap reads a trajectory-map artifact without a session —
+// the tester-side path, where no circuit model exists to verify the
+// checksum against. The envelope's kind and schema version are still
+// enforced.
+func LoadTrajectoryMap(path string) (*TrajectoryMap, error) {
+	return loadTrajectoryMap(path, "")
+}
+
+func loadTrajectoryMap(path, wantChecksum string) (*TrajectoryMap, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m TrajectoryMap
+	if err := artifact.DecodeInto(data, kindTrajectories, wantChecksum, &m); err != nil {
+		return nil, err
+	}
+	if len(m.Trajectories) == 0 {
+		return nil, fmt.Errorf("repro: %w: trajectory map has no trajectories", ErrArtifact)
+	}
+	return &m, nil
+}

@@ -41,7 +41,7 @@ func BenchmarkFig1Dictionary(b *testing.B) {
 	grid := numeric.Logspace(0.01, 100, 13)
 	for i := 0; i < b.N; i++ {
 		p := mustPipeline(b)
-		if err := p.Dictionary().BuildGrid(grid, 4); err != nil {
+		if err := p.Dictionary().BuildGrid(nil, grid, 4); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,21 +128,21 @@ func BenchmarkE5Baselines(b *testing.B) {
 	b.Run("random", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rng := rand.New(rand.NewSource(int64(i)))
-			if _, err := atpg.RandomVector(2, 0.01, 100, 50, rng); err != nil {
+			if _, err := atpg.RandomVector(nil, 2, 0.01, 100, 50, rng); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("grid", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := atpg.GridVector(2, 0.01, 100, 12); err != nil {
+			if _, err := atpg.GridVector(nil, 2, 0.01, 100, 12); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sensitivity", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := atpg.SensitivityVector(2, 0.01, 100, 12, 0.3); err != nil {
+			if _, err := atpg.SensitivityVector(nil, 2, 0.01, 100, 12, 0.3); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -261,7 +261,7 @@ func BenchmarkBatchVsScalar(b *testing.B) {
 			// of hitting the memo; template compilation is part of the
 			// measured cost.
 			p := mustPipeline(b)
-			if err := p.Dictionary().BuildGrid(grid, 0); err != nil {
+			if err := p.Dictionary().BuildGrid(nil, grid, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

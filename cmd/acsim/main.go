@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -59,7 +60,21 @@ func readInput(path string) (string, error) {
 	return string(b), err
 }
 
+// fail reports structured errors with actionable detail: netlist syntax
+// errors point at their source line, singular systems explain themselves.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "acsim:", err)
+	var pe *repro.ParseError
+	switch {
+	case errors.As(err, &pe):
+		fmt.Fprintf(os.Stderr, "acsim: netlist syntax error on line %d: %s\n", pe.Line, pe.Msg)
+		if pe.Card != "" {
+			fmt.Fprintf(os.Stderr, "  | %s\n", pe.Card)
+		}
+	case errors.Is(err, repro.ErrSingular):
+		fmt.Fprintf(os.Stderr, "acsim: circuit is unsolvable (singular MNA system): %v\n", err)
+		fmt.Fprintln(os.Stderr, "  check for floating nodes, shorted sources, or missing ground")
+	default:
+		fmt.Fprintln(os.Stderr, "acsim:", err)
+	}
 	os.Exit(1)
 }

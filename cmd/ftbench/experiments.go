@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,13 +12,16 @@ import (
 	"repro/internal/plot"
 )
 
-// runner holds shared experiment state.
+// runner holds shared experiment state. The context bounds every
+// long-running stage, so Ctrl-C during a slow experiment aborts within
+// one GA generation / frequency batch.
 type runner struct {
+	ctx  context.Context
 	seed int64
 	full bool
 	out  io.Writer
 
-	pipeline *repro.Pipeline // lazily built paper-CUT pipeline
+	session  *repro.Session // lazily built paper-CUT session
 	gaVector *repro.TestVector
 }
 
@@ -29,17 +33,17 @@ func (r *runner) header(id, title string) {
 	r.printf("\n==== %s — %s ====\n", id, title)
 }
 
-// paperPipeline lazily builds (and caches) the paper-CUT pipeline.
-func (r *runner) paperPipeline() (*repro.Pipeline, error) {
-	if r.pipeline != nil {
-		return r.pipeline, nil
+// paperSession lazily builds (and caches) the paper-CUT session.
+func (r *runner) paperSession() (*repro.Session, error) {
+	if r.session != nil {
+		return r.session, nil
 	}
-	p, err := repro.NewPipeline(repro.PaperCUT(), nil)
+	s, err := repro.NewSession(repro.PaperCUT())
 	if err != nil {
 		return nil, err
 	}
-	r.pipeline = p
-	return p, nil
+	r.session = s
+	return s, nil
 }
 
 // gaConfig returns the GA setup: the paper's full parameters with -full,
@@ -60,11 +64,11 @@ func (r *runner) optimizedVector() (*repro.TestVector, error) {
 	if r.gaVector != nil {
 		return r.gaVector, nil
 	}
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return nil, err
 	}
-	tv, err := p.Optimize(r.gaConfig(p.CUT().Omega0))
+	tv, err := p.Optimize(r.ctx, r.gaConfig(p.CUT().Omega0))
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +81,7 @@ func (r *runner) optimizedVector() (*repro.TestVector, error) {
 // paper's Figure 3 features), across the response band.
 func (r *runner) e1Dictionary() error {
 	r.header("E1 / Fig.1", "golden behaviour & fault dictionary items (R3 deviations)")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -138,7 +142,7 @@ func (r *runner) e1Dictionary() error {
 // faulty (K) curve at two frequencies maps each to one XY point.
 func (r *runner) e2Transform() error {
 	r.header("E2 / Fig.2", "transformation of curves into coordinate data")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -177,7 +181,7 @@ func (r *runner) e2Transform() error {
 // diagnosis of an unknown fault by perpendicular projection.
 func (r *runner) e3Trajectory() error {
 	r.header("E3 / Fig.3", "R3 fault trajectory (left) and fault diagnosis (right)")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -185,7 +189,7 @@ func (r *runner) e3Trajectory() error {
 	if err != nil {
 		return err
 	}
-	m, err := p.Trajectories(tv.Omegas)
+	m, err := p.Trajectories(r.ctx, tv.Omegas)
 	if err != nil {
 		return err
 	}
@@ -202,7 +206,7 @@ func (r *runner) e3Trajectory() error {
 
 	// The unknown fault (*) of the figure: an off-grid R3 deviation.
 	unknown := repro.Fault{Component: "R3", Deviation: 0.25}
-	dg, err := p.Diagnoser(tv.Omegas)
+	dg, err := p.Diagnoser(r.ctx, tv.Omegas)
 	if err != nil {
 		return err
 	}
@@ -252,7 +256,7 @@ func verdict(ok bool) string {
 // fitness 1/(1+I).
 func (r *runner) e4GA() error {
 	r.header("E4 / §2.4", "GA with paper parameters (128 ind., 15 gen., 50% repro., 40% mut., roulette)")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -263,7 +267,7 @@ func (r *runner) e4GA() error {
 		cfg.GA.PopSize = 32
 		cfg.GA.Generations = 10
 	}
-	tv, err := p.Optimize(cfg)
+	tv, err := p.Optimize(r.ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -281,7 +285,7 @@ func (r *runner) e4GA() error {
 // sensitivity baselines on hold-out diagnosis accuracy.
 func (r *runner) e5Baselines() error {
 	r.header("E5", "diagnosis accuracy: GA vs baselines (hold-out faults ±15/25/35%)")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -295,19 +299,19 @@ func (r *runner) e5Baselines() error {
 	if budget < 10 {
 		budget = 10
 	}
-	random, err := atpg.RandomVector(2, 0.01, 100, budget, rng)
+	random, err := atpg.RandomVector(r.ctx, 2, 0.01, 100, budget, rng)
 	if err != nil {
 		return err
 	}
-	randomSmall, err := atpg.RandomVector(2, 0.01, 100, 3, rng)
+	randomSmall, err := atpg.RandomVector(r.ctx, 2, 0.01, 100, 3, rng)
 	if err != nil {
 		return err
 	}
-	grid, err := atpg.GridVector(2, 0.01, 100, 12)
+	grid, err := atpg.GridVector(r.ctx, 2, 0.01, 100, 12)
 	if err != nil {
 		return err
 	}
-	sens, err := atpg.SensitivityVector(2, 0.01, 100, 12, 0.3)
+	sens, err := atpg.SensitivityVector(r.ctx, 2, 0.01, 100, 12, 0.3)
 	if err != nil {
 		return err
 	}
@@ -323,7 +327,7 @@ func (r *runner) e5Baselines() error {
 		{"grid", grid},
 		{"sensitivity", sens},
 	} {
-		ev, err := p.Evaluate(row.tv.Omegas, nil)
+		ev, err := p.Evaluate(r.ctx, row.tv.Omegas, nil)
 		if err != nil {
 			return err
 		}

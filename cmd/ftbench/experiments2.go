@@ -16,7 +16,7 @@ import (
 // e6Frequencies ablates the test-vector size k (the paper fixes k = 2).
 func (r *runner) e6Frequencies() error {
 	r.header("E6", "ablation: number of test frequencies k")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -24,11 +24,11 @@ func (r *runner) e6Frequencies() error {
 	for k := 1; k <= 4; k++ {
 		cfg := r.gaConfig(p.CUT().Omega0)
 		cfg.NumFrequencies = k
-		tv, err := p.Optimize(cfg)
+		tv, err := p.Optimize(r.ctx, cfg)
 		if err != nil {
 			return err
 		}
-		ev, err := p.Evaluate(tv.Omegas, nil)
+		ev, err := p.Evaluate(r.ctx, tv.Omegas, nil)
 		if err != nil {
 			return err
 		}
@@ -52,7 +52,7 @@ func fmtOmegas(omegas []float64) string {
 // e7GAAblation sweeps GA operators and rates.
 func (r *runner) e7GAAblation() error {
 	r.header("E7", "ablation: GA selection method and mutation rate")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -78,7 +78,7 @@ func (r *runner) e7GAAblation() error {
 		if v.pop > 0 {
 			cfg.GA.PopSize = v.pop
 		}
-		tv, err := p.Optimize(cfg)
+		tv, err := p.Optimize(r.ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -93,7 +93,7 @@ func (r *runner) e7GAAblation() error {
 // the analytic response.
 func (r *runner) e8Noise() error {
 	r.header("E8", "robustness: measurement noise and quantization")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -110,7 +110,7 @@ func (r *runner) e8Noise() error {
 		return err
 	}
 	r.printf("test vector snapped to coherent bins: %s -> %s rad/s\n", fmtOmegas(tv.Omegas), fmtOmegas(omegas))
-	dg, err := p.Diagnoser(omegas)
+	dg, err := p.Diagnoser(r.ctx, omegas)
 	if err != nil {
 		return err
 	}
@@ -180,7 +180,7 @@ func (r *runner) e8Noise() error {
 // toneGains returns the faulty circuit's complex gain at each tone,
 // solved directly (the dictionary stores only magnitudes; the
 // measurement simulation needs phases too).
-func toneGains(p *repro.Pipeline, f repro.Fault, omegas []float64) ([]complex128, error) {
+func toneGains(p *repro.Session, f repro.Fault, omegas []float64) ([]complex128, error) {
 	faulty, err := f.Apply(p.Dictionary().Golden())
 	if err != nil {
 		return nil, err
@@ -205,16 +205,16 @@ func (r *runner) e9Circuits() error {
 	r.header("E9", "generality: fault-trajectory ATPG across benchmark circuits")
 	r.printf("%-18s %4s %22s %4s %9s %9s\n", "circuit", "n", "ω (rad/s)", "I", "fitness", "top1-acc")
 	for _, cut := range repro.Benchmarks() {
-		p, err := repro.NewPipeline(cut, nil)
+		p, err := repro.NewSession(cut)
 		if err != nil {
 			return err
 		}
 		cfg := r.gaConfig(cut.Omega0)
-		tv, err := p.Optimize(cfg)
+		tv, err := p.Optimize(r.ctx, cfg)
 		if err != nil {
 			return err
 		}
-		ev, err := p.Evaluate(tv.Omegas, nil)
+		ev, err := p.Evaluate(r.ctx, tv.Omegas, nil)
 		if err != nil {
 			return err
 		}

@@ -13,7 +13,7 @@ import (
 // trajectory), while genuine single faults should pass.
 func (r *runner) e10Reject() error {
 	r.header("E10", "extension: rejection of out-of-model (double) faults")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -21,7 +21,7 @@ func (r *runner) e10Reject() error {
 	if err != nil {
 		return err
 	}
-	dg, err := p.Diagnoser(tv.Omegas)
+	dg, err := p.Diagnoser(r.ctx, tv.Omegas)
 	if err != nil {
 		return err
 	}
@@ -103,7 +103,7 @@ func (r *runner) e10Reject() error {
 // manufacturing tolerance on top of the single hard fault.
 func (r *runner) e11Tolerance() error {
 	r.header("E11", "extension: diagnosis under component manufacturing tolerance")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -111,7 +111,7 @@ func (r *runner) e11Tolerance() error {
 	if err != nil {
 		return err
 	}
-	dg, err := p.Diagnoser(tv.Omegas)
+	dg, err := p.Diagnoser(r.ctx, tv.Omegas)
 	if err != nil {
 		return err
 	}

@@ -32,19 +32,19 @@ func (r *runner) e12Active() error {
 	// gain stage (A0 fault), U1.Cp the dominant pole (GBW fault).
 	cut.Passives = append(append([]string(nil), cut.Passives...),
 		"U1.E", "U1.Cp", "U1.Rin", "U1.Rout")
-	p, err := repro.NewPipeline(cut, nil)
+	p, err := repro.NewSession(cut)
 	if err != nil {
 		return err
 	}
 	cfg := r.gaConfig(cut.Omega0)
-	tv, err := p.Optimize(cfg)
+	tv, err := p.Optimize(r.ctx, cfg)
 	if err != nil {
 		return err
 	}
 	r.printf("test vector: ω = %s rad/s (I = %d over %d targets)\n",
 		fmtOmegas(tv.Omegas), tv.Intersections, len(cut.Passives))
 
-	ev, err := p.Evaluate(tv.Omegas, nil)
+	ev, err := p.Evaluate(r.ctx, tv.Omegas, nil)
 	if err != nil {
 		return err
 	}
@@ -84,11 +84,11 @@ func (r *runner) e13Grid() error {
 	}
 	r.printf("%-18s %6s %9s %9s %10s\n", "grid", "dict", "top1-acc", "top2-acc", "mean |Δdev|")
 	for _, g := range grids {
-		p, err := repro.NewPipeline(repro.PaperCUT(), g.devs)
+		p, err := repro.NewSession(repro.PaperCUT(), repro.WithDeviations(g.devs...))
 		if err != nil {
 			return err
 		}
-		ev, err := p.Evaluate(tv.Omegas, nil)
+		ev, err := p.Evaluate(r.ctx, tv.Omegas, nil)
 		if err != nil {
 			return err
 		}
@@ -115,7 +115,7 @@ func stepsGrid(step, span float64) []float64 {
 // simulator) and must diagnose as well as the live map.
 func (r *runner) e14Deployed() error {
 	r.header("E14", "extension: diagnosis from a shipped dictionary export (no simulator)")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}

@@ -10,7 +10,7 @@ import (
 // extended catalogue does not disturb parametric diagnosis.
 func (r *runner) e15Catastrophic() error {
 	r.header("E15", "extension: catastrophic (open/short) fault catalogue")
-	p, err := r.paperPipeline()
+	p, err := r.paperSession()
 	if err != nil {
 		return err
 	}
@@ -18,7 +18,7 @@ func (r *runner) e15Catastrophic() error {
 	if err != nil {
 		return err
 	}
-	dg, err := p.Diagnoser(tv.Omegas)
+	dg, err := p.Diagnoser(r.ctx, tv.Omegas)
 	if err != nil {
 		return err
 	}

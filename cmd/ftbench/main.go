@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 )
 
@@ -22,7 +24,12 @@ func main() {
 	)
 	flag.Parse()
 
-	runner := &runner{seed: *seed, full: *full, out: os.Stdout}
+	// Ctrl-C cancels the context; every v2 stage aborts within one GA
+	// generation / frequency batch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := &runner{ctx: ctx, seed: *seed, full: *full, out: os.Stdout}
 	experiments := map[string]func() error{
 		"E1":  runner.e1Dictionary,
 		"E2":  runner.e2Transform,

@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func newTestRunner() (*runner, *bytes.Buffer) {
 	var buf bytes.Buffer
-	return &runner{seed: 1, full: false, out: &buf}, &buf
+	return &runner{ctx: context.Background(), seed: 1, full: false, out: &buf}, &buf
 }
 
 func TestE1OutputShape(t *testing.T) {

@@ -6,14 +6,21 @@
 //	ftdiag -list
 //	ftdiag -cut nf-lowpass-7
 //	ftdiag -cut nf-lowpass-7 -inject R3@+25%
+//	ftdiag -cut nf-lowpass-7 -inject R3@+25% -json
 //	ftdiag -netlist rc.cir -source V1 -output out -inject R1@-30%
 //	ftdiag -cut sallen-key-lp -freqs 0.5,2.0
+//	ftdiag -cut nf-lowpass-7 -save-trajectories map.json -freqs 0.56,4.55
+//
+// Ctrl-C cancels the run; the GA and grid builds abort within one
+// generation / frequency batch.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -34,7 +41,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "GA random seed")
 		full     = flag.Bool("full", false, "use the paper's full 128x15 GA")
 		reject   = flag.Float64("reject", 0, "rejection ratio for out-of-model faults (0 disables; try 0.02)")
-		export   = flag.String("export", "", "write the fault dictionary grid as JSON to this file and exit")
+		export   = flag.String("export", "", "write the fault dictionary grid as a versioned artifact to this file and exit")
+		saveTraj = flag.String("save-trajectories", "", "write the trajectory map as a versioned artifact to this file and exit")
+		jsonOut  = flag.Bool("json", false, "emit the diagnosis/evaluation as machine-readable JSON")
+		progress = flag.Bool("progress", false, "stream per-generation GA progress to stderr")
 	)
 	flag.Parse()
 
@@ -45,42 +55,86 @@ func main() {
 		return
 	}
 
-	p, err := buildPipeline(*cutName, *nlPath, *source, *output)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var opts []repro.Option
+	if *progress {
+		opts = append(opts, repro.WithProgress(func(p repro.Progress) {
+			if p.Stage == repro.StageOptimize {
+				fmt.Fprintf(os.Stderr, "ftdiag: GA generation %d/%d best fitness %.4f\n",
+					p.Completed, p.Total, p.BestFitness)
+			}
+		}))
+	}
+	s, err := buildSession(*cutName, *nlPath, *source, *output, opts...)
 	if err != nil {
 		fail(err)
 	}
-	cut := p.CUT()
-	fmt.Printf("circuit: %s (%d fault targets: %s)\n",
-		cut.Circuit.Name(), len(cut.Passives), strings.Join(cut.Passives, ", "))
+	cut := s.CUT()
+	if !*jsonOut {
+		fmt.Printf("circuit: %s (%d fault targets: %s)\n",
+			cut.Circuit.Name(), len(cut.Passives), strings.Join(cut.Passives, ", "))
+	}
+
+	// Status lines go to stderr under -json so stdout stays pure JSON.
+	status := os.Stdout
+	if *jsonOut {
+		status = os.Stderr
+	}
 
 	if *export != "" {
-		if err := exportDictionary(p, *export); err != nil {
+		if err := exportDictionary(ctx, s, *export); err != nil {
 			fail(err)
 		}
-		fmt.Printf("dictionary grid written to %s\n", *export)
+		fmt.Fprintf(status, "dictionary artifact written to %s\n", *export)
 		return
 	}
 
-	omegas, err := chooseFrequencies(p, *freqsArg, *seed, *full)
+	omegas, err := chooseFrequencies(ctx, s, *freqsArg, *seed, *full, *jsonOut)
 	if err != nil {
 		fail(err)
 	}
-	fit, err := p.Fitness(omegas)
+
+	if *saveTraj != "" {
+		m, err := s.Trajectories(ctx, omegas)
+		if err != nil {
+			fail(err)
+		}
+		if err := s.SaveTrajectories(*saveTraj, m); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(status, "trajectory-map artifact written to %s\n", *saveTraj)
+		return
+	}
+
+	fit, err := s.Fitness(ctx, omegas)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("test vector: ω = %s rad/s (fitness %.4f)\n", joinFloats(omegas), fit)
+	if !*jsonOut {
+		fmt.Printf("test vector: ω = %s rad/s (fitness %.4f)\n", joinFloats(omegas), fit)
+	}
 
 	if *inject != "" {
 		f, err := fault.ParseID(*inject)
 		if err != nil {
 			fail(err)
 		}
-		dg, err := p.Diagnoser(omegas)
+		if *jsonOut {
+			data, err := diagnoseJSON(ctx, s, omegas, fit, f, *reject)
+			if err != nil {
+				fail(err)
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return
+		}
+		dg, err := s.Diagnoser(ctx, omegas)
 		if err != nil {
 			fail(err)
 		}
-		res, err := dg.DiagnoseFault(p.Dictionary(), f)
+		res, err := dg.DiagnoseFault(s.Dictionary(), f)
 		if err != nil {
 			fail(err)
 		}
@@ -98,7 +152,16 @@ func main() {
 		return
 	}
 
-	ev, err := p.Evaluate(omegas, nil)
+	if *jsonOut {
+		data, err := evaluateJSON(ctx, s, omegas, fit)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	ev, err := s.Evaluate(ctx, omegas, nil)
 	if err != nil {
 		fail(err)
 	}
@@ -108,46 +171,99 @@ func main() {
 	fmt.Printf("confusion matrix:\n%s", ev.ConfusionTable())
 }
 
-func buildPipeline(cutName, nlPath, source, output string) (*repro.Pipeline, error) {
+func buildSession(cutName, nlPath, source, output string, opts ...repro.Option) (*repro.Session, error) {
 	if nlPath != "" {
 		text, err := os.ReadFile(nlPath)
 		if err != nil {
 			return nil, err
 		}
-		return repro.NewPipelineFromNetlist(string(text), source, output, nil, nil)
+		return repro.NewSessionFromNetlist(string(text), source, output, opts...)
 	}
 	cut, err := repro.BenchmarkByName(cutName)
 	if err != nil {
 		return nil, err
 	}
-	return repro.NewPipeline(cut, nil)
+	return repro.NewSession(cut, opts...)
 }
 
-func chooseFrequencies(p *repro.Pipeline, freqsArg string, seed int64, full bool) ([]float64, error) {
+func chooseFrequencies(ctx context.Context, s *repro.Session, freqsArg string, seed int64, full, quiet bool) ([]float64, error) {
 	if freqsArg != "" {
 		parts := strings.Split(freqsArg, ",")
 		out := make([]float64, 0, len(parts))
-		for _, s := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		for _, f := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad frequency %q: %v", s, err)
+				return nil, fmt.Errorf("bad frequency %q: %v", f, err)
 			}
 			out = append(out, v)
 		}
 		return out, nil
 	}
-	cfg := repro.PaperOptimizeConfig(p.CUT().Omega0)
+	cfg := repro.PaperOptimizeConfig(s.CUT().Omega0)
 	cfg.Seed = seed
 	if !full {
 		cfg.GA.PopSize = 32
 		cfg.GA.Generations = 10
 	}
-	tv, err := p.Optimize(cfg)
+	tv, err := s.Optimize(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Printf("GA: %d evaluations, best fitness %.4f, I = %d\n", tv.Evaluations, tv.Fitness, tv.Intersections)
+	if !quiet {
+		fmt.Printf("GA: %d evaluations, best fitness %.4f, I = %d\n", tv.Evaluations, tv.Fitness, tv.Intersections)
+	}
 	return tv.Omegas, nil
+}
+
+// diagReport is the machine-readable payload ftdiag -json wraps in the
+// versioned artifact envelope.
+type diagReport struct {
+	Circuit  string                 `json:"circuit"`
+	Omegas   []float64              `json:"omegas"`
+	Fitness  float64                `json:"fitness"`
+	Injected string                 `json:"injected,omitempty"`
+	Rejected *bool                  `json:"rejected,omitempty"`
+	Result   *repro.DiagnosisResult `json:"result,omitempty"`
+	Eval     *repro.Evaluation      `json:"evaluation,omitempty"`
+}
+
+// diagnoseJSON runs the single-fault diagnosis and renders the envelope.
+func diagnoseJSON(ctx context.Context, s *repro.Session, omegas []float64, fit float64, f repro.Fault, rejectRatio float64) ([]byte, error) {
+	dg, err := s.Diagnoser(ctx, omegas)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dg.DiagnoseFault(s.Dictionary(), f)
+	if err != nil {
+		return nil, err
+	}
+	rep := diagReport{
+		Circuit:  s.CUT().Circuit.Name(),
+		Omegas:   omegas,
+		Fitness:  fit,
+		Injected: f.ID(),
+		Result:   res,
+	}
+	if rejectRatio > 0 {
+		rejected := res.Rejected(dg.Extent(), rejectRatio)
+		rep.Rejected = &rejected
+	}
+	return s.EncodeArtifact(repro.KindDiagnosisReport, rep)
+}
+
+// evaluateJSON runs the hold-out evaluation and renders the envelope.
+func evaluateJSON(ctx context.Context, s *repro.Session, omegas []float64, fit float64) ([]byte, error) {
+	ev, err := s.Evaluate(ctx, omegas, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := diagReport{
+		Circuit: s.CUT().Circuit.Name(),
+		Omegas:  omegas,
+		Fitness: fit,
+		Eval:    ev,
+	}
+	return s.EncodeArtifact(repro.KindDiagnosisReport, rep)
 }
 
 func joinFloats(x []float64) string {
@@ -158,20 +274,12 @@ func joinFloats(x []float64) string {
 	return strings.Join(parts, ", ")
 }
 
-// exportDictionary snapshots the fault dictionary over a two-decade grid
-// around the CUT's characteristic frequency and writes it as JSON.
-func exportDictionary(p *repro.Pipeline, path string) error {
-	omega0 := p.CUT().Omega0
+// exportDictionary persists the fault dictionary over a two-decade grid
+// around the CUT's characteristic frequency as a versioned artifact.
+func exportDictionary(ctx context.Context, s *repro.Session, path string) error {
+	omega0 := s.CUT().Omega0
 	grid := numeric.Logspace(omega0/100, omega0*100, 25)
-	snap, err := p.Dictionary().Snapshot(grid)
-	if err != nil {
-		return err
-	}
-	data, err := snap.MarshalIndent()
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
+	return s.SaveDictionary(ctx, path, grid)
 }
 
 func fail(err error) {

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,72 +14,75 @@ import (
 	"repro"
 )
 
+var update = flag.Bool("update", false, "rewrite golden files")
+
 func TestJoinFloats(t *testing.T) {
 	if got := joinFloats([]float64{0.5, 2}); got != "0.5, 2" {
 		t.Fatalf("joinFloats = %q", got)
 	}
 }
 
-func TestBuildPipelineFromBenchmark(t *testing.T) {
-	p, err := buildPipeline("nf-lowpass-7", "", "", "")
+func TestBuildSessionFromBenchmark(t *testing.T) {
+	s, err := buildSession("nf-lowpass-7", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p.CUT().Circuit.Name() != "nf-lowpass-7" {
+	if s.CUT().Circuit.Name() != "nf-lowpass-7" {
 		t.Fatal("wrong benchmark")
 	}
-	if _, err := buildPipeline("nope", "", "", ""); err == nil {
+	if _, err := buildSession("nope", "", "", ""); err == nil {
 		t.Fatal("bogus benchmark accepted")
 	}
-	if _, err := buildPipeline("", "/does/not/exist.cir", "V1", "out"); err == nil {
+	if _, err := buildSession("", "/does/not/exist.cir", "V1", "out"); err == nil {
 		t.Fatal("missing netlist file accepted")
 	}
 }
 
-func TestBuildPipelineFromNetlistFile(t *testing.T) {
+func TestBuildSessionFromNetlistFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "rc.cir")
 	nl := "rc\nV1 in 0 1\nR1 in out 1k\nC1 out 0 1u\n"
 	if err := os.WriteFile(path, []byte(nl), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	p, err := buildPipeline("", path, "V1", "out")
+	s, err := buildSession("", path, "V1", "out")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.CUT().Passives) != 2 {
-		t.Fatalf("passives = %v", p.CUT().Passives)
+	if len(s.CUT().Passives) != 2 {
+		t.Fatalf("passives = %v", s.CUT().Passives)
 	}
 }
 
 func TestChooseFrequenciesExplicit(t *testing.T) {
-	p, err := buildPipeline("nf-lowpass-7", "", "", "")
+	s, err := buildSession("nf-lowpass-7", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := chooseFrequencies(p, "0.5, 2.0", 1, false)
+	ctx := context.Background()
+	got, err := chooseFrequencies(ctx, s, "0.5, 2.0", 1, false, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[0] != 0.5 || got[1] != 2 {
 		t.Fatalf("freqs = %v", got)
 	}
-	if _, err := chooseFrequencies(p, "abc", 1, false); err == nil {
+	if _, err := chooseFrequencies(ctx, s, "abc", 1, false, true); err == nil {
 		t.Fatal("bad freq accepted")
 	}
 }
 
-func TestExportDictionaryWritesJSON(t *testing.T) {
+func TestExportDictionaryWritesArtifact(t *testing.T) {
 	cut, err := repro.BenchmarkByName("sallen-key-lp")
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := repro.NewPipeline(cut, nil)
+	s, err := repro.NewSession(cut)
 	if err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "dict.json")
-	if err := exportDictionary(p, path); err != nil {
+	if err := exportDictionary(context.Background(), s, path); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -86,5 +94,162 @@ func TestExportDictionaryWritesJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"golden"`) {
 		t.Fatal("export missing golden row")
+	}
+	if !strings.Contains(string(data), `"checksum"`) || !strings.Contains(string(data), `"version"`) {
+		t.Fatal("export missing artifact envelope")
+	}
+	// The artifact round-trips through the session loader.
+	ex, err := s.LoadDictionary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Circuit != "sallen-key-lp" {
+		t.Fatalf("loaded circuit = %q", ex.Circuit)
+	}
+}
+
+// TestDiagnoseJSONGolden pins the -json output for a fixed test vector
+// and injected fault against a golden file (regenerate with -update).
+func TestDiagnoseJSONGolden(t *testing.T) {
+	s, err := buildSession("nf-lowpass-7", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	omegas := []float64{0.56, 4.55} // known zero-intersection vector
+	fit, err := s.Fitness(ctx, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := diagnoseJSON(ctx, s, omegas, fit, repro.Fault{Component: "R3", Deviation: 0.25}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "diagnose_r3p25.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	// Structure and strings must match exactly; numbers within 1e-9
+	// relative tolerance (FMA contraction on some architectures shifts
+	// LU-solve results by an ulp, which would break a byte comparison).
+	var gotV, wantV any
+	if err := json.Unmarshal(data, &gotV); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatal(err)
+	}
+	if diff := jsonDiff("$", gotV, wantV); diff != "" {
+		t.Fatalf("-json output drifted from golden file at %s\n got: %s\nwant: %s", diff, data, want)
+	}
+
+	// The envelope is a valid artifact of the report kind.
+	var env struct {
+		Kind     string          `json:"kind"`
+		Version  int             `json:"version"`
+		Checksum string          `json:"checksum"`
+		Payload  json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != repro.KindDiagnosisReport || env.Version != 1 || env.Checksum != s.Checksum() {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	var rep diagReport
+	if err := json.Unmarshal(env.Payload, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Best().Component != "R3" {
+		t.Fatalf("diagnosis = %q, want R3", rep.Result.Best().Component)
+	}
+	if rep.Rejected == nil || *rep.Rejected {
+		t.Fatal("genuine single fault must not be rejected")
+	}
+}
+
+// jsonDiff compares decoded JSON values: structure, keys, strings and
+// bools exactly, numbers to 1e-9 relative tolerance. It returns the
+// path of the first mismatch, or "".
+func jsonDiff(path string, got, want any) string {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok || len(g) != len(w) {
+			return path
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				return path + "." + k
+			}
+			if d := jsonDiff(path+"."+k, gv, wv); d != "" {
+				return d
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(g) != len(w) {
+			return path
+		}
+		for i := range w {
+			if d := jsonDiff(fmt.Sprintf("%s[%d]", path, i), g[i], w[i]); d != "" {
+				return d
+			}
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			return path
+		}
+		scale := math.Max(math.Abs(g), math.Abs(w))
+		if scale > 0 && math.Abs(g-w)/scale > 1e-9 {
+			return path
+		}
+	default:
+		if got != want {
+			return path
+		}
+	}
+	return ""
+}
+
+// TestEvaluateJSONShape sanity-checks the evaluation report payload.
+func TestEvaluateJSONShape(t *testing.T) {
+	s, err := buildSession("nf-lowpass-7", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	data, err := evaluateJSON(ctx, s, []float64{0.56, 4.55}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var rep diagReport
+	if err := json.Unmarshal(env.Payload, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Eval == nil || rep.Eval.Total == 0 {
+		t.Fatalf("evaluation payload empty: %+v", rep)
+	}
+	if rep.Eval.Accuracy() < 0.9 {
+		t.Fatalf("accuracy = %g, want >= 0.9 on the known-good vector", rep.Eval.Accuracy())
 	}
 }

@@ -1,0 +1,44 @@
+package repro
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/numeric"
+	"repro/internal/rerr"
+)
+
+// Structured errors returned at the package boundary. Every failure mode
+// a caller might branch on wraps one of these sentinels; match with
+// errors.Is rather than string comparison.
+var (
+	// ErrBadConfig marks rejected configuration: GA hyperparameters,
+	// frequency bands, fault universes, session options.
+	ErrBadConfig = rerr.ErrBadConfig
+
+	// ErrSingular marks an unsolvable (singular to working precision)
+	// MNA system — typically a degenerate circuit or fault value.
+	ErrSingular = numeric.ErrSingular
+
+	// ErrUnknownComponent marks a reference to a circuit element that
+	// does not exist (or has no faultable value) in the circuit under
+	// test.
+	ErrUnknownComponent = rerr.ErrUnknownComponent
+
+	// ErrCanceled marks a stage stopped by context cancellation or
+	// deadline. The error chain also contains the context's own error,
+	// so errors.Is(err, context.Canceled) (or context.DeadlineExceeded)
+	// holds too.
+	ErrCanceled = rerr.ErrCanceled
+
+	// ErrArtifact marks a persisted artifact that cannot be decoded:
+	// malformed JSON, wrong kind, or an unsupported schema version.
+	ErrArtifact = rerr.ErrArtifact
+
+	// ErrStaleArtifact marks an artifact whose netlist checksum does not
+	// match the session's circuit under test.
+	ErrStaleArtifact = rerr.ErrStaleArtifact
+)
+
+// ParseError is the structured netlist syntax error: it carries the
+// 1-based source line number and the offending card text. Recover it
+// from a ParseNetlist failure with errors.As.
+type ParseError = netlist.ParseError

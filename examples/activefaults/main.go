@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cut, err := repro.PaperCUTMacro()
 	if err != nil {
 		log.Fatal(err)
@@ -21,21 +23,21 @@ func main() {
 	fmt.Printf("CUT: %s\n", cut.Description)
 	fmt.Printf("fault targets (%d): %v\n", len(cut.Passives), cut.Passives)
 
-	pipeline, err := repro.NewPipeline(cut, nil)
+	session, err := repro.NewSession(cut)
 	if err != nil {
 		log.Fatal(err)
 	}
 	cfg := repro.PaperOptimizeConfig(cut.Omega0)
 	cfg.GA.PopSize = 48
 	cfg.GA.Generations = 12
-	tv, err := pipeline.Optimize(cfg)
+	tv, err := session.Optimize(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("GA test vector: ω = %.4g, %.4g rad/s (I = %d over %d trajectories)\n\n",
 		tv.Omegas[0], tv.Omegas[1], tv.Intersections, len(cut.Passives))
 
-	diagnoser, err := pipeline.Diagnoser(tv.Omegas)
+	diagnoser, err := session.Diagnoser(ctx, tv.Omegas)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 		{Component: "U1.Cp", Deviation: 0.35}, // GBW down 26% → pole cap up 35%
 		{Component: "U1.E", Deviation: -0.25}, // open-loop gain down 25%
 	} {
-		res, err := diagnoser.DiagnoseFault(pipeline.Dictionary(), hidden)
+		res, err := diagnoser.DiagnoseFault(session.Dictionary(), hidden)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,7 +67,7 @@ func main() {
 	}
 
 	// Summary: full hold-out accuracy over all 11 targets.
-	ev, err := pipeline.Evaluate(tv.Omegas, nil)
+	ev, err := session.Evaluate(ctx, tv.Omegas, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -23,28 +25,35 @@ RL b 0 10
 `
 
 func main() {
-	// Parse and inspect the netlist first.
+	ctx := context.Background()
+
+	// Parse and inspect the netlist first. A syntax error would be a
+	// ParseError carrying the offending line number and card text.
 	circ, err := repro.ParseNetlist(bandpass)
 	if err != nil {
+		var pe *repro.ParseError
+		if errors.As(err, &pe) {
+			log.Fatalf("netlist line %d: %s (%q)", pe.Line, pe.Msg, pe.Card)
+		}
 		log.Fatal(err)
 	}
 	fmt.Printf("parsed %q: %d elements, %d nodes\n",
 		circ.Name(), len(circ.Elements()), circ.NumNodes())
 
-	// Build the pipeline straight from the netlist text. Components nil
-	// → every R/C/L element becomes a fault target.
-	pipeline, err := repro.NewPipelineFromNetlist(bandpass, "V1", "b", nil, nil)
+	// Open a session straight from the netlist text. Without
+	// WithComponents, every R/C/L element becomes a fault target.
+	session, err := repro.NewSessionFromNetlist(bandpass, "V1", "b")
 	if err != nil {
 		log.Fatal(err)
 	}
-	targets := pipeline.CUT().Passives
+	targets := session.CUT().Passives
 	fmt.Printf("fault targets: %v\n", targets)
 
 	// Optimize a 2-frequency test vector around the passband.
 	cfg := repro.PaperOptimizeConfig(1.0)
 	cfg.GA.PopSize = 64 // netlist CUTs are small; a reduced GA suffices
 	cfg.GA.Generations = 12
-	tv, err := pipeline.Optimize(cfg)
+	tv, err := session.Optimize(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +61,7 @@ func main() {
 		tv.Omegas[0], tv.Omegas[1], tv.Intersections)
 
 	// Walk every component through an off-grid fault and report.
-	diagnoser, err := pipeline.Diagnoser(tv.Omegas)
+	diagnoser, err := session.Diagnoser(ctx, tv.Omegas)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +69,7 @@ func main() {
 	for _, comp := range targets {
 		for _, dev := range []float64{-0.25, 0.25} {
 			f := repro.Fault{Component: comp, Deviation: dev}
-			res, err := diagnoser.DiagnoseFault(pipeline.Dictionary(), f)
+			res, err := diagnoser.DiagnoseFault(session.Dictionary(), f)
 			if err != nil {
 				log.Fatal(err)
 			}

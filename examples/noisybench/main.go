@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -18,7 +19,8 @@ import (
 )
 
 func main() {
-	pipeline, err := repro.NewPipeline(repro.PaperCUT(), nil)
+	ctx := context.Background()
+	session, err := repro.NewSession(repro.PaperCUT())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +30,7 @@ func main() {
 	cfg := repro.PaperOptimizeConfig(1.0)
 	cfg.GA.PopSize = 48
 	cfg.GA.Generations = 10
-	tv, err := pipeline.Optimize(cfg)
+	tv, err := session.Optimize(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,13 +41,13 @@ func main() {
 	}
 	fmt.Printf("test tones (coherent): ω = %.4g, %.4g rad/s\n", omegas[0], omegas[1])
 
-	diagnoser, err := pipeline.Diagnoser(omegas)
+	diagnoser, err := session.Diagnoser(ctx, omegas)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Reference measurement of the golden board.
-	goldenAmps, err := measure(pipeline, repro.Fault{}, omegas, meas, nil)
+	goldenAmps, err := measure(session, repro.Fault{}, omegas, meas, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func main() {
 			if !math.IsInf(snr, 1) {
 				cfg.ADCBits = 12
 			}
-			amps, err := measure(pipeline, f, omegas, cfg, rng)
+			amps, err := measure(session, f, omegas, cfg, rng)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -96,7 +98,7 @@ func main() {
 // measure runs the simulated bench path: solve the faulty circuit for
 // complex tone gains, synthesize the output waveform, corrupt it, and
 // recover per-tone amplitudes.
-func measure(p *repro.Pipeline, f repro.Fault, omegas []float64, cfg signal.MeasureConfig, rng *rand.Rand) ([]float64, error) {
+func measure(p *repro.Session, f repro.Fault, omegas []float64, cfg signal.MeasureConfig, rng *rand.Rand) ([]float64, error) {
 	faulty, err := f.Apply(p.Dictionary().Golden())
 	if err != nil {
 		return nil, err

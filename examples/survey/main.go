@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -20,20 +21,21 @@ func main() {
 		acc      float64
 		worst    string
 	}
+	ctx := context.Background()
 	var rows []row
 	for _, cut := range repro.Benchmarks() {
-		pipeline, err := repro.NewPipeline(cut, nil)
+		session, err := repro.NewSession(cut)
 		if err != nil {
 			log.Fatal(err)
 		}
 		cfg := repro.PaperOptimizeConfig(cut.Omega0)
 		cfg.GA.PopSize = 48
 		cfg.GA.Generations = 12
-		tv, err := pipeline.Optimize(cfg)
+		tv, err := session.Optimize(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ev, err := pipeline.Evaluate(tv.Omegas, nil)
+		ev, err := session.Evaluate(ctx, tv.Omegas, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

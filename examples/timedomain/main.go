@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,7 +20,8 @@ import (
 )
 
 func main() {
-	pipeline, err := repro.NewPipeline(repro.PaperCUT(), nil)
+	ctx := context.Background()
+	session, err := repro.NewSession(repro.PaperCUT())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,13 +29,13 @@ func main() {
 	// A known-good hand-picked test vector (band edge + roll-off). Using
 	// fixed frequencies keeps the example fast and deterministic.
 	omegas := []float64{0.6, 4.5}
-	fit, err := pipeline.Fitness(omegas)
+	fit, err := session.Fitness(ctx, omegas)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("test vector: ω = %v rad/s (fitness %.3f)\n", omegas, fit)
 
-	diagnoser, err := pipeline.Diagnoser(omegas)
+	diagnoser, err := session.Diagnoser(ctx, omegas)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func main() {
 	}
 
 	fmt.Println("integrating the golden circuit in time…")
-	goldenAmps, err := measure(pipeline.Dictionary().Golden())
+	goldenAmps, err := measure(session.Dictionary().Golden())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func main() {
 		{Component: "C2", Deviation: -0.3},
 		{Component: "R1", Deviation: 0.35},
 	} {
-		board, err := hidden.Apply(pipeline.Dictionary().Golden())
+		board, err := hidden.Apply(session.Dictionary().Golden())
 		if err != nil {
 			log.Fatal(err)
 		}

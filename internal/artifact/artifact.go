@@ -1,0 +1,90 @@
+// Package artifact implements the versioned JSON envelope the library
+// persists its expensive products in: dictionary grids, test vectors, and
+// trajectory maps. An envelope carries a kind tag (so a test-vector file
+// is never mistaken for a dictionary), a schema version (so future layout
+// changes can be detected instead of silently misread), and a checksum of
+// the circuit-under-test netlist (so an artifact built for one board
+// revision is rejected when loaded against another).
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/rerr"
+)
+
+// Version is the current schema version written into every envelope.
+// Decode rejects any other version.
+const Version = 1
+
+// Envelope is the on-disk frame around every persisted artifact.
+type Envelope struct {
+	// Kind names the payload type, e.g. "repro.dictionary-grid".
+	Kind string `json:"kind"`
+	// Version is the schema version the payload was written with.
+	Version int `json:"version"`
+	// Checksum is the SHA-256 (hex) of the serialized CUT netlist the
+	// artifact was built from; empty when the artifact is CUT-independent.
+	Checksum string `json:"checksum,omitempty"`
+	// Payload is the artifact body.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Checksum hashes a serialized netlist into the hex digest stored in and
+// verified against envelopes.
+func Checksum(netlistText string) string {
+	sum := sha256.Sum256([]byte(netlistText))
+	return hex.EncodeToString(sum[:])
+}
+
+// Encode wraps a payload in an envelope of the given kind and renders it
+// as indented JSON.
+func Encode(kind, checksum string, payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: encode %s: %w", kind, err)
+	}
+	env := Envelope{Kind: kind, Version: Version, Checksum: checksum, Payload: raw}
+	return json.MarshalIndent(&env, "", "  ")
+}
+
+// Decode opens an envelope, verifying kind, schema version, and — when
+// wantChecksum is non-empty — the netlist checksum. It returns the raw
+// payload for the caller to unmarshal.
+//
+// Failures wrap rerr.ErrArtifact (undecodable, wrong kind, unsupported
+// version) or rerr.ErrStaleArtifact (checksum mismatch).
+func Decode(data []byte, kind, wantChecksum string) (json.RawMessage, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("artifact: %w: %v", rerr.ErrArtifact, err)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("artifact: %w: kind %q, want %q", rerr.ErrArtifact, env.Kind, kind)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("artifact: %w: schema version %d unsupported (this build reads version %d)", rerr.ErrArtifact, env.Version, Version)
+	}
+	if wantChecksum != "" && env.Checksum != wantChecksum {
+		return nil, fmt.Errorf("artifact: %w: netlist checksum %.12s… does not match the circuit under test (%.12s…)", rerr.ErrStaleArtifact, env.Checksum, wantChecksum)
+	}
+	if len(env.Payload) == 0 {
+		return nil, fmt.Errorf("artifact: %w: empty payload", rerr.ErrArtifact)
+	}
+	return env.Payload, nil
+}
+
+// DecodeInto is Decode plus unmarshaling the payload into out.
+func DecodeInto(data []byte, kind, wantChecksum string, out any) error {
+	payload, err := Decode(data, kind, wantChecksum)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("artifact: %w: %s payload: %v", rerr.ErrArtifact, kind, err)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package artifact
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/rerr"
+)
+
+type payload struct {
+	Name string    `json:"name"`
+	Vals []float64 `json:"vals"`
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := payload{Name: "x", Vals: []float64{1, 2.5, -3e-9}}
+	sum := Checksum("V1 in 0 1\n")
+	data, err := Encode("repro.test", sum, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := DecodeInto(data, "repro.test", sum, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Vals) != 3 || out.Vals[2] != in.Vals[2] {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestDecodeRejectsWrongKind(t *testing.T) {
+	data, err := Encode("repro.test", "", payload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data, "repro.other", ""); !errors.Is(err, rerr.ErrArtifact) {
+		t.Fatalf("err = %v, want ErrArtifact", err)
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	data, err := Encode("repro.test", "", payload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Version = Version + 41
+	tampered, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(tampered, "repro.test", "")
+	if !errors.Is(err, rerr.ErrArtifact) {
+		t.Fatalf("err = %v, want ErrArtifact", err)
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err %q does not mention the version", err)
+	}
+}
+
+func TestDecodeRejectsChecksumMismatch(t *testing.T) {
+	data, err := Encode("repro.test", Checksum("netlist A"), payload{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Decode(data, "repro.test", Checksum("netlist B"))
+	if !errors.Is(err, rerr.ErrStaleArtifact) {
+		t.Fatalf("err = %v, want ErrStaleArtifact", err)
+	}
+	// Empty want skips the check (CUT-independent loads).
+	if _, err := Decode(data, "repro.test", ""); err != nil {
+		t.Fatalf("checksum-agnostic decode failed: %v", err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json"), "repro.test", ""); !errors.Is(err, rerr.ErrArtifact) {
+		t.Fatalf("err = %v, want ErrArtifact", err)
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	a, b := Checksum("same"), Checksum("same")
+	if a != b || len(a) != 64 {
+		t.Fatalf("checksum not a stable sha256 hex: %q vs %q", a, b)
+	}
+	if Checksum("other") == a {
+		t.Fatal("distinct inputs collide")
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/fault"
 	"repro/internal/ga"
+	"repro/internal/rerr"
 	"repro/internal/trajectory"
 )
 
@@ -72,30 +74,31 @@ func PaperOptimizeConfig(omega0 float64) Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors; they wrap rerr.ErrBadConfig.
 func (c Config) Validate() error {
 	if c.NumFrequencies < 1 {
-		return fmt.Errorf("core: need at least 1 test frequency, got %d", c.NumFrequencies)
+		return fmt.Errorf("core: %w: need at least 1 test frequency, got %d", rerr.ErrBadConfig, c.NumFrequencies)
 	}
 	if !(c.BandLo > 0 && c.BandHi > c.BandLo) {
-		return fmt.Errorf("core: bad frequency band [%g, %g]", c.BandLo, c.BandHi)
+		return fmt.Errorf("core: %w: bad frequency band [%g, %g]", rerr.ErrBadConfig, c.BandLo, c.BandHi)
 	}
 	return c.GA.Validate()
 }
 
 // TestVector is an optimized set of test frequencies with its quality
-// metrics.
+// metrics. The JSON tags define the persisted artifact schema (see the
+// artifact envelope).
 type TestVector struct {
 	// Omegas are the test frequencies in rad/s, ascending.
-	Omegas []float64
+	Omegas []float64 `json:"omegas"`
 	// Fitness is the GA objective value of this vector.
-	Fitness float64
+	Fitness float64 `json:"fitness"`
 	// Intersections is the paper's I for this vector.
-	Intersections int
+	Intersections int `json:"intersections"`
 	// History holds the GA's per-generation statistics.
-	History []ga.GenStats
+	History []ga.GenStats `json:"history,omitempty"`
 	// Evaluations counts fitness calls spent.
-	Evaluations int
+	Evaluations int `json:"evaluations"`
 }
 
 // ATPG is the fault-trajectory test generator for one circuit under
@@ -119,8 +122,8 @@ func (a *ATPG) Dictionary() *dictionary.Dictionary { return a.dict }
 
 // Fitness evaluates the configured objective for an explicit test vector
 // — the same function the GA maximizes.
-func (a *ATPG) Fitness(omegas []float64, mode FitnessMode) (float64, error) {
-	m, err := trajectory.Build(a.dict, omegas)
+func (a *ATPG) Fitness(ctx context.Context, omegas []float64, mode FitnessMode) (float64, error) {
+	m, err := trajectory.Build(ctx, a.dict, omegas)
 	if err != nil {
 		return 0, err
 	}
@@ -145,8 +148,11 @@ func fitnessOf(m *trajectory.Map, mode FitnessMode) float64 {
 	return base + 0.5*math.Min(1, sep)
 }
 
-// Optimize searches for the best test vector with the GA.
-func (a *ATPG) Optimize(cfg Config) (*TestVector, error) {
+// Optimize searches for the best test vector with the GA. The context
+// is enforced at every GA generation boundary and before each fitness
+// evaluation; a canceled context returns an error wrapping
+// rerr.ErrCanceled within one generation.
+func (a *ATPG) Optimize(ctx context.Context, cfg Config) (*TestVector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,7 +164,7 @@ func (a *ATPG) Optimize(cfg Config) (*TestVector, error) {
 	problem := ga.Problem{
 		Bounds: bounds,
 		Fitness: func(genes []float64) float64 {
-			m, err := trajectory.Build(a.dict, genesToOmegas(genes))
+			m, err := trajectory.Build(ctx, a.dict, genesToOmegas(genes))
 			if err != nil {
 				return 0 // unsolvable candidate: zero mass
 			}
@@ -166,13 +172,13 @@ func (a *ATPG) Optimize(cfg Config) (*TestVector, error) {
 		},
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	res, err := ga.Run(problem, cfg.GA, rng)
+	res, err := ga.Run(ctx, problem, cfg.GA, rng)
 	if err != nil {
 		return nil, err
 	}
 	omegas := genesToOmegas(res.Best)
 	sortFloats(omegas)
-	m, err := trajectory.Build(a.dict, omegas)
+	m, err := trajectory.Build(ctx, a.dict, omegas)
 	if err != nil {
 		return nil, err
 	}
@@ -203,8 +209,8 @@ func sortFloats(x []float64) {
 
 // BuildDiagnoser constructs the diagnosis stage for a chosen test
 // vector.
-func (a *ATPG) BuildDiagnoser(omegas []float64) (*diagnosis.Diagnoser, error) {
-	m, err := trajectory.Build(a.dict, omegas)
+func (a *ATPG) BuildDiagnoser(ctx context.Context, omegas []float64) (*diagnosis.Diagnoser, error) {
+	m, err := trajectory.Build(ctx, a.dict, omegas)
 	if err != nil {
 		return nil, err
 	}
@@ -212,14 +218,16 @@ func (a *ATPG) BuildDiagnoser(omegas []float64) (*diagnosis.Diagnoser, error) {
 }
 
 // EvaluateVector runs the standard hold-out evaluation for a test
-// vector: off-grid deviations on every universe component.
-func (a *ATPG) EvaluateVector(omegas []float64, holdOut []float64) (*diagnosis.Evaluation, error) {
-	dg, err := a.BuildDiagnoser(omegas)
+// vector: off-grid deviations on every universe component. A canceled
+// context returns an error wrapping rerr.ErrCanceled within one
+// frequency batch.
+func (a *ATPG) EvaluateVector(ctx context.Context, omegas []float64, holdOut []float64) (*diagnosis.Evaluation, error) {
+	dg, err := a.BuildDiagnoser(ctx, omegas)
 	if err != nil {
 		return nil, err
 	}
 	trials := diagnosis.HoldOutTrials(a.dict.Universe(), holdOut)
-	return dg.Evaluate(a.dict, trials)
+	return dg.Evaluate(ctx, a.dict, trials)
 }
 
 // --- Baseline frequency-selection strategies -------------------------
@@ -227,24 +235,30 @@ func (a *ATPG) EvaluateVector(omegas []float64, holdOut []float64) (*diagnosis.E
 // RandomVector draws n random k-frequency vectors in the band and keeps
 // the one with the best paper fitness — the "no optimization, same
 // budget" baseline.
-func (a *ATPG) RandomVector(k int, bandLo, bandHi float64, n int, rng *rand.Rand) (*TestVector, error) {
+func (a *ATPG) RandomVector(ctx context.Context, k int, bandLo, bandHi float64, n int, rng *rand.Rand) (*TestVector, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 || n < 1 {
-		return nil, fmt.Errorf("core: bad random baseline k=%d n=%d", k, n)
+		return nil, fmt.Errorf("core: %w: bad random baseline k=%d n=%d", rerr.ErrBadConfig, k, n)
 	}
 	if !(bandLo > 0 && bandHi > bandLo) {
-		return nil, fmt.Errorf("core: bad band [%g, %g]", bandLo, bandHi)
+		return nil, fmt.Errorf("core: %w: bad band [%g, %g]", rerr.ErrBadConfig, bandLo, bandHi)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("core: nil rng")
+		return nil, fmt.Errorf("core: %w: nil rng", rerr.ErrBadConfig)
 	}
 	lo, hi := math.Log10(bandLo), math.Log10(bandHi)
 	best := &TestVector{Fitness: -1}
 	for trial := 0; trial < n; trial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, rerr.Canceled(err)
+		}
 		omegas := make([]float64, k)
 		for i := range omegas {
 			omegas[i] = math.Pow(10, lo+rng.Float64()*(hi-lo))
 		}
-		m, err := trajectory.Build(a.dict, omegas)
+		m, err := trajectory.Build(ctx, a.dict, omegas)
 		if err != nil {
 			continue
 		}
@@ -264,12 +278,15 @@ func (a *ATPG) RandomVector(k int, bandLo, bandHi float64, n int, rng *rand.Rand
 // GridVector exhaustively evaluates all k-combinations of a gridSize
 // log-spaced frequency grid and returns the best — the deterministic
 // baseline. Cost grows as C(gridSize, k); keep gridSize modest.
-func (a *ATPG) GridVector(k int, bandLo, bandHi float64, gridSize int) (*TestVector, error) {
+func (a *ATPG) GridVector(ctx context.Context, k int, bandLo, bandHi float64, gridSize int) (*TestVector, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 || gridSize < k {
-		return nil, fmt.Errorf("core: bad grid baseline k=%d grid=%d", k, gridSize)
+		return nil, fmt.Errorf("core: %w: bad grid baseline k=%d grid=%d", rerr.ErrBadConfig, k, gridSize)
 	}
 	if !(bandLo > 0 && bandHi > bandLo) {
-		return nil, fmt.Errorf("core: bad band [%g, %g]", bandLo, bandHi)
+		return nil, fmt.Errorf("core: %w: bad band [%g, %g]", rerr.ErrBadConfig, bandLo, bandHi)
 	}
 	grid := logspace(bandLo, bandHi, gridSize)
 	best := &TestVector{Fitness: -1}
@@ -277,8 +294,11 @@ func (a *ATPG) GridVector(k int, bandLo, bandHi float64, gridSize int) (*TestVec
 	var rec func(start int, chosen []float64) error
 	rec = func(start int, chosen []float64) error {
 		if len(chosen) == k {
+			if err := ctx.Err(); err != nil {
+				return rerr.Canceled(err)
+			}
 			omegas := append([]float64(nil), chosen...)
-			m, err := trajectory.Build(a.dict, omegas)
+			m, err := trajectory.Build(ctx, a.dict, omegas)
 			if err != nil {
 				return nil // skip unsolvable combos
 			}
@@ -310,15 +330,21 @@ func (a *ATPG) GridVector(k int, bandLo, bandHi float64, gridSize int) (*TestVec
 // sensitivities while keeping picks at least minDecades apart — the
 // classical heuristic a test engineer would use without the trajectory
 // machinery.
-func (a *ATPG) SensitivityVector(k int, bandLo, bandHi float64, gridSize int, minDecades float64) (*TestVector, error) {
+func (a *ATPG) SensitivityVector(ctx context.Context, k int, bandLo, bandHi float64, gridSize int, minDecades float64) (*TestVector, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 || gridSize < k {
-		return nil, fmt.Errorf("core: bad sensitivity baseline k=%d grid=%d", k, gridSize)
+		return nil, fmt.Errorf("core: %w: bad sensitivity baseline k=%d grid=%d", rerr.ErrBadConfig, k, gridSize)
 	}
 	golden := a.dict.Golden()
 	u := a.dict.Universe()
 	grid := logspace(bandLo, bandHi, gridSize)
 	score := make([]float64, len(grid))
 	for i, w := range grid {
+		if err := ctx.Err(); err != nil {
+			return nil, rerr.Canceled(err)
+		}
 		var total float64
 		for _, comp := range u.Components {
 			s, err := analysis.RelativeSensitivity(golden, comp, a.dict.Source(), a.dict.Output(), w, 1e-4)
@@ -356,7 +382,7 @@ func (a *ATPG) SensitivityVector(k int, bandLo, bandHi float64, gridSize int, mi
 		picked = append(picked, grid[bestIdx])
 	}
 	sortFloats(picked)
-	m, err := trajectory.Build(a.dict, picked)
+	m, err := trajectory.Build(ctx, a.dict, picked)
 	if err != nil {
 		return nil, err
 	}

@@ -81,21 +81,21 @@ func TestFitnessModeString(t *testing.T) {
 
 func TestFitnessExplicitVector(t *testing.T) {
 	a := paperATPG(t)
-	fit, err := a.Fitness([]float64{0.5, 2}, PaperFitness)
+	fit, err := a.Fitness(nil, []float64{0.5, 2}, PaperFitness)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fit <= 0 || fit > 1 {
 		t.Fatalf("paper fitness = %g outside (0,1]", fit)
 	}
-	sep, err := a.Fitness([]float64{0.5, 2}, SeparationFitness)
+	sep, err := a.Fitness(nil, []float64{0.5, 2}, SeparationFitness)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sep < fit {
 		t.Fatalf("separation fitness %g below paper %g", sep, fit)
 	}
-	if _, err := a.Fitness(nil, PaperFitness); err == nil {
+	if _, err := a.Fitness(nil, nil, PaperFitness); err == nil {
 		t.Fatal("empty vector accepted")
 	}
 }
@@ -104,7 +104,7 @@ func TestOptimizeFindsGoodVector(t *testing.T) {
 	a := paperATPG(t)
 	cfg := PaperOptimizeConfig(1)
 	cfg.GA = smallGA()
-	tv, err := a.Optimize(cfg)
+	tv, err := a.Optimize(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestOptimizeFindsGoodVector(t *testing.T) {
 		t.Fatal("no evaluations recorded")
 	}
 	// Fitness agrees with a direct recomputation.
-	direct, err := a.Fitness(tv.Omegas, PaperFitness)
+	direct, err := a.Fitness(nil, tv.Omegas, PaperFitness)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func TestOptimizeDeterministic(t *testing.T) {
 	a := paperATPG(t)
 	cfg := PaperOptimizeConfig(1)
 	cfg.GA = smallGA()
-	tv1, err := a.Optimize(cfg)
+	tv1, err := a.Optimize(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	tv2, err := a.Optimize(cfg)
+	tv2, err := a.Optimize(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,21 +162,21 @@ func TestOptimizeRejectsBadConfig(t *testing.T) {
 	a := paperATPG(t)
 	cfg := PaperOptimizeConfig(1)
 	cfg.NumFrequencies = 0
-	if _, err := a.Optimize(cfg); err == nil {
+	if _, err := a.Optimize(nil, cfg); err == nil {
 		t.Fatal("bad config accepted")
 	}
 }
 
 func TestBuildDiagnoserAndEvaluate(t *testing.T) {
 	a := paperATPG(t)
-	dg, err := a.BuildDiagnoser([]float64{0.5, 2})
+	dg, err := a.BuildDiagnoser(nil, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if dg.Map().Dim() != 2 {
 		t.Fatal("wrong dimension")
 	}
-	ev, err := a.EvaluateVector([]float64{0.5, 2}, []float64{-0.25, 0.25})
+	ev, err := a.EvaluateVector(nil, []float64{0.5, 2}, []float64{-0.25, 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestBuildDiagnoserAndEvaluate(t *testing.T) {
 func TestRandomVectorBaseline(t *testing.T) {
 	a := paperATPG(t)
 	rng := rand.New(rand.NewSource(5))
-	tv, err := a.RandomVector(2, 0.01, 100, 30, rng)
+	tv, err := a.RandomVector(nil, 2, 0.01, 100, 30, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,20 +202,20 @@ func TestRandomVectorBaseline(t *testing.T) {
 		t.Fatalf("fitness = %g", tv.Fitness)
 	}
 	// Input validation.
-	if _, err := a.RandomVector(0, 0.01, 100, 5, rng); err == nil {
+	if _, err := a.RandomVector(nil, 0, 0.01, 100, 5, rng); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := a.RandomVector(2, -1, 100, 5, rng); err == nil {
+	if _, err := a.RandomVector(nil, 2, -1, 100, 5, rng); err == nil {
 		t.Fatal("bad band accepted")
 	}
-	if _, err := a.RandomVector(2, 0.01, 100, 5, nil); err == nil {
+	if _, err := a.RandomVector(nil, 2, 0.01, 100, 5, nil); err == nil {
 		t.Fatal("nil rng accepted")
 	}
 }
 
 func TestGridVectorBaseline(t *testing.T) {
 	a := paperATPG(t)
-	tv, err := a.GridVector(2, 0.01, 100, 8)
+	tv, err := a.GridVector(nil, 2, 0.01, 100, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,17 +226,17 @@ func TestGridVectorBaseline(t *testing.T) {
 	if tv.Evaluations < 1 || tv.Evaluations > 28 {
 		t.Fatalf("evaluations = %d", tv.Evaluations)
 	}
-	if _, err := a.GridVector(3, 0.01, 100, 2); err == nil {
+	if _, err := a.GridVector(nil, 3, 0.01, 100, 2); err == nil {
 		t.Fatal("grid smaller than k accepted")
 	}
-	if _, err := a.GridVector(2, 5, 1, 8); err == nil {
+	if _, err := a.GridVector(nil, 2, 5, 1, 8); err == nil {
 		t.Fatal("inverted band accepted")
 	}
 }
 
 func TestSensitivityVectorBaseline(t *testing.T) {
 	a := paperATPG(t)
-	tv, err := a.SensitivityVector(2, 0.01, 100, 12, 0.3)
+	tv, err := a.SensitivityVector(nil, 2, 0.01, 100, 12, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,11 +246,11 @@ func TestSensitivityVectorBaseline(t *testing.T) {
 	if math.Abs(math.Log10(tv.Omegas[1])-math.Log10(tv.Omegas[0])) < 0.3 {
 		t.Fatalf("picks too close: %v", tv.Omegas)
 	}
-	if _, err := a.SensitivityVector(0, 0.01, 100, 12, 0.3); err == nil {
+	if _, err := a.SensitivityVector(nil, 0, 0.01, 100, 12, 0.3); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 	// Impossible separation demand.
-	if _, err := a.SensitivityVector(5, 1, 2, 6, 2.0); err == nil {
+	if _, err := a.SensitivityVector(nil, 5, 1, 2, 6, 2.0); err == nil {
 		t.Fatal("unsatisfiable separation accepted")
 	}
 }
@@ -259,12 +259,12 @@ func TestGAVectorBeatsOrMatchesRandomOnFitness(t *testing.T) {
 	a := paperATPG(t)
 	cfg := PaperOptimizeConfig(1)
 	cfg.GA = smallGA()
-	tv, err := a.Optimize(cfg)
+	tv, err := a.Optimize(nil, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(42))
-	rnd, err := a.RandomVector(2, cfg.BandLo, cfg.BandHi, 10, rng)
+	rnd, err := a.RandomVector(nil, 2, cfg.BandLo, cfg.BandHi, 10, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

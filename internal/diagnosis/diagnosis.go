@@ -8,6 +8,7 @@
 package diagnosis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -19,27 +20,28 @@ import (
 	"repro/internal/trajectory"
 )
 
-// Candidate is one component's claim on an observed fault point.
+// Candidate is one component's claim on an observed fault point. The
+// JSON tags define the machine-readable report schema (ftdiag -json).
 type Candidate struct {
 	// Component is the candidate faulty component.
-	Component string
+	Component string `json:"component"`
 	// Distance is the point's distance to the trajectory (to the
 	// perpendicular foot when one exists, else to the nearest endpoint).
-	Distance float64
+	Distance float64 `json:"distance"`
 	// Deviation is the estimated fractional deviation at the projection
 	// foot.
-	Deviation float64
+	Deviation float64 `json:"deviation"`
 	// Perpendicular reports whether a perpendicular foot exists inside
 	// some segment of the trajectory (the paper's preferred evidence).
-	Perpendicular bool
+	Perpendicular bool `json:"perpendicular"`
 }
 
 // Result is a ranked diagnosis.
 type Result struct {
 	// Candidates is sorted best-first.
-	Candidates []Candidate
+	Candidates []Candidate `json:"candidates"`
 	// Point is the observed signature the diagnosis explains.
-	Point geometry.VecN
+	Point geometry.VecN `json:"point"`
 }
 
 // Best returns the top candidate.
@@ -196,26 +198,26 @@ func (d *Diagnoser) DiagnoseFault(dict *dictionary.Dictionary, f fault.Fault) (*
 // Evaluation aggregates diagnosis quality over a set of trial faults.
 type Evaluation struct {
 	// Total is the number of trials.
-	Total int
+	Total int `json:"total"`
 	// Correct counts trials whose top candidate named the right
 	// component.
-	Correct int
+	Correct int `json:"correct"`
 	// TopTwo counts trials where the right component ranked first or
 	// second.
-	TopTwo int
+	TopTwo int `json:"top_two"`
 	// MeanDevError is the average |estimated − true| deviation among the
 	// correctly named trials.
-	MeanDevError float64
+	MeanDevError float64 `json:"mean_dev_error"`
 	// Confusion[actual][predicted] counts outcomes.
-	Confusion map[string]map[string]int
+	Confusion map[string]map[string]int `json:"confusion"`
 	// PerComponent maps component → correct/total for that component.
-	PerComponent map[string]*ComponentScore
+	PerComponent map[string]*ComponentScore `json:"per_component"`
 }
 
 // ComponentScore is a per-component tally.
 type ComponentScore struct {
-	Total   int
-	Correct int
+	Total   int `json:"total"`
+	Correct int `json:"correct"`
 }
 
 // Accuracy returns Correct/Total (0 for an empty evaluation).
@@ -237,12 +239,13 @@ func (e *Evaluation) TopTwoAccuracy() float64 {
 // Evaluate runs the diagnoser over every trial fault, computing all
 // trial signatures from the dictionary in one batched solve. Trial
 // faults may sit off the dictionary's deviation grid (the realistic
-// case).
-func (d *Diagnoser) Evaluate(dict *dictionary.Dictionary, trials []fault.Fault) (*Evaluation, error) {
+// case). A canceled context stops the batched solve within one
+// frequency; the error wraps rerr.ErrCanceled.
+func (d *Diagnoser) Evaluate(ctx context.Context, dict *dictionary.Dictionary, trials []fault.Fault) (*Evaluation, error) {
 	if len(trials) == 0 {
 		return nil, fmt.Errorf("diagnosis: no trial faults")
 	}
-	sigs, err := dict.Signatures(trials, d.m.Omegas)
+	sigs, err := dict.Signatures(ctx, trials, d.m.Omegas)
 	if err != nil {
 		return nil, err
 	}

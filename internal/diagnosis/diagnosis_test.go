@@ -23,7 +23,7 @@ func setup(t *testing.T, omegas []float64) (*dictionary.Dictionary, *Diagnoser) 
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := trajectory.Build(d, omegas)
+	m, err := trajectory.Build(nil, d, omegas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestEvaluateAllComponentsHoldOut(t *testing.T) {
 	if len(trials) != 7*6 {
 		t.Fatalf("trials = %d, want 42", len(trials))
 	}
-	ev, err := dg.Evaluate(d, trials)
+	ev, err := dg.Evaluate(nil, d, trials)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,14 +169,14 @@ func TestEvaluateEmptyTrials(t *testing.T) {
 	_ = d
 	dict, _ := setup(t, []float64{0.5, 2})
 	_ = dict
-	if _, err := dg.Evaluate(nil, nil); err == nil {
+	if _, err := dg.Evaluate(nil, nil, nil); err == nil {
 		t.Fatal("empty trials accepted")
 	}
 }
 
 func TestConfusionTableRenders(t *testing.T) {
 	d, dg := setup(t, []float64{0.5, 2})
-	ev, err := dg.Evaluate(d, HoldOutTrials(d.Universe(), []float64{0.25, -0.25}))
+	ev, err := dg.Evaluate(nil, d, HoldOutTrials(d.Universe(), []float64{0.25, -0.25}))
 	if err != nil {
 		t.Fatal(err)
 	}

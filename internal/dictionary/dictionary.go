@@ -13,6 +13,7 @@
 package dictionary
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/cmplx"
@@ -227,10 +228,18 @@ func (d *Dictionary) CircuitSignature(c *circuit.Circuit, omegas []float64) ([]f
 // frequency grid via the batched engine, fanning the frequencies out
 // across workers goroutines (0 → one per CPU). Results land in the memo,
 // so subsequent Response/Signature/Snapshot calls on grid points are pure
-// lookups. It returns the first error encountered.
-func (d *Dictionary) BuildGrid(omegas []float64, workers int) error {
+// lookups. It returns the first error encountered; a canceled context
+// stops within one in-flight frequency per worker (the error wraps
+// rerr.ErrCanceled) and leaves the memo untouched.
+func (d *Dictionary) BuildGrid(ctx context.Context, omegas []float64, workers int) error {
+	return d.BuildGridProgress(ctx, omegas, workers, nil)
+}
+
+// BuildGridProgress is BuildGrid with a per-frequency progress hook (see
+// engine.BatchResponsesProgress for the hook's concurrency contract).
+func (d *Dictionary) BuildGridProgress(ctx context.Context, omegas []float64, workers int, progress func(done, total int)) error {
 	faults := d.universe.Faults()
-	batch, err := d.eng.BatchResponses(faults, omegas, workers)
+	batch, err := d.eng.BatchResponsesProgress(ctx, faults, omegas, workers, progress)
 	if err != nil {
 		return fmt.Errorf("dictionary: %w", err)
 	}
@@ -257,12 +266,14 @@ func (d *Dictionary) BuildGrid(omegas []float64, workers int) error {
 // The solve runs inline on the calling goroutine: test vectors are a
 // handful of frequencies, and the heavy caller — the GA's fitness
 // evaluation — is already parallel at the population level, so a nested
-// per-call worker pool would only oversubscribe the CPUs.
-func (d *Dictionary) Signatures(faults []fault.Fault, omegas []float64) ([][]float64, error) {
+// per-call worker pool would only oversubscribe the CPUs. The context is
+// checked before each frequency; cancellation errors wrap
+// rerr.ErrCanceled.
+func (d *Dictionary) Signatures(ctx context.Context, faults []fault.Fault, omegas []float64) ([][]float64, error) {
 	if len(omegas) == 0 {
 		return nil, fmt.Errorf("dictionary: empty test vector")
 	}
-	batch, err := d.eng.BatchResponses(faults, omegas, 1)
+	batch, err := d.eng.BatchResponses(ctx, faults, omegas, 1)
 	if err != nil {
 		return nil, fmt.Errorf("dictionary: %w", err)
 	}
@@ -272,8 +283,8 @@ func (d *Dictionary) Signatures(faults []fault.Fault, omegas []float64) ([][]flo
 // UniverseSignatures computes the signature of every fault in the
 // universe at the given test frequencies, row-aligned with
 // Universe().Faults() — the one-call path trajectory building rides on.
-func (d *Dictionary) UniverseSignatures(omegas []float64) ([][]float64, error) {
-	return d.Signatures(d.universe.Faults(), omegas)
+func (d *Dictionary) UniverseSignatures(ctx context.Context, omegas []float64) ([][]float64, error) {
+	return d.Signatures(ctx, d.universe.Faults(), omegas)
 }
 
 // Entry is one exported dictionary row.

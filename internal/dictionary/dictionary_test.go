@@ -121,7 +121,7 @@ func TestUniverseSignaturesAlignment(t *testing.T) {
 	// agree with the per-point Signature path.
 	d := paperDict(t)
 	omegas := []float64{0.5, 2}
-	sigs, err := d.UniverseSignatures(omegas)
+	sigs, err := d.UniverseSignatures(nil, omegas)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestUniverseSignaturesAlignment(t *testing.T) {
 			}
 		}
 	}
-	if _, err := d.Signatures(faults, nil); err == nil {
+	if _, err := d.Signatures(nil, faults, nil); err == nil {
 		t.Fatal("empty test vector accepted")
 	}
 }
@@ -183,7 +183,7 @@ func TestSignatureAntisymmetricDirections(t *testing.T) {
 func TestBuildGridAndSnapshot(t *testing.T) {
 	d := paperDict(t)
 	grid := numeric.Logspace(0.1, 10, 5)
-	if err := d.BuildGrid(grid, 3); err != nil {
+	if err := d.BuildGrid(nil, grid, 3); err != nil {
 		t.Fatal(err)
 	}
 	// Universe 7 components × 8 deviations + golden = 57 rows × 5 freqs.
@@ -289,11 +289,11 @@ func TestResponseErrorPaths(t *testing.T) {
 
 func TestBuildGridPropagatesErrors(t *testing.T) {
 	d := paperDict(t)
-	if err := d.BuildGrid([]float64{1, -5}, 2); err == nil {
+	if err := d.BuildGrid(nil, []float64{1, -5}, 2); err == nil {
 		t.Fatal("grid with negative frequency accepted")
 	}
 	// Default worker count path.
-	if err := d.BuildGrid([]float64{0.7}, 0); err != nil {
+	if err := d.BuildGrid(nil, []float64{0.7}, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,15 +1,18 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/numeric"
+	"repro/internal/rerr"
 )
 
 // denGuard is the relative threshold below which a Sherman–Morrison
@@ -96,7 +99,7 @@ func (e *Engine) resolve(f fault.Fault) (int, float64, error) {
 	}
 	i, ok := e.tmpl.byName[f.Component]
 	if !ok {
-		return 0, 0, fmt.Errorf("engine: fault %s: no parameter slot for element %q", f.ID(), f.Component)
+		return 0, 0, fmt.Errorf("engine: fault %s: %w: no parameter slot for element %q", f.ID(), rerr.ErrUnknownComponent, f.Component)
 	}
 	return i, e.tmpl.slots[i].value * f.Scale(), nil
 }
@@ -211,7 +214,25 @@ func sparseDot(v []sparseEntry, x []complex128) complex128 {
 // with a full refactorization fallback for ill-conditioned updates.
 // Frequencies fan out over workers goroutines (≤0 → runtime.NumCPU()),
 // each with its own preallocated workspace.
-func (e *Engine) BatchResponses(faults []fault.Fault, omegas []float64, workers int) (*Batch, error) {
+//
+// The context is checked before every frequency column, so a canceled
+// context stops the batch within one in-flight column per worker and the
+// call returns an error wrapping rerr.ErrCanceled. A nil context is
+// treated as context.Background(). The worker count and cancellation
+// machinery never affect computed values: each column is solved
+// independently in a self-contained workspace.
+func (e *Engine) BatchResponses(ctx context.Context, faults []fault.Fault, omegas []float64, workers int) (*Batch, error) {
+	return e.BatchResponsesProgress(ctx, faults, omegas, workers, nil)
+}
+
+// BatchResponsesProgress is BatchResponses with a per-frequency progress
+// hook: progress(done, total) is called after each solved column. With
+// multiple workers the hook runs concurrently from worker goroutines and
+// must be safe for that; done is a cumulative count, not a column index.
+func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, progress func(done, total int)) (*Batch, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(omegas) == 0 {
 		return nil, fmt.Errorf("engine: empty frequency list")
 	}
@@ -259,15 +280,27 @@ func (e *Engine) BatchResponses(faults []fault.Fault, omegas []float64, workers 
 		workers = len(omegas)
 	}
 
+	total := len(omegas)
+	var done atomic.Int64
+	report := func() {
+		if progress != nil {
+			progress(int(done.Add(1)), total)
+		}
+	}
+
 	if workers == 1 {
 		// Inline path: no goroutine or channel overhead for the common
 		// small batches (a GA candidate is k=2 frequencies).
 		ws := e.pool.Get().(*workspace)
 		defer e.pool.Put(ws)
 		for j := range omegas {
+			if err := ctx.Err(); err != nil {
+				return nil, rerr.Canceled(err)
+			}
 			if err := e.solveColumn(ws, omegas[j], faults, slotOf, valOf, distinct, zIdx, out, j); err != nil {
 				return nil, err
 			}
+			report()
 		}
 		return out, nil
 	}
@@ -282,6 +315,9 @@ func (e *Engine) BatchResponses(faults []fault.Fault, omegas []float64, workers 
 			ws := e.pool.Get().(*workspace)
 			defer e.pool.Put(ws)
 			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without solving so the producer never blocks
+				}
 				if err := e.solveColumn(ws, omegas[j], faults, slotOf, valOf, distinct, zIdx, out, j); err != nil {
 					select {
 					case errs <- err:
@@ -292,20 +328,32 @@ func (e *Engine) BatchResponses(faults []fault.Fault, omegas []float64, workers 
 					}
 					return
 				}
+				report()
 			}
 		}()
 	}
+feed:
 	for j := range omegas {
-		jobs <- j
+		select {
+		case jobs <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// A genuine solve error outranks cancellation: workers never push
+	// cancellation into errs, so anything there is a deterministic
+	// failure the caller must see (retrying on ErrCanceled would loop).
 	select {
 	case err := <-errs:
 		return nil, err
 	default:
-		return out, nil
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, rerr.Canceled(err)
+	}
+	return out, nil
 }
 
 // solveColumn fills column j of the batch table: one golden

@@ -112,7 +112,7 @@ func TestBatchAgreesWithResponse(t *testing.T) {
 	}
 	faults := u.Faults()
 	omegas := numeric.Logspace(0.01, 100, 32)
-	batch, err := eng.BatchResponses(faults, omegas, 0)
+	batch, err := eng.BatchResponses(nil, faults, omegas, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestBatchAllCUTs(t *testing.T) {
 		}
 		faults := u.Faults()
 		omegas := numeric.Logspace(cut.Omega0/100, cut.Omega0*100, 9)
-		batch, err := eng.BatchResponses(faults, omegas, 2)
+		batch, err := eng.BatchResponses(nil, faults, omegas, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +191,7 @@ func TestBatchSignatures(t *testing.T) {
 		t.Fatal(err)
 	}
 	faults := []fault.Fault{{}, {Component: "R3", Deviation: 0.4}}
-	batch, err := eng.BatchResponses(faults, []float64{0.5, 2}, 1)
+	batch, err := eng.BatchResponses(nil, faults, []float64{0.5, 2}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,13 +237,13 @@ func TestEngineErrors(t *testing.T) {
 	if _, err := eng.GoldenResponse(-1); err == nil {
 		t.Fatal("negative frequency accepted")
 	}
-	if _, err := eng.BatchResponses([]fault.Fault{{}}, nil, 1); err == nil {
+	if _, err := eng.BatchResponses(nil, []fault.Fault{{}}, nil, 1); err == nil {
 		t.Fatal("empty omega list accepted")
 	}
-	if _, err := eng.BatchResponses([]fault.Fault{{}}, []float64{1, -2}, 1); err == nil {
+	if _, err := eng.BatchResponses(nil, []fault.Fault{{}}, []float64{1, -2}, 1); err == nil {
 		t.Fatal("negative frequency in batch accepted")
 	}
-	if _, err := eng.BatchResponses([]fault.Fault{{Component: "R99", Deviation: 0.1}}, []float64{1}, 1); err == nil {
+	if _, err := eng.BatchResponses(nil, []fault.Fault{{Component: "R99", Deviation: 0.1}}, []float64{1}, 1); err == nil {
 		t.Fatal("unknown batch component accepted")
 	}
 	// A circuit with a zero-amplitude source is rejected at New.

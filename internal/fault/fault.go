@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/circuit"
+	"repro/internal/rerr"
 )
 
 // Fault is a single parametric deviation of one component.
@@ -91,35 +92,35 @@ func PaperDeviations() []float64 {
 // NewUniverse builds a fault universe over the given components and
 // deviation grid. Deviations are deduplicated, sorted, and must not
 // include 0 (the golden point is handled separately) or anything at or
-// below -100%.
+// below -100%. Rejections wrap rerr.ErrBadConfig.
 func NewUniverse(components []string, deviations []float64) (*Universe, error) {
 	if len(components) == 0 {
-		return nil, fmt.Errorf("fault: universe needs at least one component")
+		return nil, fmt.Errorf("fault: %w: universe needs at least one component", rerr.ErrBadConfig)
 	}
 	seenC := make(map[string]bool)
 	for _, c := range components {
 		if c == "" {
-			return nil, fmt.Errorf("fault: empty component name")
+			return nil, fmt.Errorf("fault: %w: empty component name", rerr.ErrBadConfig)
 		}
 		if seenC[c] {
-			return nil, fmt.Errorf("fault: duplicate component %q", c)
+			return nil, fmt.Errorf("fault: %w: duplicate component %q", rerr.ErrBadConfig, c)
 		}
 		seenC[c] = true
 	}
 	if len(deviations) == 0 {
-		return nil, fmt.Errorf("fault: universe needs at least one deviation")
+		return nil, fmt.Errorf("fault: %w: universe needs at least one deviation", rerr.ErrBadConfig)
 	}
 	seenD := make(map[float64]bool)
 	var devs []float64
 	for _, d := range deviations {
 		if d == 0 {
-			return nil, fmt.Errorf("fault: deviation 0 is the golden circuit, not a fault")
+			return nil, fmt.Errorf("fault: %w: deviation 0 is the golden circuit, not a fault", rerr.ErrBadConfig)
 		}
 		if d <= -1 {
-			return nil, fmt.Errorf("fault: deviation %g zeroes or negates the component", d)
+			return nil, fmt.Errorf("fault: %w: deviation %g zeroes or negates the component", rerr.ErrBadConfig, d)
 		}
 		if math.IsNaN(d) || math.IsInf(d, 0) {
-			return nil, fmt.Errorf("fault: non-finite deviation")
+			return nil, fmt.Errorf("fault: %w: non-finite deviation", rerr.ErrBadConfig)
 		}
 		if !seenD[d] {
 			seenD[d] = true
@@ -163,7 +164,7 @@ func (u *Universe) ComponentFaults(component string) ([]Fault, error) {
 			return out, nil
 		}
 	}
-	return nil, fmt.Errorf("fault: component %q not in universe", component)
+	return nil, fmt.Errorf("fault: %w: component %q not in universe", rerr.ErrUnknownComponent, component)
 }
 
 // NegativeBranch returns the component's faults with negative deviation
@@ -206,7 +207,7 @@ func (u *Universe) PositiveBranch(component string) ([]Fault, error) {
 func (u *Universe) Validate(golden *circuit.Circuit) error {
 	for _, c := range u.Components {
 		if _, err := golden.Value(c); err != nil {
-			return fmt.Errorf("fault: universe: %w", err)
+			return fmt.Errorf("fault: universe: %w: %v", rerr.ErrUnknownComponent, err)
 		}
 	}
 	for _, d := range u.Deviations {

@@ -11,12 +11,16 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/rerr"
 )
 
 // Interval bounds one gene.
@@ -122,6 +126,10 @@ type Config struct {
 	// only its own population slot, so runs are deterministic for a fixed
 	// seed at any parallelism.
 	Workers int
+	// Progress, when non-nil, is called once per generation (from the
+	// Run goroutine, after the generation's statistics are computed).
+	// It is a hook for progress streaming, not a paper parameter.
+	Progress func(GenStats)
 }
 
 // PaperConfig returns the configuration of the paper's §2.4 (plus
@@ -142,37 +150,38 @@ func PaperConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors; they wrap rerr.ErrBadConfig.
 func (c Config) Validate() error {
 	if c.PopSize < 2 {
-		return fmt.Errorf("ga: population size %d < 2", c.PopSize)
+		return fmt.Errorf("ga: %w: population size %d < 2", rerr.ErrBadConfig, c.PopSize)
 	}
 	if c.Generations < 1 {
-		return fmt.Errorf("ga: generations %d < 1", c.Generations)
+		return fmt.Errorf("ga: %w: generations %d < 1", rerr.ErrBadConfig, c.Generations)
 	}
 	if c.ReproductionRate < 0 || c.ReproductionRate > 1 {
-		return fmt.Errorf("ga: reproduction rate %g outside [0,1]", c.ReproductionRate)
+		return fmt.Errorf("ga: %w: reproduction rate %g outside [0,1]", rerr.ErrBadConfig, c.ReproductionRate)
 	}
 	if c.MutationRate < 0 || c.MutationRate > 1 {
-		return fmt.Errorf("ga: mutation rate %g outside [0,1]", c.MutationRate)
+		return fmt.Errorf("ga: %w: mutation rate %g outside [0,1]", rerr.ErrBadConfig, c.MutationRate)
 	}
 	if c.Elitism < 0 || c.Elitism >= c.PopSize {
-		return fmt.Errorf("ga: elitism %d outside [0, popsize)", c.Elitism)
+		return fmt.Errorf("ga: %w: elitism %d outside [0, popsize)", rerr.ErrBadConfig, c.Elitism)
 	}
 	if c.MutSigma <= 0 {
-		return fmt.Errorf("ga: mutation sigma %g must be positive", c.MutSigma)
+		return fmt.Errorf("ga: %w: mutation sigma %g must be positive", rerr.ErrBadConfig, c.MutSigma)
 	}
 	return nil
 }
 
-// GenStats summarizes one generation.
+// GenStats summarizes one generation. The JSON tags give persisted GA
+// histories (see the artifact envelope) a stable schema.
 type GenStats struct {
-	Generation  int
-	Best        float64
-	Mean        float64
-	Worst       float64
-	BestGenes   []float64
-	Evaluations int // cumulative fitness evaluations so far
+	Generation  int       `json:"generation"`
+	Best        float64   `json:"best"`
+	Mean        float64   `json:"mean"`
+	Worst       float64   `json:"worst"`
+	BestGenes   []float64 `json:"best_genes"`
+	Evaluations int       `json:"evaluations"` // cumulative fitness evaluations so far
 }
 
 // Result is the outcome of a GA run.
@@ -195,23 +204,33 @@ type individual struct {
 
 // Run executes the GA. The rng drives every stochastic choice; pass
 // rand.New(rand.NewSource(seed)) for reproducibility.
-func Run(p Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+//
+// The context is checked at every generation boundary and, inside a
+// generation, before every fitness evaluation: a canceled context stops
+// the run within one in-flight evaluation per worker. The returned error
+// then wraps both rerr.ErrCanceled and the context's own error. A nil
+// context is treated as context.Background(). Cancellation cannot perturb
+// results: an uncanceled run evaluates exactly what it always did.
+func Run(ctx context.Context, p Problem, cfg Config, rng *rand.Rand) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(p.Bounds) == 0 {
-		return nil, fmt.Errorf("ga: empty genome bounds")
+		return nil, fmt.Errorf("ga: %w: empty genome bounds", rerr.ErrBadConfig)
 	}
 	for i, b := range p.Bounds {
 		if !(b.Lo < b.Hi) || math.IsNaN(b.Lo) || math.IsNaN(b.Hi) {
-			return nil, fmt.Errorf("ga: bad bounds for gene %d: [%g, %g]", i, b.Lo, b.Hi)
+			return nil, fmt.Errorf("ga: %w: bad bounds for gene %d: [%g, %g]", rerr.ErrBadConfig, i, b.Lo, b.Hi)
 		}
 	}
 	if p.Fitness == nil {
-		return nil, fmt.Errorf("ga: nil fitness function")
+		return nil, fmt.Errorf("ga: %w: nil fitness function", rerr.ErrBadConfig)
 	}
 	if rng == nil {
-		return nil, fmt.Errorf("ga: nil rng")
+		return nil, fmt.Errorf("ga: %w: nil rng", rerr.ErrBadConfig)
 	}
 
 	pop := make([]individual, cfg.PopSize)
@@ -222,7 +241,11 @@ func Run(p Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 	res := &Result{}
 	evals := 0
 	for gen := 0; gen < cfg.Generations; gen++ {
-		evals += evaluate(pop, p.Fitness, cfg.Workers)
+		n, err := evaluate(ctx, pop, p.Fitness, cfg.Workers)
+		evals += n
+		if err != nil {
+			return nil, err
+		}
 		sortByFitness(pop)
 
 		stats := summarize(pop, gen, evals)
@@ -230,6 +253,9 @@ func Run(p Problem, cfg Config, rng *rand.Rand) (*Result, error) {
 		if pop[0].fitness > res.BestFitness || res.Best == nil {
 			res.Best = append([]float64(nil), pop[0].genes...)
 			res.BestFitness = pop[0].fitness
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(stats)
 		}
 
 		if gen == cfg.Generations-1 {
@@ -251,42 +277,52 @@ func randomGenome(bounds []Interval, rng *rand.Rand) []float64 {
 
 // evaluate scores all unscored individuals, returning how many fitness
 // calls it made. Worker goroutines preserve determinism because each
-// writes only its own index.
-func evaluate(pop []individual, fit func([]float64) float64, workers int) int {
+// writes only its own index. Every worker checks the context before each
+// fitness call, so a cancellation mid-generation stops the pool within
+// one in-flight evaluation per worker; evaluate then reports
+// rerr.Canceled after the pool drains.
+func evaluate(ctx context.Context, pop []individual, fit func([]float64) float64, workers int) (int, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	var count int
-	var mu sync.Mutex
+	var count atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			n := 0
 			for i := range idx {
+				if ctx.Err() != nil {
+					continue // drain without scoring so the producer never blocks
+				}
 				f := fit(pop[i].genes)
 				if math.IsNaN(f) || f < 0 {
 					f = 0 // defensive: keep roulette well-defined
 				}
 				pop[i].fitness = f
 				pop[i].scored = true
-				n++
+				count.Add(1)
 			}
-			mu.Lock()
-			count += n
-			mu.Unlock()
 		}()
 	}
+feed:
 	for i := range pop {
-		if !pop[i].scored {
-			idx <- i
+		if pop[i].scored {
+			continue
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
 		}
 	}
 	close(idx)
 	wg.Wait()
-	return count
+	if err := ctx.Err(); err != nil {
+		return int(count.Load()), rerr.Canceled(err)
+	}
+	return int(count.Load()), nil
 }
 
 func sortByFitness(pop []individual) {

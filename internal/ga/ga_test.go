@@ -54,25 +54,25 @@ func TestPaperConfigMatchesPaper(t *testing.T) {
 func TestRunInputValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	cfg := Config{PopSize: 8, Generations: 2, MutSigma: 0.1}
-	if _, err := Run(Problem{}, cfg, rng); err == nil {
+	if _, err := Run(nil, Problem{}, cfg, rng); err == nil {
 		t.Fatal("empty bounds accepted")
 	}
 	p := sphere(0)
 	p.Fitness = nil
-	if _, err := Run(p, cfg, rng); err == nil {
+	if _, err := Run(nil, p, cfg, rng); err == nil {
 		t.Fatal("nil fitness accepted")
 	}
 	p2 := sphere(0)
 	p2.Bounds[0] = Interval{3, 3}
-	if _, err := Run(p2, cfg, rng); err == nil {
+	if _, err := Run(nil, p2, cfg, rng); err == nil {
 		t.Fatal("degenerate interval accepted")
 	}
-	if _, err := Run(sphere(0), cfg, nil); err == nil {
+	if _, err := Run(nil, sphere(0), cfg, nil); err == nil {
 		t.Fatal("nil rng accepted")
 	}
 	badCfg := cfg
 	badCfg.PopSize = 1
-	if _, err := Run(sphere(0), badCfg, rng); err == nil {
+	if _, err := Run(nil, sphere(0), badCfg, rng); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -82,7 +82,7 @@ func TestConvergesOnSphere(t *testing.T) {
 		PopSize: 60, Generations: 40, ReproductionRate: 0.5,
 		MutationRate: 0.4, Selection: Roulette, Elitism: 1, MutSigma: 0.1,
 	}
-	res, err := Run(sphere(1.5), cfg, rand.New(rand.NewSource(7)))
+	res, err := Run(nil, sphere(1.5), cfg, rand.New(rand.NewSource(7)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestDeterministicForSeed(t *testing.T) {
 	cfg.PopSize = 24
 	cfg.Generations = 6
 	run := func() *Result {
-		r, err := Run(sphere(-2), cfg, rand.New(rand.NewSource(99)))
+		r, err := Run(nil, sphere(-2), cfg, rand.New(rand.NewSource(99)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestDeterministicForSeed(t *testing.T) {
 	if len(a.History) != len(b.History) {
 		t.Fatal("history lengths differ")
 	}
-	c, err := Run(sphere(-2), cfg, rand.New(rand.NewSource(100)))
+	c, err := Run(nil, sphere(-2), cfg, rand.New(rand.NewSource(100)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestDeterministicForSeed(t *testing.T) {
 func TestHistoryShape(t *testing.T) {
 	cfg := Config{PopSize: 16, Generations: 8, ReproductionRate: 0.5,
 		MutationRate: 0.3, Elitism: 1, MutSigma: 0.1}
-	res, err := Run(sphere(0), cfg, rand.New(rand.NewSource(3)))
+	res, err := Run(nil, sphere(0), cfg, rand.New(rand.NewSource(3)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func TestHistoryShape(t *testing.T) {
 func TestElitismMonotoneBest(t *testing.T) {
 	cfg := Config{PopSize: 20, Generations: 15, ReproductionRate: 0.6,
 		MutationRate: 0.8, Elitism: 1, MutSigma: 0.3}
-	res, err := Run(sphere(2), cfg, rand.New(rand.NewSource(11)))
+	res, err := Run(nil, sphere(2), cfg, rand.New(rand.NewSource(11)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestSelectionMethodsAllConverge(t *testing.T) {
 	for _, m := range []SelectionMethod{Roulette, Tournament, Rank} {
 		cfg := Config{PopSize: 40, Generations: 30, ReproductionRate: 0.5,
 			MutationRate: 0.4, Selection: m, Elitism: 1, MutSigma: 0.15}
-		res, err := Run(sphere(0.5), cfg, rand.New(rand.NewSource(5)))
+		res, err := Run(nil, sphere(0.5), cfg, rand.New(rand.NewSource(5)))
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)
 		}
@@ -217,7 +217,7 @@ func TestZeroFitnessDegeneracy(t *testing.T) {
 	}
 	cfg := Config{PopSize: 10, Generations: 3, ReproductionRate: 0.5,
 		MutationRate: 0.5, Elitism: 1, MutSigma: 0.1}
-	res, err := Run(p, cfg, rand.New(rand.NewSource(4)))
+	res, err := Run(nil, p, cfg, rand.New(rand.NewSource(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestNegativeAndNaNFitnessSanitized(t *testing.T) {
 	}
 	cfg := Config{PopSize: 8, Generations: 2, ReproductionRate: 0.5,
 		MutationRate: 0.5, Elitism: 1, MutSigma: 0.1}
-	res, err := Run(p, cfg, rand.New(rand.NewSource(4)))
+	res, err := Run(nil, p, cfg, rand.New(rand.NewSource(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestQuickBestWithinBounds(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := Config{PopSize: 10, Generations: 4, ReproductionRate: 0.5,
 			MutationRate: 0.6, Elitism: 1, MutSigma: 0.2}
-		res, err := Run(sphere(0), cfg, rng)
+		res, err := Run(nil, sphere(0), cfg, rng)
 		if err != nil {
 			return false
 		}

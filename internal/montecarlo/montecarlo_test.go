@@ -117,7 +117,7 @@ func TestDiagnosisYield(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := trajectory.Build(d, []float64{0.5, 2})
+	m, err := trajectory.Build(nil, d, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}

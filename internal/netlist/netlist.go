@@ -35,14 +35,25 @@ import (
 	"repro/internal/circuit"
 )
 
-// ParseError reports a netlist syntax error with its source line.
+// ParseError reports a netlist syntax error with its source location:
+// the 1-based physical line number and the offending card text. Every
+// error Parse returns is (or wraps) a ParseError, so callers can recover
+// the location with errors.As.
 type ParseError struct {
+	// Line is the 1-based physical source line the error points at (for
+	// a continuation card, the line the card started on).
 	Line int
+	// Card is the offending card text ("" when no card applies, e.g. an
+	// empty netlist).
 	Card string
-	Msg  string
+	// Msg describes the problem.
+	Msg string
 }
 
 func (e *ParseError) Error() string {
+	if e.Card == "" {
+		return fmt.Sprintf("netlist: line %d: %s", e.Line, e.Msg)
+	}
 	return fmt.Sprintf("netlist: line %d: %s (%q)", e.Line, e.Msg, e.Card)
 }
 
@@ -132,7 +143,7 @@ func Parse(input string) (*circuit.Circuit, error) {
 		logical = append(logical, srcLine{text: trimmed, line: i + 1})
 	}
 	if len(logical) == 0 {
-		return nil, fmt.Errorf("netlist: empty input")
+		return nil, &ParseError{Line: 1, Msg: "empty input: no cards found"}
 	}
 
 	title := "netlist"
@@ -179,7 +190,9 @@ func Parse(input string) (*circuit.Circuit, error) {
 		}
 	}
 	if len(c.Elements()) == 0 {
-		return nil, fmt.Errorf("netlist: no elements")
+		// Point at the first (title or directive) line: everything after
+		// it was consumed without yielding an element.
+		return nil, &ParseError{Line: logical[0].line, Card: logical[0].text, Msg: "netlist has no elements"}
 	}
 	return c, nil
 }

@@ -258,3 +258,76 @@ func TestDotEndStopsParsing(t *testing.T) {
 		t.Fatal("cards after .end parsed")
 	}
 }
+
+func TestBadNumberErrorCarriesLineAndCard(t *testing.T) {
+	_, err := Parse("title\nR1 in out 4k7\nC1 out 0 100n\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Card, "R1 in out 4k7") {
+		t.Fatalf("card = %q, want the offending card text", pe.Card)
+	}
+	if !strings.Contains(pe.Msg, "bad number") {
+		t.Fatalf("msg = %q", pe.Msg)
+	}
+}
+
+func TestNoElementsErrorCarriesLine(t *testing.T) {
+	_, err := Parse("just a title\n* a comment\n.op\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	if pe.Line != 1 {
+		t.Fatalf("line = %d, want 1 (the title line)", pe.Line)
+	}
+	if !strings.Contains(pe.Msg, "no elements") {
+		t.Fatalf("msg = %q", pe.Msg)
+	}
+}
+
+func TestEmptyInputIsParseError(t *testing.T) {
+	_, err := Parse("  \n* nothing here\n")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	if pe.Line != 1 || !strings.Contains(pe.Msg, "empty") {
+		t.Fatalf("pe = %+v", pe)
+	}
+}
+
+func TestSubcktBadValueCarriesDefinitionLine(t *testing.T) {
+	nl := `title
+.subckt div in out
+R1 in out 1k
+R2 out 0 bogus
+.ends
+X1 a b div
+V1 a 0 1
+`
+	_, err := Parse(nl)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("line = %d, want 4 (inside the .subckt body)", pe.Line)
+	}
+}
+
+func TestContinuationErrorPointsAtCardStart(t *testing.T) {
+	nl := "title\nR1 in out\n+ nonsense\n"
+	_, err := Parse(nl)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2 (the card's first physical line)", pe.Line)
+	}
+}

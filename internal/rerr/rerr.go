@@ -1,0 +1,50 @@
+// Package rerr defines the structured sentinel errors shared across the
+// library's package boundaries. Every long-running or configurable stage
+// wraps its failures in one of these sentinels so callers can branch with
+// errors.Is instead of matching message strings — the contract a serving
+// layer needs to map failures onto retry/reject/4xx/5xx decisions.
+//
+// The sentinels live in their own leaf package (no internal imports) so
+// that every layer — ga, engine, dictionary, core, the public repro
+// facade — can wrap with them without import cycles. The public package
+// re-exports them as repro.ErrBadConfig et al.
+package rerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrBadConfig marks rejected configuration: GA hyperparameters,
+	// frequency bands, fault universes, session options.
+	ErrBadConfig = errors.New("invalid configuration")
+
+	// ErrUnknownComponent marks a reference to a circuit element that does
+	// not exist (or has no faultable value) in the circuit under test.
+	ErrUnknownComponent = errors.New("unknown component")
+
+	// ErrCanceled marks a stage stopped by context cancellation or
+	// deadline. Errors wrapping it also wrap the context's own error, so
+	// errors.Is(err, context.Canceled) (or context.DeadlineExceeded)
+	// holds as well.
+	ErrCanceled = errors.New("operation canceled")
+
+	// ErrArtifact marks a persisted artifact that cannot be decoded:
+	// malformed JSON, wrong kind, or an unsupported schema version.
+	ErrArtifact = errors.New("malformed artifact")
+
+	// ErrStaleArtifact marks an artifact whose netlist checksum does not
+	// match the circuit under test it is being loaded for.
+	ErrStaleArtifact = errors.New("stale artifact")
+)
+
+// Canceled wraps a context error so the result matches both ErrCanceled
+// and the underlying cause. A nil cause defaults to context.Canceled.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
+}

@@ -1,0 +1,38 @@
+package rerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	err := Canceled(context.Canceled)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatal("not ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("not context.Canceled")
+	}
+}
+
+func TestCanceledDeadline(t *testing.T) {
+	err := Canceled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline wrap broken: %v", err)
+	}
+}
+
+func TestCanceledNilCause(t *testing.T) {
+	if err := Canceled(nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("nil cause should default to context.Canceled, got %v", err)
+	}
+}
+
+func TestSentinelsSurviveWrapping(t *testing.T) {
+	err := fmt.Errorf("core: %w: band empty", ErrBadConfig)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatal("wrapped ErrBadConfig not matched")
+	}
+}

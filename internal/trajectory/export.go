@@ -65,20 +65,6 @@ func BuildFromExport(ex *dictionary.Export, omegas []float64) (*Map, error) {
 		return nil, fmt.Errorf("trajectory: export has no golden entry")
 	}
 
-	interp := func(mags []float64, w float64) float64 {
-		// Locate the bracketing grid interval.
-		i := sort.SearchFloat64s(ex.Omegas, w)
-		if i == 0 {
-			return mags[0]
-		}
-		if i >= len(ex.Omegas) {
-			return mags[len(mags)-1]
-		}
-		w0, w1 := ex.Omegas[i-1], ex.Omegas[i]
-		t := (math.Log(w) - math.Log(w0)) / (math.Log(w1) - math.Log(w0))
-		return mags[i-1] + t*(mags[i]-mags[i-1])
-	}
-
 	m := &Map{Omegas: append([]float64(nil), omegas...)}
 	for _, comp := range compOrder {
 		rows := byComp[comp]
@@ -97,7 +83,7 @@ func BuildFromExport(ex *dictionary.Export, omegas []float64) (*Map, error) {
 			}
 			pt := make(geometry.VecN, len(omegas))
 			for k, w := range omegas {
-				pt[k] = interp(r.mags, w) - interp(goldenMags, w)
+				pt[k] = interpAt(ex.Omegas, r.mags, w) - interpAt(ex.Omegas, goldenMags, w)
 			}
 			appendPoint(r.dev, pt)
 		}
@@ -135,14 +121,29 @@ func GoldenFromExport(ex *dictionary.Export, omegas []float64) ([]float64, error
 		if w < lo || w > hi {
 			return nil, fmt.Errorf("trajectory: frequency %g outside export grid [%g, %g]", w, lo, hi)
 		}
-		i := sort.SearchFloat64s(ex.Omegas, w)
-		if i == 0 {
-			out[k] = golden[0]
-			continue
-		}
-		w0, w1 := ex.Omegas[i-1], ex.Omegas[i]
-		t := (math.Log(w) - math.Log(w0)) / (math.Log(w1) - math.Log(w0))
-		out[k] = golden[i-1] + t*(golden[i]-golden[i-1])
+		out[k] = interpAt(ex.Omegas, golden, w)
 	}
 	return out, nil
+}
+
+// interpAt interpolates mags over the ascending grid linearly in log ω.
+// The caller guarantees w lies inside [grid[0], grid[len-1]].
+func interpAt(grid, mags []float64, w float64) float64 {
+	i := sort.SearchFloat64s(grid, w)
+	if i == 0 {
+		return mags[0]
+	}
+	if i >= len(grid) {
+		return mags[len(mags)-1]
+	}
+	if grid[i] == w {
+		// Exact grid hit: return the stored value bit-for-bit instead of
+		// reconstructing it through a+(b-a), which can be off by an ulp —
+		// loaded artifacts must reproduce in-process results exactly at
+		// grid frequencies.
+		return mags[i]
+	}
+	w0, w1 := grid[i-1], grid[i]
+	t := (math.Log(w) - math.Log(w0)) / (math.Log(w1) - math.Log(w0))
+	return mags[i-1] + t*(mags[i]-mags[i-1])
 }

@@ -20,7 +20,7 @@ func TestBuildFromExportMatchesLive(t *testing.T) {
 		t.Fatal(err)
 	}
 	omegas := []float64{0.5, 2}
-	live, err := Build(d, omegas)
+	live, err := Build(nil, d, omegas)
 	if err != nil {
 		t.Fatal(err)
 	}

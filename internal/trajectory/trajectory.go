@@ -9,25 +9,28 @@
 package trajectory
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/dictionary"
 	"repro/internal/geometry"
+	"repro/internal/rerr"
 )
 
 // Trajectory is one component's fault trajectory in R^k: the polyline of
 // signature points ordered from the most negative deviation, through the
-// golden origin, to the most positive deviation.
+// golden origin, to the most positive deviation. The JSON tags define the
+// persisted artifact schema (see the artifact envelope).
 type Trajectory struct {
 	// Component is the circuit element this trajectory belongs to.
-	Component string
+	Component string `json:"component"`
 	// Deviations holds the fractional deviation of each point, aligned
 	// with Points; the golden origin appears as deviation 0.
-	Deviations []float64
+	Deviations []float64 `json:"deviations"`
 	// Points holds the signature points, aligned with Deviations.
-	Points geometry.PolylineN
+	Points geometry.PolylineN `json:"points"`
 }
 
 // Dim returns the test-vector dimension k.
@@ -66,9 +69,9 @@ func (t *Trajectory) DeviationAt(i int, tloc float64) float64 {
 type Map struct {
 	// Omegas is the test vector (angular frequencies) the map was built
 	// with.
-	Omegas []float64
+	Omegas []float64 `json:"omegas"`
 	// Trajectories holds one entry per component, in universe order.
-	Trajectories []*Trajectory
+	Trajectories []*Trajectory `json:"trajectories"`
 }
 
 // Build constructs the trajectory map for the given test vector from a
@@ -79,7 +82,11 @@ type Map struct {
 // frequency the golden system is factored once and every fault solved by
 // a rank-1 update — so building a map costs O(k) factorizations instead
 // of O(k · universe size). This is the GA's per-candidate cost.
-func Build(d *dictionary.Dictionary, omegas []float64) (*Map, error) {
+//
+// The context is threaded into the batched solve; a canceled context
+// returns an error wrapping rerr.ErrCanceled within one frequency. A nil
+// context is treated as context.Background().
+func Build(ctx context.Context, d *dictionary.Dictionary, omegas []float64) (*Map, error) {
 	if len(omegas) == 0 {
 		return nil, fmt.Errorf("trajectory: empty test vector")
 	}
@@ -91,7 +98,7 @@ func Build(d *dictionary.Dictionary, omegas []float64) (*Map, error) {
 	u := d.Universe()
 	// Signatures are row-aligned with u.Faults(): component-major, each
 	// component's block sorted ascending by deviation.
-	sigs, err := d.UniverseSignatures(omegas)
+	sigs, err := d.UniverseSignatures(ctx, omegas)
 	if err != nil {
 		return nil, err
 	}
@@ -122,14 +129,15 @@ func Build(d *dictionary.Dictionary, omegas []float64) (*Map, error) {
 	return m, nil
 }
 
-// ByComponent returns the trajectory of a named component.
+// ByComponent returns the trajectory of a named component; a miss wraps
+// rerr.ErrUnknownComponent.
 func (m *Map) ByComponent(comp string) (*Trajectory, error) {
 	for _, t := range m.Trajectories {
 		if t.Component == comp {
 			return t, nil
 		}
 	}
-	return nil, fmt.Errorf("trajectory: no trajectory for component %q", comp)
+	return nil, fmt.Errorf("trajectory: %w: no trajectory for component %q", rerr.ErrUnknownComponent, comp)
 }
 
 // Dim returns the test-vector dimension.

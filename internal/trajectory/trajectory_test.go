@@ -27,7 +27,7 @@ func paperDict(t *testing.T) *dictionary.Dictionary {
 
 func TestBuildBasicShape(t *testing.T) {
 	d := paperDict(t)
-	m, err := Build(d, []float64{0.5, 2})
+	m, err := Build(nil, d, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,20 +60,20 @@ func TestBuildBasicShape(t *testing.T) {
 
 func TestBuildValidation(t *testing.T) {
 	d := paperDict(t)
-	if _, err := Build(d, nil); err == nil {
+	if _, err := Build(nil, d, nil); err == nil {
 		t.Fatal("empty test vector accepted")
 	}
-	if _, err := Build(d, []float64{-1, 2}); err == nil {
+	if _, err := Build(nil, d, []float64{-1, 2}); err == nil {
 		t.Fatal("negative frequency accepted")
 	}
-	if _, err := Build(d, []float64{math.NaN()}); err == nil {
+	if _, err := Build(nil, d, []float64{math.NaN()}); err == nil {
 		t.Fatal("NaN accepted")
 	}
 }
 
 func TestByComponent(t *testing.T) {
 	d := paperDict(t)
-	m, err := Build(d, []float64{0.5, 2})
+	m, err := Build(nil, d, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestTrajectoriesAreSmooth(t *testing.T) {
 	// deviation, so consecutive points should not jump wildly: each
 	// segment should be shorter than the whole trajectory.
 	d := paperDict(t)
-	m, err := Build(d, []float64{0.5, 2})
+	m, err := Build(nil, d, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestTrajectoriesAreSmooth(t *testing.T) {
 
 func TestPlanar(t *testing.T) {
 	d := paperDict(t)
-	m, _ := Build(d, []float64{0.5, 2})
+	m, _ := Build(nil, d, []float64{0.5, 2})
 	tr, _ := m.ByComponent("R1")
 	pl, err := tr.Planar()
 	if err != nil {
@@ -122,7 +122,7 @@ func TestPlanar(t *testing.T) {
 	if len(pl) != 9 {
 		t.Fatalf("planar points = %d", len(pl))
 	}
-	m3, _ := Build(d, []float64{0.5, 1, 2})
+	m3, _ := Build(nil, d, []float64{0.5, 1, 2})
 	tr3, _ := m3.ByComponent("R1")
 	if _, err := tr3.Planar(); err == nil {
 		t.Fatal("3D trajectory planarized")
@@ -166,7 +166,7 @@ func TestIntersectionsExcludeOrigin(t *testing.T) {
 	// structural meeting alone. Compare against a 1-frequency map where
 	// everything overlaps on a line.
 	d := paperDict(t)
-	m2, err := Build(d, []float64{0.5, 2})
+	m2, err := Build(nil, d, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestIntersectionsExcludeOrigin(t *testing.T) {
 	if i2 >= 21 {
 		t.Fatalf("I = %d suggests origin crossings are counted", i2)
 	}
-	m1, err := Build(d, []float64{1})
+	m1, err := Build(nil, d, []float64{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +187,7 @@ func TestIntersectionsExcludeOrigin(t *testing.T) {
 
 func TestPairIntersections(t *testing.T) {
 	d := paperDict(t)
-	m, _ := Build(d, []float64{0.5, 2})
+	m, _ := Build(nil, d, []float64{0.5, 2})
 	n, err := m.PairIntersections("R1", "C1")
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +205,7 @@ func TestPairIntersections(t *testing.T) {
 
 func TestMinSeparationAndExtent(t *testing.T) {
 	d := paperDict(t)
-	m, _ := Build(d, []float64{0.5, 2})
+	m, _ := Build(nil, d, []float64{0.5, 2})
 	sep := m.MinSeparation()
 	if sep < 0 || math.IsInf(sep, 1) {
 		t.Fatalf("separation = %g", sep)
@@ -221,7 +221,7 @@ func TestMinSeparationAndExtent(t *testing.T) {
 
 func TestOverlapScore(t *testing.T) {
 	d := paperDict(t)
-	m, _ := Build(d, []float64{0.5, 2})
+	m, _ := Build(nil, d, []float64{0.5, 2})
 	s, err := m.OverlapScore(1e-4, 10)
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +229,7 @@ func TestOverlapScore(t *testing.T) {
 	if s < 0 {
 		t.Fatalf("overlap = %g", s)
 	}
-	m3, _ := Build(d, []float64{0.5, 1, 2})
+	m3, _ := Build(nil, d, []float64{0.5, 1, 2})
 	if _, err := m3.OverlapScore(1e-4, 10); err == nil {
 		t.Fatal("3D overlap accepted")
 	}
@@ -237,7 +237,7 @@ func TestOverlapScore(t *testing.T) {
 
 func TestKDimensionalIntersections(t *testing.T) {
 	d := paperDict(t)
-	m3, err := Build(d, []float64{0.4, 1, 2.5})
+	m3, err := Build(nil, d, []float64{0.4, 1, 2.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestKDimensionalIntersections(t *testing.T) {
 
 func TestDescribe(t *testing.T) {
 	d := paperDict(t)
-	m, _ := Build(d, []float64{0.5, 2})
+	m, _ := Build(nil, d, []float64{0.5, 2})
 	s := m.Describe()
 	for _, frag := range []string{"R1", "C3", "[+40%]", "I ="} {
 		if !strings.Contains(s, frag) {

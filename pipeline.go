@@ -1,0 +1,122 @@
+package repro
+
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
+// Pipeline is the v1 facade: the whole fault-trajectory flow for one CUT
+// with positional arguments and no context threading.
+//
+// Deprecated: use Session, which adds context cancellation, functional
+// options, progress streaming, structured errors, and persistent
+// artifacts. Pipeline remains a thin shim over Session so existing code
+// keeps compiling; each method delegates with context.Background().
+type Pipeline struct {
+	s *Session
+}
+
+// NewPipeline builds the fault dictionary for a CUT. deviations may be
+// nil for the paper's ±10%…±40% grid; otherwise it lists the fractional
+// deviations of the fault universe.
+//
+// Deprecated: use NewSession with WithDeviations.
+func NewPipeline(cut CUT, deviations []float64) (*Pipeline, error) {
+	var opts []Option
+	if deviations != nil {
+		opts = append(opts, WithDeviations(deviations...))
+	}
+	s, err := NewSession(cut, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{s: s}, nil
+}
+
+// NewPipelineFromNetlist builds a pipeline from netlist text plus the
+// measurement metadata a netlist does not carry: the driving source, the
+// observed output node, and the fault-target components (nil → every
+// Valued element). deviations may be nil for the paper grid.
+//
+// Deprecated: use NewSessionFromNetlist with WithComponents and
+// WithDeviations.
+func NewPipelineFromNetlist(text, source, output string, components []string, deviations []float64) (*Pipeline, error) {
+	var opts []Option
+	if components != nil {
+		opts = append(opts, WithComponents(components...))
+	}
+	if deviations != nil {
+		opts = append(opts, WithDeviations(deviations...))
+	}
+	s, err := NewSessionFromNetlist(text, source, output, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{s: s}, nil
+}
+
+// Session returns the underlying v2 session — the migration escape
+// hatch for code moving off the shim incrementally.
+func (p *Pipeline) Session() *Session { return p.s }
+
+// CUT returns the pipeline's circuit under test.
+func (p *Pipeline) CUT() CUT { return p.s.CUT() }
+
+// Dictionary exposes the fault dictionary.
+func (p *Pipeline) Dictionary() *Dictionary { return p.s.Dictionary() }
+
+// ATPG exposes the underlying test generator for advanced use.
+func (p *Pipeline) ATPG() *core.ATPG { return p.s.ATPG() }
+
+// Optimize searches for a test vector with the GA.
+//
+// Deprecated: use Session.Optimize, which accepts a context.
+func (p *Pipeline) Optimize(cfg OptimizeConfig) (*TestVector, error) {
+	return p.s.Optimize(context.Background(), cfg)
+}
+
+// Fitness evaluates the paper's fitness for an explicit test vector.
+//
+// Deprecated: use Session.Fitness.
+func (p *Pipeline) Fitness(omegas []float64) (float64, error) {
+	return p.s.Fitness(context.Background(), omegas)
+}
+
+// Trajectories builds the trajectory map for a test vector.
+//
+// Deprecated: use Session.Trajectories.
+func (p *Pipeline) Trajectories(omegas []float64) (*TrajectoryMap, error) {
+	return p.s.Trajectories(context.Background(), omegas)
+}
+
+// Diagnoser builds the diagnosis stage for a test vector.
+//
+// Deprecated: use Session.Diagnoser.
+func (p *Pipeline) Diagnoser(omegas []float64) (*Diagnoser, error) {
+	return p.s.Diagnoser(context.Background(), omegas)
+}
+
+// Evaluate runs the hold-out evaluation: off-grid deviations (nil → the
+// default ±15/25/35% set) on every universe component.
+//
+// Deprecated: use Session.Evaluate.
+func (p *Pipeline) Evaluate(omegas []float64, holdOut []float64) (*Evaluation, error) {
+	return p.s.Evaluate(context.Background(), omegas, holdOut)
+}
+
+// DiagnoseCircuit diagnoses an arbitrary variant of the CUT against the
+// trajectory map for the given test vector.
+//
+// Deprecated: use Session.DiagnoseCircuit.
+func (p *Pipeline) DiagnoseCircuit(variant *Circuit, omegas []float64, rejectRatio float64) (*DiagnosisResult, bool, error) {
+	return p.s.DiagnoseCircuit(context.Background(), variant, omegas, rejectRatio)
+}
+
+// FitTransfer recovers the CUT's transfer function N(s)/D(s) from
+// sampled AC analysis.
+//
+// Deprecated: use Session.FitTransfer.
+func (p *Pipeline) FitTransfer(numDeg, denDeg int, omegas []float64) (Rational, error) {
+	return p.s.FitTransfer(numDeg, denDeg, omegas)
+}

@@ -7,7 +7,7 @@
 //
 //  1. Pick (or parse) a circuit under test — see Benchmarks and
 //     ParseNetlist.
-//  2. Build a Pipeline: it runs the fault simulation and produces the
+//  2. Open a Session: it runs the fault simulation and produces the
 //     fault dictionary over a parametric fault universe
 //     (±10%…±40% deviations by default, per the paper).
 //  3. Optimize a test vector — a small set of stimulus frequencies —
@@ -17,19 +17,28 @@
 //     the trajectory plane and is assigned to the nearest trajectory by
 //     perpendicular projection.
 //
-// Minimal use:
+// Minimal use (v2 API):
 //
 //	cut := repro.PaperCUT()
-//	p, err := repro.NewPipeline(cut, nil)
-//	tv, err := p.Optimize(repro.PaperOptimizeConfig(cut.Omega0))
-//	diag, err := p.Diagnoser(tv.Omegas)
-//	res, err := diag.DiagnoseFault(p.Dictionary(), repro.Fault{Component: "R3", Deviation: 0.25})
+//	s, err := repro.NewSession(cut)
+//	tv, err := s.Optimize(ctx, repro.PaperOptimizeConfig(cut.Omega0))
+//	diag, err := s.Diagnoser(ctx, tv.Omegas)
+//	res, err := diag.DiagnoseFault(s.Dictionary(), repro.Fault{Component: "R3", Deviation: 0.25})
+//
+// Every long-running stage takes a context.Context and stops within one
+// GA generation / frequency batch of cancellation, returning an error
+// that wraps ErrCanceled. Sessions accept functional options
+// (WithDeviations, WithWorkers, WithProgress, …), stream Progress
+// events, return structured errors (ErrBadConfig, ErrSingular,
+// ErrUnknownComponent, …), and persist their expensive artifacts —
+// dictionary grids, test vectors, trajectory maps — as versioned,
+// checksummed JSON (SaveDictionary / SaveTestVector / SaveTrajectories
+// and the matching Load functions).
+//
+// The v1 Pipeline type remains as a deprecated shim over Session.
 package repro
 
 import (
-	"fmt"
-
-	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/circuits"
 	"repro/internal/core"
@@ -37,7 +46,6 @@ import (
 	"repro/internal/dictionary"
 	"repro/internal/fault"
 	"repro/internal/ga"
-	"repro/internal/geometry"
 	"repro/internal/netlist"
 	"repro/internal/numeric"
 	"repro/internal/opamp"
@@ -120,137 +128,9 @@ func PaperOptimizeConfig(omega0 float64) OptimizeConfig {
 }
 
 // ParseNetlist parses SPICE-like netlist text into a Circuit (see the
-// netlist card reference in the internal/netlist package docs).
+// netlist card reference in the internal/netlist package docs). Syntax
+// failures are ParseErrors carrying the source line and card text.
 func ParseNetlist(text string) (*Circuit, error) { return netlist.Parse(text) }
 
 // SerializeNetlist renders a Circuit back to netlist text.
 func SerializeNetlist(c *Circuit) (string, error) { return netlist.Serialize(c) }
-
-// Pipeline bundles the whole fault-trajectory flow for one CUT.
-type Pipeline struct {
-	cut  CUT
-	atpg *core.ATPG
-}
-
-// NewPipeline builds the fault dictionary for a CUT. deviations may be
-// nil for the paper's ±10%…±40% grid; otherwise it lists the fractional
-// deviations of the fault universe.
-func NewPipeline(cut CUT, deviations []float64) (*Pipeline, error) {
-	if err := cut.Validate(); err != nil {
-		return nil, err
-	}
-	if deviations == nil {
-		deviations = fault.PaperDeviations()
-	}
-	u, err := fault.NewUniverse(cut.Passives, deviations)
-	if err != nil {
-		return nil, err
-	}
-	atpg, err := core.New(cut.Circuit, cut.Source, cut.Output, u)
-	if err != nil {
-		return nil, err
-	}
-	return &Pipeline{cut: cut, atpg: atpg}, nil
-}
-
-// NewPipelineFromNetlist builds a pipeline from netlist text plus the
-// measurement metadata a netlist does not carry: the driving source, the
-// observed output node, and the fault-target components (nil → every
-// Valued element). deviations may be nil for the paper grid.
-func NewPipelineFromNetlist(text, source, output string, components []string, deviations []float64) (*Pipeline, error) {
-	c, err := netlist.Parse(text)
-	if err != nil {
-		return nil, err
-	}
-	if components == nil {
-		components = c.ValuedNames()
-	}
-	if len(components) == 0 {
-		return nil, fmt.Errorf("repro: netlist has no faultable components")
-	}
-	cut := CUT{
-		Circuit:     c,
-		Source:      source,
-		Output:      output,
-		Passives:    components,
-		Omega0:      1,
-		Description: "netlist-defined circuit under test",
-	}
-	return NewPipeline(cut, deviations)
-}
-
-// CUT returns the pipeline's circuit under test.
-func (p *Pipeline) CUT() CUT { return p.cut }
-
-// Dictionary exposes the fault dictionary.
-func (p *Pipeline) Dictionary() *Dictionary { return p.atpg.Dictionary() }
-
-// Optimize searches for a test vector with the GA.
-func (p *Pipeline) Optimize(cfg OptimizeConfig) (*TestVector, error) {
-	return p.atpg.Optimize(cfg)
-}
-
-// Fitness evaluates the paper's fitness for an explicit test vector.
-func (p *Pipeline) Fitness(omegas []float64) (float64, error) {
-	return p.atpg.Fitness(omegas, core.PaperFitness)
-}
-
-// Trajectories builds the trajectory map for a test vector.
-func (p *Pipeline) Trajectories(omegas []float64) (*TrajectoryMap, error) {
-	return trajectory.Build(p.atpg.Dictionary(), omegas)
-}
-
-// Diagnoser builds the diagnosis stage for a test vector.
-func (p *Pipeline) Diagnoser(omegas []float64) (*Diagnoser, error) {
-	return p.atpg.BuildDiagnoser(omegas)
-}
-
-// Evaluate runs the hold-out evaluation: off-grid deviations (nil → the
-// default ±15/25/35% set) on every universe component.
-func (p *Pipeline) Evaluate(omegas []float64, holdOut []float64) (*Evaluation, error) {
-	if holdOut == nil {
-		holdOut = diagnosis.DefaultHoldOutDeviations()
-	}
-	return p.atpg.EvaluateVector(omegas, holdOut)
-}
-
-// ATPG exposes the underlying test generator for advanced use (baseline
-// strategies, custom fitness modes).
-func (p *Pipeline) ATPG() *core.ATPG { return p.atpg }
-
-// DiagnoseCircuit diagnoses an arbitrary variant of the CUT (a multiple
-// fault, a tolerance-perturbed board — anything with the same source and
-// output) against the trajectory map for the given test vector. The
-// boolean reports whether the result should be rejected as
-// out-of-model at the given rejection ratio (0 disables rejection).
-func (p *Pipeline) DiagnoseCircuit(variant *Circuit, omegas []float64, rejectRatio float64) (*DiagnosisResult, bool, error) {
-	dg, err := p.Diagnoser(omegas)
-	if err != nil {
-		return nil, false, err
-	}
-	sig, err := p.Dictionary().CircuitSignature(variant, omegas)
-	if err != nil {
-		return nil, false, err
-	}
-	res, err := dg.Diagnose(geometry.VecN(sig))
-	if err != nil {
-		return nil, false, err
-	}
-	rejected := false
-	if rejectRatio > 0 {
-		rejected = res.Rejected(dg.Extent(), rejectRatio)
-	}
-	return res, rejected, nil
-}
-
-// FitTransfer recovers the CUT's transfer function N(s)/D(s) from
-// sampled AC analysis (degrees chosen by the caller; see
-// analysis.FitRational). It hands downstream users poles, zeros and
-// filter parameters without symbolic analysis.
-func (p *Pipeline) FitTransfer(numDeg, denDeg int, omegas []float64) (Rational, error) {
-	ac, err := analysis.NewAC(p.Dictionary().Golden())
-	if err != nil {
-		return Rational{}, err
-	}
-	return ac.FitRational(p.cut.Source, p.cut.Output, numDeg, denDeg, omegas)
-}

@@ -1,0 +1,379 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/artifact"
+	"repro/internal/core"
+	"repro/internal/diagnosis"
+	"repro/internal/fault"
+	"repro/internal/ga"
+	"repro/internal/geometry"
+	"repro/internal/netlist"
+	"repro/internal/trajectory"
+)
+
+// Stage identifies a Session phase in progress events.
+type Stage string
+
+const (
+	// StageDictionary is fault simulation: compiling the CUT and filling
+	// response grids.
+	StageDictionary Stage = "dictionary"
+	// StageOptimize is GA test-vector optimization.
+	StageOptimize Stage = "optimize"
+	// StageTrajectories is trajectory-map construction.
+	StageTrajectories Stage = "trajectories"
+	// StageEvaluate is the hold-out diagnosis evaluation.
+	StageEvaluate Stage = "evaluate"
+)
+
+// Progress is one event on a session's progress stream.
+//
+// A stage that fails (including cancellation) stops emitting where it
+// was interrupted — there is no synthetic completion or failure event;
+// the stage's returned error is the failure signal. Consumers driving a
+// UI should clear in-flight stages when the session call returns.
+type Progress struct {
+	// Stage names the phase the event belongs to.
+	Stage Stage `json:"stage"`
+	// Completed and Total measure the stage: GA generations for
+	// StageOptimize, grid frequencies for StageDictionary, 0/1 and 1/1
+	// begin/end markers for short stages.
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+	// Generation is the finished 0-based GA generation (StageOptimize).
+	Generation int `json:"generation"`
+	// BestFitness is the generation's best GA fitness (StageOptimize).
+	BestFitness float64 `json:"best_fitness"`
+}
+
+// GenStats re-exports the GA's per-generation statistics.
+type GenStats = ga.GenStats
+
+// Option configures a Session (functional options, v2 API).
+type Option func(*sessionOptions)
+
+type sessionOptions struct {
+	deviations []float64
+	components []string
+	workers    int
+	progress   []func(Progress)
+}
+
+// WithDeviations overrides the paper's ±10%…±40% fault grid with an
+// explicit list of fractional deviations (e.g. -0.2, 0.2).
+func WithDeviations(deviations ...float64) Option {
+	return func(o *sessionOptions) {
+		// Non-nil even when empty — see WithComponents.
+		o.deviations = append([]float64{}, deviations...)
+	}
+}
+
+// WithComponents restricts the fault universe to the named components
+// (default: the CUT's fault targets, or every valued element for a
+// netlist-built session).
+func WithComponents(components ...string) Option {
+	return func(o *sessionOptions) {
+		// Non-nil even when empty: an explicit empty list is a config
+		// error (caught by universe construction), not "use the default".
+		o.components = append([]string{}, components...)
+	}
+}
+
+// WithWorkers bounds the worker pools of the expensive stages (grid
+// builds, GA fitness evaluation). 0 — the default — means one worker per
+// CPU; negative values are rejected by NewSession.
+func WithWorkers(n int) Option {
+	return func(o *sessionOptions) { o.workers = n }
+}
+
+// WithProgress subscribes a callback to the session's progress stream.
+// Events are delivered synchronously from whichever goroutine completes
+// a unit of work: within a sequential stage (GA generations) calls
+// arrive in order on one goroutine; during parallel grid builds
+// (Precompute, SaveDictionary) the callback may be invoked concurrently
+// and must be safe for that. Callbacks may call back into the Session.
+// Multiple subscriptions all receive every event; for a decoupled
+// consumer use WithProgressChannel.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *sessionOptions) {
+		if fn != nil {
+			o.progress = append(o.progress, fn)
+		}
+	}
+}
+
+// WithProgressChannel subscribes a channel to the progress stream.
+// Sends never block: when the channel is full the event is dropped, so a
+// slow consumer cannot stall a stage. Use a buffered channel sized for
+// the expected event rate (one per GA generation / grid frequency).
+func WithProgressChannel(ch chan<- Progress) Option {
+	return func(o *sessionOptions) {
+		if ch == nil {
+			return
+		}
+		o.progress = append(o.progress, func(ev Progress) {
+			select {
+			case ch <- ev:
+			default:
+			}
+		})
+	}
+}
+
+// Session is the v2 entry point: it owns the fault dictionary for one
+// circuit under test and exposes every long-running stage with
+// context.Context threading, progress streaming, and structured errors.
+//
+// A Session is safe for concurrent use: the underlying dictionary
+// memoization is locked, stages do not share mutable state, and the
+// subscriber list is immutable after construction.
+type Session struct {
+	cut      CUT
+	atpg     *core.ATPG
+	workers  int
+	checksum string
+	progress []func(Progress) // immutable after NewSession
+}
+
+// NewSession builds the fault dictionary for a CUT and returns the
+// session every other stage hangs off. Options replace Pipeline's
+// positional nil-able arguments:
+//
+//	s, err := repro.NewSession(cut,
+//	    repro.WithDeviations(-0.2, -0.1, 0.1, 0.2),
+//	    repro.WithWorkers(4),
+//	    repro.WithProgress(func(p repro.Progress) { log.Println(p) }),
+//	)
+//
+// Configuration failures wrap ErrBadConfig; unknown fault targets wrap
+// ErrUnknownComponent.
+func NewSession(cut CUT, opts ...Option) (*Session, error) {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 0 {
+		return nil, fmt.Errorf("repro: %w: negative worker count %d", ErrBadConfig, o.workers)
+	}
+	if err := cut.Validate(); err != nil {
+		return nil, err
+	}
+	deviations := o.deviations
+	if deviations == nil {
+		deviations = fault.PaperDeviations()
+	}
+	components := o.components
+	if components == nil {
+		components = cut.Passives
+	}
+	u, err := fault.NewUniverse(components, deviations)
+	if err != nil {
+		return nil, err
+	}
+	// The stored CUT reflects the actual fault targets, so CUT().Passives
+	// always names the universe the session diagnoses over.
+	cut.Passives = append([]string(nil), u.Components...)
+	s := &Session{cut: cut, workers: o.workers, progress: o.progress}
+	s.emit(Progress{Stage: StageDictionary, Completed: 0, Total: 1})
+	atpg, err := core.New(cut.Circuit, cut.Source, cut.Output, u)
+	if err != nil {
+		return nil, err
+	}
+	s.atpg = atpg
+	text, err := netlist.Serialize(cut.Circuit)
+	if err != nil {
+		return nil, fmt.Errorf("repro: checksum netlist: %w", err)
+	}
+	// The staleness fingerprint covers the whole measurement setup, not
+	// just the topology: the same circuit observed at a different node or
+	// over a different fault universe yields different artifacts.
+	s.checksum = artifact.Checksum(fmt.Sprintf(
+		"%s\nsource=%s\noutput=%s\ncomponents=%v\ndeviations=%v\n",
+		text, cut.Source, cut.Output, u.Components, u.Deviations))
+	s.emit(Progress{Stage: StageDictionary, Completed: 1, Total: 1})
+	return s, nil
+}
+
+// NewSessionFromNetlist builds a session from netlist text plus the
+// measurement metadata a netlist does not carry: the driving source and
+// the observed output node. Fault targets default to every valued
+// element; override with WithComponents.
+func NewSessionFromNetlist(text, source, output string, opts ...Option) (*Session, error) {
+	c, err := netlist.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	cut := CUT{
+		Circuit:     c,
+		Source:      source,
+		Output:      output,
+		Passives:    c.ValuedNames(),
+		Omega0:      1,
+		Description: "netlist-defined circuit under test",
+	}
+	if len(cut.Passives) == 0 {
+		return nil, fmt.Errorf("repro: %w: netlist has no faultable components", ErrBadConfig)
+	}
+	return NewSession(cut, opts...)
+}
+
+// emit delivers one progress event to every subscriber. No lock is held
+// while callbacks run — the subscriber list is immutable — so a callback
+// may safely call back into the Session (e.g. kick off Trajectories when
+// the optimize stage completes) without deadlocking.
+func (s *Session) emit(ev Progress) {
+	for _, fn := range s.progress {
+		fn(ev)
+	}
+}
+
+// CUT returns the session's circuit under test.
+func (s *Session) CUT() CUT { return s.cut }
+
+// Dictionary exposes the fault dictionary.
+func (s *Session) Dictionary() *Dictionary { return s.atpg.Dictionary() }
+
+// ATPG exposes the underlying test generator for advanced use (baseline
+// strategies, custom fitness modes).
+func (s *Session) ATPG() *core.ATPG { return s.atpg }
+
+// Checksum returns the SHA-256 (hex) fingerprint stamped into and
+// verified against persisted artifacts. It covers the CUT's serialized
+// netlist plus the measurement setup (source, output) and fault
+// universe, so artifacts from a different board revision, observation
+// node, or deviation grid are rejected as stale.
+func (s *Session) Checksum() string { return s.checksum }
+
+// Workers returns the session's configured worker bound (0 = one per
+// CPU).
+func (s *Session) Workers() int { return s.workers }
+
+// Optimize searches for a test vector with the paper's GA. The context
+// is enforced at every generation boundary and before each fitness
+// evaluation: a canceled context returns an error wrapping ErrCanceled
+// (and the context's own error) within one generation. Progress
+// subscribers receive one StageOptimize event per generation carrying
+// the generation's best fitness. When cfg.GA.Workers is 0, the session's
+// WithWorkers bound applies.
+func (s *Session) Optimize(ctx context.Context, cfg OptimizeConfig) (*TestVector, error) {
+	if cfg.GA.Workers == 0 {
+		cfg.GA.Workers = s.workers
+	}
+	total := cfg.GA.Generations
+	user := cfg.GA.Progress
+	cfg.GA.Progress = func(st GenStats) {
+		if user != nil {
+			user(st)
+		}
+		s.emit(Progress{
+			Stage:       StageOptimize,
+			Completed:   st.Generation + 1,
+			Total:       total,
+			Generation:  st.Generation,
+			BestFitness: st.Best,
+		})
+	}
+	return s.atpg.Optimize(ctx, cfg)
+}
+
+// Fitness evaluates the paper's fitness for an explicit test vector.
+func (s *Session) Fitness(ctx context.Context, omegas []float64) (float64, error) {
+	return s.atpg.Fitness(ctx, omegas, core.PaperFitness)
+}
+
+// Trajectories builds the trajectory map for a test vector. A canceled
+// context returns an error wrapping ErrCanceled within one frequency.
+func (s *Session) Trajectories(ctx context.Context, omegas []float64) (*TrajectoryMap, error) {
+	s.emit(Progress{Stage: StageTrajectories, Completed: 0, Total: 1})
+	m, err := trajectory.Build(ctx, s.atpg.Dictionary(), omegas)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(Progress{Stage: StageTrajectories, Completed: 1, Total: 1})
+	return m, nil
+}
+
+// Diagnoser builds the diagnosis stage for a test vector.
+func (s *Session) Diagnoser(ctx context.Context, omegas []float64) (*Diagnoser, error) {
+	return s.atpg.BuildDiagnoser(ctx, omegas)
+}
+
+// Evaluate runs the hold-out evaluation: off-grid deviations (nil → the
+// default ±15/25/35% set) on every universe component. A canceled
+// context returns an error wrapping ErrCanceled within one frequency
+// batch.
+func (s *Session) Evaluate(ctx context.Context, omegas []float64, holdOut []float64) (*Evaluation, error) {
+	if holdOut == nil {
+		holdOut = diagnosis.DefaultHoldOutDeviations()
+	}
+	s.emit(Progress{Stage: StageEvaluate, Completed: 0, Total: 1})
+	ev, err := s.atpg.EvaluateVector(ctx, omegas, holdOut)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1})
+	return ev, nil
+}
+
+// Precompute fills the dictionary's response memo on a frequency grid
+// with the session's worker bound, streaming one StageDictionary event
+// per solved frequency. Subsequent responses at grid points are pure
+// lookups; SaveDictionary calls this before snapshotting.
+func (s *Session) Precompute(ctx context.Context, omegas []float64) error {
+	return s.Dictionary().BuildGridProgress(ctx, omegas, s.workers, func(done, total int) {
+		s.emit(Progress{Stage: StageDictionary, Completed: done, Total: total})
+	})
+}
+
+// DiagnoseCircuit diagnoses an arbitrary variant of the CUT (a multiple
+// fault, a tolerance-perturbed board — anything with the same source and
+// output) against the trajectory map for the given test vector. The
+// boolean reports whether the result should be rejected as out-of-model
+// at the given rejection ratio (0 disables rejection).
+func (s *Session) DiagnoseCircuit(ctx context.Context, variant *Circuit, omegas []float64, rejectRatio float64) (*DiagnosisResult, bool, error) {
+	dg, err := s.Diagnoser(ctx, omegas)
+	if err != nil {
+		return nil, false, err
+	}
+	sig, err := s.Dictionary().CircuitSignature(variant, omegas)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := dg.Diagnose(geometry.VecN(sig))
+	if err != nil {
+		return nil, false, err
+	}
+	rejected := false
+	if rejectRatio > 0 {
+		rejected = res.Rejected(dg.Extent(), rejectRatio)
+	}
+	return res, rejected, nil
+}
+
+// FitTransfer recovers the CUT's transfer function N(s)/D(s) from
+// sampled AC analysis (degrees chosen by the caller; see
+// analysis.FitRational). It hands downstream users poles, zeros and
+// filter parameters without symbolic analysis.
+func (s *Session) FitTransfer(numDeg, denDeg int, omegas []float64) (Rational, error) {
+	ac, err := analysis.NewAC(s.Dictionary().Golden())
+	if err != nil {
+		return Rational{}, err
+	}
+	return ac.FitRational(s.cut.Source, s.cut.Output, numDeg, denDeg, omegas)
+}
+
+// NewDiagnoser builds a Diagnoser directly from a trajectory map — the
+// deployment path for maps loaded from artifacts (LoadTrajectories),
+// where no simulator or dictionary is needed.
+func NewDiagnoser(m *TrajectoryMap) (*Diagnoser, error) { return diagnosis.New(m) }
+
+// TrajectoriesFromExport reconstructs a trajectory map from a persisted
+// dictionary grid alone, interpolating in log ω between grid points. At
+// exact grid frequencies the result is bit-for-bit the stored response.
+func TrajectoriesFromExport(ex *DictionaryExport, omegas []float64) (*TrajectoryMap, error) {
+	return trajectory.BuildFromExport(ex, omegas)
+}
