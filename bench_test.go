@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/numeric"
 	"repro/internal/signal"
+	"repro/internal/trajectory"
 	"repro/internal/transient"
 )
 
@@ -37,10 +38,16 @@ func reducedGA(seed int64) OptimizeConfig {
 
 // BenchmarkFig1Dictionary (E1): building the full fault dictionary grid
 // — 56 faulty circuits plus golden across a 13-point frequency sweep.
+// Each iteration needs a fresh pipeline (a warm dictionary would serve
+// the grid from its memo), but pipeline construction happens with the
+// timer stopped so only BuildGrid is measured.
 func BenchmarkFig1Dictionary(b *testing.B) {
 	grid := numeric.Logspace(0.01, 100, 13)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		p := mustPipeline(b)
+		b.StartTimer()
 		if err := p.Dictionary().BuildGrid(nil, grid, 4); err != nil {
 			b.Fatal(err)
 		}
@@ -54,6 +61,7 @@ func BenchmarkFig2Transform(b *testing.B) {
 	d := p.Dictionary()
 	f := Fault{Component: "R3", Deviation: 0.4}
 	omegas := []float64{0.5, 2}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Signature(f, omegas); err != nil {
@@ -75,6 +83,7 @@ func BenchmarkFig3Diagnosis(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := dg.Diagnose(sig)
@@ -91,6 +100,7 @@ func BenchmarkFig3Diagnosis(b *testing.B) {
 // 15 generations, roulette wheel, fitness 1/(1+I).
 func BenchmarkGAPaperParams(b *testing.B) {
 	p := mustPipeline(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg := PaperOptimizeConfig(1)
@@ -109,6 +119,7 @@ func BenchmarkGAPaperParams(b *testing.B) {
 // a fixed test vector — the cost of the accuracy numbers in E5's table.
 func BenchmarkE5Accuracy(b *testing.B) {
 	p := mustPipeline(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev, err := p.Evaluate([]float64{0.5635, 4.5524}, nil)
@@ -126,6 +137,7 @@ func BenchmarkE5Baselines(b *testing.B) {
 	p := mustPipeline(b)
 	atpg := p.ATPG()
 	b.Run("random", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rng := rand.New(rand.NewSource(int64(i)))
 			if _, err := atpg.RandomVector(nil, 2, 0.01, 100, 50, rng); err != nil {
@@ -134,6 +146,7 @@ func BenchmarkE5Baselines(b *testing.B) {
 		}
 	})
 	b.Run("grid", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := atpg.GridVector(nil, 2, 0.01, 100, 12); err != nil {
 				b.Fatal(err)
@@ -141,6 +154,7 @@ func BenchmarkE5Baselines(b *testing.B) {
 		}
 	})
 	b.Run("sensitivity", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := atpg.SensitivityVector(nil, 2, 0.01, 100, 12, 0.3); err != nil {
 				b.Fatal(err)
@@ -154,6 +168,7 @@ func BenchmarkE6Frequencies(b *testing.B) {
 	p := mustPipeline(b)
 	for k := 1; k <= 4; k++ {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := reducedGA(int64(i + 1))
 				cfg.NumFrequencies = k
@@ -177,6 +192,7 @@ func BenchmarkE7GA(b *testing.B) {
 		{"rank", func(c *OptimizeConfig) { c.GA.Selection = 2 }},
 	} {
 		b.Run(sel.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := reducedGA(int64(i + 1))
 				sel.set(&cfg)
@@ -185,6 +201,33 @@ func BenchmarkE7GA(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFitnessEval: one steady-state GA fitness evaluation — a
+// trajectory.Builder rebuild plus the cached intersection count, the
+// unit of work Optimize performs PopSize×Generations times. This is the
+// path the reuse APIs (engine.BatchResponsesInto,
+// dictionary.SignaturesInto, trajectory.Builder) keep allocation-free;
+// TestFitnessPathAllocationFree guards the allocs/op reported here.
+func BenchmarkFitnessEval(b *testing.B) {
+	p := mustPipeline(b)
+	bu := trajectory.NewBuilder(p.Dictionary())
+	omegas := []float64{0.5, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary frequencies to defeat any value-keyed caching, as the GA
+		// does.
+		omegas[0] = 0.5 + float64(i%100)*1e-5
+		omegas[1] = 2 + float64(i%100)*1e-5
+		m, err := bu.Build(nil, omegas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Intersections() < 0 {
+			b.Fatal("negative intersection count")
+		}
 	}
 }
 
@@ -200,6 +243,7 @@ func BenchmarkE8Noise(b *testing.B) {
 	cfg.SNRdB = 40
 	cfg.ADCBits = 12
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := signal.MeasureTones(gains, omegas, cfg, rng); err != nil {
@@ -213,11 +257,14 @@ func BenchmarkE8Noise(b *testing.B) {
 func BenchmarkE9Circuits(b *testing.B) {
 	for _, cut := range Benchmarks() {
 		b.Run(cut.Circuit.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				b.StopTimer()
 				p, err := NewPipeline(cut, nil)
 				if err != nil {
 					b.Fatal(err)
 				}
+				b.StartTimer()
 				cfg := reducedGA(int64(i + 1))
 				cfg.BandLo, cfg.BandHi = cut.Omega0/100, cut.Omega0*100
 				tv, err := p.Optimize(cfg)
@@ -244,6 +291,7 @@ func BenchmarkBatchVsScalar(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) {
 		d := mustPipeline(b).Dictionary()
 		faults := append([]Fault{{}}, d.Universe().Faults()...)
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, f := range faults {
@@ -256,11 +304,15 @@ func BenchmarkBatchVsScalar(b *testing.B) {
 		}
 	})
 	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			// Fresh pipeline per iteration so BuildGrid computes instead
-			// of hitting the memo; template compilation is part of the
-			// measured cost.
+			// of hitting the memo; construction (including template
+			// compilation) happens off the clock so the two sides time
+			// the same work: filling the (fault × frequency) table.
+			b.StopTimer()
 			p := mustPipeline(b)
+			b.StartTimer()
 			if err := p.Dictionary().BuildGrid(nil, grid, 0); err != nil {
 				b.Fatal(err)
 			}
@@ -275,6 +327,7 @@ func BenchmarkACSolve(b *testing.B) {
 	trials := diagnosis.HoldOutTrials(d.Universe(), []float64{0.17}) // unmemoized deviations
 	_ = trials
 	faults := d.Universe().Faults()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Vary ω so memoization never hits: measures true solve cost.
@@ -289,6 +342,7 @@ func BenchmarkACSolve(b *testing.B) {
 // a fresh test vector (the GA's per-candidate cost).
 func BenchmarkTrajectoryBuild(b *testing.B) {
 	p := mustPipeline(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Vary frequencies to defeat memoization, as the GA does.
@@ -302,6 +356,7 @@ func BenchmarkTrajectoryBuild(b *testing.B) {
 
 // BenchmarkFaultUniverse: enumerating the paper's 56-fault universe.
 func BenchmarkFaultUniverse(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		u, err := fault.PaperUniverse(PaperCUT().Passives)
 		if err != nil {
@@ -338,6 +393,7 @@ func BenchmarkE10Reject(b *testing.B) {
 		b.Fatal(err)
 	}
 	ext := dg.Extent()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := dg.Diagnose(sig)
@@ -358,6 +414,7 @@ func BenchmarkE11Tolerance(b *testing.B) {
 	}
 	rng := rand.New(rand.NewSource(1))
 	tol := Tolerance{Sigma: 0.01}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		board, err := tol.Perturb(p.Dictionary().Golden(), rng, "C2")
@@ -376,7 +433,9 @@ func BenchmarkE11Tolerance(b *testing.B) {
 // BenchmarkE12Active: full pipeline over the macromodel CUT with 11
 // fault targets (reduced GA).
 func BenchmarkE12Active(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		b.StopTimer()
 		cut, err := PaperCUTMacro()
 		if err != nil {
 			b.Fatal(err)
@@ -385,6 +444,7 @@ func BenchmarkE12Active(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.StartTimer()
 		cfg := reducedGA(int64(i + 1))
 		if _, err := p.Optimize(cfg); err != nil {
 			b.Fatal(err)
@@ -397,6 +457,7 @@ func BenchmarkE12Active(b *testing.B) {
 func BenchmarkTransientStep(b *testing.B) {
 	cut := PaperCUT()
 	wave := transient.Sine(1, 1, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := transient.Run(cut.Circuit.Clone(), transient.Config{
@@ -415,6 +476,7 @@ func BenchmarkTransientStep(b *testing.B) {
 func BenchmarkFitRational(b *testing.B) {
 	p := mustPipeline(b)
 	omegas := numeric.Logspace(0.02, 50, 21)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.FitTransfer(0, 3, omegas); err != nil {

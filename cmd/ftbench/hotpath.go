@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/trajectory"
+)
+
+// hotpathEntry is one measured hot-path quantity in the emitted report.
+type hotpathEntry struct {
+	// Name identifies the measurement (fitness_eval, trajectory_build,
+	// ga_paper_params).
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// N is the iteration count the benchmark framework settled on.
+	N int `json:"n"`
+}
+
+// hotpathReport is the BENCH_hotpath.json schema: the performance record
+// of the GA fitness hot path, regenerated per change so the perf
+// trajectory of the repository is tracked in-tree alongside the code.
+type hotpathReport struct {
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Entries   []hotpathEntry `json:"entries"`
+}
+
+// hotpath measures the GA fitness hot path with the testing.Benchmark
+// machinery — the same numbers `go test -bench` reports — and writes
+// them to BENCH_hotpath.json:
+//
+//   - fitness_eval: one steady-state fitness evaluation (reused
+//     trajectory.Builder rebuild + cached intersection count);
+//   - trajectory_build: one cold trajectory.Build (fresh storage, the
+//     one-shot path diagnosis uses);
+//   - ga_paper_params: the paper's full GA (128 individuals × 15
+//     generations) through Session.Optimize.
+func (r *runner) hotpath() error {
+	r.header("HOTPATH", "GA fitness hot-path benchmarks → BENCH_hotpath.json")
+	s, err := repro.NewSession(repro.PaperCUT())
+	if err != nil {
+		return err
+	}
+	d := s.Dictionary()
+
+	rep := &hotpathReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	record := func(name string, res testing.BenchmarkResult) error {
+		// testing.Benchmark reports a zero result when the body aborts
+		// (b.Fatal, or a Ctrl-C canceling r.ctx mid-run); 0/0 ns/op is
+		// NaN, which would only surface later as a JSON marshal failure.
+		if err := r.ctx.Err(); err != nil {
+			return fmt.Errorf("hotpath: %s: %w", name, err)
+		}
+		if res.N == 0 {
+			return fmt.Errorf("hotpath: %s: benchmark failed (see log above)", name)
+		}
+		e := hotpathEntry{
+			Name:        name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			N:           res.N,
+		}
+		rep.Entries = append(rep.Entries, e)
+		r.printf("  %-18s %14.0f ns/op %8d allocs/op %10d B/op  (n=%d)\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, e.N)
+		return nil
+	}
+
+	err = record("fitness_eval", testing.Benchmark(func(b *testing.B) {
+		bu := trajectory.NewBuilder(d)
+		omegas := []float64{0.5, 2}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			omegas[0] = 0.5 + float64(i%100)*1e-5
+			omegas[1] = 2 + float64(i%100)*1e-5
+			m, err := bu.Build(r.ctx, omegas)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Intersections() < 0 {
+				b.Fatal("negative intersection count")
+			}
+		}
+	}))
+	if err != nil {
+		return err
+	}
+
+	err = record("trajectory_build", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w1 := 0.5 + float64(i%100)*1e-5
+			w2 := 2.0 + float64(i%100)*1e-5
+			if _, err := trajectory.Build(r.ctx, d, []float64{w1, w2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if err != nil {
+		return err
+	}
+
+	err = record("ga_paper_params", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := repro.PaperOptimizeConfig(s.CUT().Omega0)
+			cfg.Seed = int64(i + 1)
+			tv, err := s.Optimize(r.ctx, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tv.Fitness <= 0 {
+				b.Fatal("GA found nothing")
+			}
+		}
+	}))
+	if err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(r.hotpathOut, data, 0o644); err != nil {
+		return fmt.Errorf("hotpath: %w", err)
+	}
+	r.printf("  wrote %s\n", r.hotpathOut)
+	return nil
+}

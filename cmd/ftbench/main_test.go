@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -101,5 +104,39 @@ func TestStepsGrid(t *testing.T) {
 func TestFmtOmegas(t *testing.T) {
 	if got := fmtOmegas([]float64{0.5, 2}); got != "0.5, 2" {
 		t.Fatalf("fmtOmegas = %q", got)
+	}
+}
+
+func TestHotpathWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks; skipped in -short mode")
+	}
+	r, buf := newTestRunner()
+	r.hotpathOut = filepath.Join(t.TempDir(), "BENCH_hotpath.json")
+	if err := r.hotpath(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(r.hotpathOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep hotpathReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	want := map[string]bool{"fitness_eval": false, "trajectory_build": false, "ga_paper_params": false}
+	for _, e := range rep.Entries {
+		want[e.Name] = true
+		if e.NsPerOp <= 0 || e.N <= 0 {
+			t.Errorf("entry %s has non-positive measurements: %+v", e.Name, e)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("report is missing entry %q", name)
+		}
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Error("hotpath did not report its output path")
 	}
 }

@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/circuit"
@@ -149,9 +152,17 @@ func fitnessOf(m *trajectory.Map, mode FitnessMode) float64 {
 }
 
 // Optimize searches for the best test vector with the GA. The context
-// is enforced at every GA generation boundary and before each fitness
-// evaluation; a canceled context returns an error wrapping
-// rerr.ErrCanceled within one generation.
+// is enforced at every GA generation boundary and inside every fitness
+// evaluation (per test frequency); a canceled context returns an error
+// wrapping rerr.ErrCanceled within one generation.
+//
+// Fitness evaluation is generation-batched: each GA generation is scored
+// in one ga.Problem.BatchFitness call that fans the candidates out over
+// cfg.GA.Workers goroutines (0 → one per CPU), each owning a reusable
+// trajectory.Builder, so the steady-state fitness path allocates
+// nothing. With one worker the candidates are evaluated inline, without
+// goroutines. The worker count never affects results: each candidate's
+// fitness is a pure function of its genes.
 func (a *ATPG) Optimize(ctx context.Context, cfg Config) (*TestVector, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -161,15 +172,13 @@ func (a *ATPG) Optimize(ctx context.Context, cfg Config) (*TestVector, error) {
 	for i := range bounds {
 		bounds[i] = ga.Interval{Lo: lo, Hi: hi}
 	}
+	workers := cfg.GA.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	problem := ga.Problem{
-		Bounds: bounds,
-		Fitness: func(genes []float64) float64 {
-			m, err := trajectory.Build(ctx, a.dict, genesToOmegas(genes))
-			if err != nil {
-				return 0 // unsolvable candidate: zero mass
-			}
-			return fitnessOf(m, cfg.Fitness)
-		},
+		Bounds:       bounds,
+		BatchFitness: a.batchFitness(ctx, cfg.Fitness, workers),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res, err := ga.Run(ctx, problem, cfg.GA, rng)
@@ -177,7 +186,7 @@ func (a *ATPG) Optimize(ctx context.Context, cfg Config) (*TestVector, error) {
 		return nil, err
 	}
 	omegas := genesToOmegas(res.Best)
-	sortFloats(omegas)
+	sort.Float64s(omegas)
 	m, err := trajectory.Build(ctx, a.dict, omegas)
 	if err != nil {
 		return nil, err
@@ -191,20 +200,81 @@ func (a *ATPG) Optimize(ctx context.Context, cfg Config) (*TestVector, error) {
 	}, nil
 }
 
+// fitnessWorker is one evaluation worker's reusable state: a trajectory
+// Builder (batch scratch, map, intersection cache) and the gene→ω
+// conversion buffer. Reusing it across a whole GA run is what makes the
+// steady-state fitness path allocation-free.
+type fitnessWorker struct {
+	b      *trajectory.Builder
+	omegas []float64
+}
+
+// eval scores one candidate: genes (log10 ω) → test vector → trajectory
+// map → configured fitness. Unsolvable candidates score zero mass.
+func (w *fitnessWorker) eval(ctx context.Context, genes []float64, mode FitnessMode) float64 {
+	w.omegas = w.omegas[:0]
+	for _, g := range genes {
+		w.omegas = append(w.omegas, math.Pow(10, g))
+	}
+	m, err := w.b.Build(ctx, w.omegas)
+	if err != nil {
+		return 0 // unsolvable candidate: zero mass
+	}
+	return fitnessOf(m, mode)
+}
+
+// batchFitness returns the generation-batched fitness evaluator: one
+// persistent fitnessWorker per worker slot, candidates split into
+// contiguous chunks. Chunking is pure partitioning — every candidate is
+// scored by the same pure function, so results are identical at any
+// worker count and to the per-individual path.
+func (a *ATPG) batchFitness(ctx context.Context, mode FitnessMode, workers int) func([][]float64, []float64) {
+	ws := make([]*fitnessWorker, workers)
+	for i := range ws {
+		ws[i] = &fitnessWorker{b: trajectory.NewBuilder(a.dict)}
+	}
+	return func(genomes [][]float64, out []float64) {
+		n := len(genomes)
+		w := workers
+		if w > n {
+			w = n
+		}
+		if w <= 1 {
+			// Inline path: no goroutine or scheduling overhead when the
+			// caller asked for sequential evaluation.
+			for i := range genomes {
+				out[i] = ws[0].eval(ctx, genomes[i], mode)
+			}
+			return
+		}
+		per := (n + w - 1) / w
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			lo, hi := k*per, (k+1)*per
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(st *fitnessWorker, lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					out[i] = st.eval(ctx, genomes[i], mode)
+				}
+			}(ws[k], lo, hi)
+		}
+		wg.Wait()
+	}
+}
+
 func genesToOmegas(genes []float64) []float64 {
 	out := make([]float64, len(genes))
 	for i, g := range genes {
 		out[i] = math.Pow(10, g)
 	}
 	return out
-}
-
-func sortFloats(x []float64) {
-	for i := 1; i < len(x); i++ {
-		for j := i; j > 0 && x[j] < x[j-1]; j-- {
-			x[j], x[j-1] = x[j-1], x[j]
-		}
-	}
 }
 
 // BuildDiagnoser constructs the diagnosis stage for a chosen test
@@ -264,7 +334,7 @@ func (a *ATPG) RandomVector(ctx context.Context, k int, bandLo, bandHi float64, 
 		}
 		fit := fitnessOf(m, PaperFitness)
 		if fit > best.Fitness {
-			sortFloats(omegas)
+			sort.Float64s(omegas)
 			best = &TestVector{Omegas: omegas, Fitness: fit, Intersections: m.Intersections(), Evaluations: trial + 1}
 		}
 	}
@@ -381,7 +451,7 @@ func (a *ATPG) SensitivityVector(ctx context.Context, k int, bandLo, bandHi floa
 		used[bestIdx] = true
 		picked = append(picked, grid[bestIdx])
 	}
-	sortFloats(picked)
+	sort.Float64s(picked)
 	m, err := trajectory.Build(ctx, a.dict, picked)
 	if err != nil {
 		return nil, err

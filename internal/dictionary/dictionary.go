@@ -24,7 +24,16 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/sliceutil"
 )
+
+// MemoLimit bounds the response memo: once this many (fault, ω) pairs
+// are cached, further responses are computed but not stored. Grid builds
+// (tens of faults × hundreds of frequencies) fit comfortably; what the
+// bound prevents is a long-running probe workload growing the memo
+// without limit. The GA fitness path bypasses the memo entirely (see
+// SignaturesInto), so it neither grows it nor contends on its mutex.
+const MemoLimit = 1 << 16
 
 // Dictionary serves golden and faulty magnitude responses.
 type Dictionary struct {
@@ -32,11 +41,13 @@ type Dictionary struct {
 	source   string
 	output   string
 	universe *fault.Universe
+	faults   []fault.Fault // universe.Faults(), computed once; treated immutable
 	eng      *engine.Engine
 
 	mu        sync.Mutex
 	analyzers map[string]*analysis.AC        // fault ID → analyzer, scalar reference path only
 	memo      map[string]map[float64]float64 // fault ID → ω → |H|
+	memoSize  int                            // total (fault, ω) pairs stored
 }
 
 // New builds a dictionary for the golden circuit observed at output and
@@ -53,6 +64,7 @@ func New(golden *circuit.Circuit, source, output string, u *fault.Universe) (*Di
 		source:    source,
 		output:    output,
 		universe:  u,
+		faults:    u.Faults(),
 		analyzers: make(map[string]*analysis.AC),
 		memo:      make(map[string]map[float64]float64),
 	}
@@ -129,7 +141,7 @@ func (d *Dictionary) ScalarResponse(f fault.Fault, omega float64) (float64, erro
 }
 
 // Response returns |H(jω)| for the given fault (use the zero Fault for
-// the golden circuit). Results are memoized.
+// the golden circuit). Results are memoized up to MemoLimit pairs.
 //
 // Lazy queries solve the faulted system exactly (full factorization of
 // the patched template); BuildGrid fills the same memo through the
@@ -160,12 +172,24 @@ func (d *Dictionary) Response(f fault.Fault, omega float64) (float64, error) {
 	return mag, nil
 }
 
-// memoize stores one response; the caller holds d.mu.
+// memoize stores one response; the caller holds d.mu. Once the memo
+// holds MemoLimit pairs, new entries are dropped (existing entries keep
+// serving lookups), so an unbounded stream of distinct probe frequencies
+// cannot grow the memo without limit.
 func (d *Dictionary) memoize(id string, omega, mag float64) {
 	byW, ok := d.memo[id]
 	if !ok {
+		if d.memoSize >= MemoLimit {
+			return
+		}
 		byW = make(map[float64]float64)
 		d.memo[id] = byW
+	}
+	if _, ok := byW[omega]; !ok {
+		if d.memoSize >= MemoLimit {
+			return
+		}
+		d.memoSize++
 	}
 	byW[omega] = mag
 }
@@ -238,7 +262,7 @@ func (d *Dictionary) BuildGrid(ctx context.Context, omegas []float64, workers in
 // BuildGridProgress is BuildGrid with a per-frequency progress hook (see
 // engine.BatchResponsesProgress for the hook's concurrency contract).
 func (d *Dictionary) BuildGridProgress(ctx context.Context, omegas []float64, workers int, progress func(done, total int)) error {
-	faults := d.universe.Faults()
+	faults := d.faults
 	batch, err := d.eng.BatchResponsesProgress(ctx, faults, omegas, workers, progress)
 	if err != nil {
 		return fmt.Errorf("dictionary: %w", err)
@@ -257,11 +281,37 @@ func (d *Dictionary) BuildGridProgress(ctx context.Context, omegas []float64, wo
 	return nil
 }
 
+// SignatureScratch owns the reusable storage behind the memo-bypassing
+// SignaturesInto/UniverseSignaturesInto paths: the engine batch and the
+// signature rows (headers resliced over one flat backing array). The zero
+// value is ready to use. A scratch is single-use at a time — callers that
+// evaluate concurrently hold one scratch per goroutine.
+type SignatureScratch struct {
+	batch engine.Batch
+	rows  [][]float64
+	flat  []float64
+}
+
 // Signatures computes the signature points of an arbitrary fault list at
 // the given test frequencies in one batched solve — the bulk analogue of
 // Signature. Row i is |H_fault[i](ω)| − |H_golden(ω)| over omegas.
 // Unlike Signature it does not touch the memo: bulk probe grids (GA
 // candidates, hold-out trials) are one-off and would only bloat it.
+func (d *Dictionary) Signatures(ctx context.Context, faults []fault.Fault, omegas []float64) ([][]float64, error) {
+	var s SignatureScratch
+	rows, err := d.SignaturesInto(ctx, faults, omegas, &s)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil // the scratch is fresh, so the rows are not shared
+}
+
+// SignaturesInto is Signatures writing into caller-owned scratch: the
+// returned rows alias the scratch and stay valid until its next use, so a
+// scratch held across calls makes the steady state allocation-free. This
+// is the GA fitness path, which probes one-shot frequency vectors per
+// candidate and must neither grow the response memo nor contend on its
+// mutex — the memo is bypassed entirely.
 //
 // The solve runs inline on the calling goroutine: test vectors are a
 // handful of frequencies, and the heavy caller — the GA's fitness
@@ -269,22 +319,40 @@ func (d *Dictionary) BuildGridProgress(ctx context.Context, omegas []float64, wo
 // per-call worker pool would only oversubscribe the CPUs. The context is
 // checked before each frequency; cancellation errors wrap
 // rerr.ErrCanceled.
-func (d *Dictionary) Signatures(ctx context.Context, faults []fault.Fault, omegas []float64) ([][]float64, error) {
+func (d *Dictionary) SignaturesInto(ctx context.Context, faults []fault.Fault, omegas []float64, s *SignatureScratch) ([][]float64, error) {
 	if len(omegas) == 0 {
 		return nil, fmt.Errorf("dictionary: empty test vector")
 	}
-	batch, err := d.eng.BatchResponses(ctx, faults, omegas, 1)
-	if err != nil {
+	if err := d.eng.BatchResponsesInto(ctx, faults, omegas, 1, &s.batch); err != nil {
 		return nil, fmt.Errorf("dictionary: %w", err)
 	}
-	return batch.Signatures(), nil
+	nw := len(omegas)
+	s.flat = sliceutil.Grow(s.flat, len(faults)*nw)
+	s.rows = sliceutil.Grow(s.rows, len(faults))
+	golden := s.batch.Golden
+	for i := range s.rows {
+		row := s.flat[i*nw : (i+1)*nw : (i+1)*nw]
+		mags := s.batch.Mags[i]
+		for j := range row {
+			row[j] = mags[j] - golden[j]
+		}
+		s.rows[i] = row
+	}
+	return s.rows, nil
 }
 
 // UniverseSignatures computes the signature of every fault in the
 // universe at the given test frequencies, row-aligned with
 // Universe().Faults() — the one-call path trajectory building rides on.
 func (d *Dictionary) UniverseSignatures(ctx context.Context, omegas []float64) ([][]float64, error) {
-	return d.Signatures(ctx, d.universe.Faults(), omegas)
+	return d.Signatures(ctx, d.faults, omegas)
+}
+
+// UniverseSignaturesInto is UniverseSignatures writing into caller-owned
+// scratch (see SignaturesInto for the aliasing and memo contract) — the
+// reuse path trajectory.Builder rides on.
+func (d *Dictionary) UniverseSignaturesInto(ctx context.Context, omegas []float64, s *SignatureScratch) ([][]float64, error) {
+	return d.SignaturesInto(ctx, d.faults, omegas, s)
 }
 
 // Entry is one exported dictionary row.
@@ -367,11 +435,7 @@ func ParseExport(data []byte) (*Export, error) {
 func (d *Dictionary) CachedCount() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := 0
-	for _, byW := range d.memo {
-		n += len(byW)
-	}
-	return n
+	return d.memoSize
 }
 
 // CachedFaultIDs lists the fault IDs with at least one memoized response,

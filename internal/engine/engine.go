@@ -13,6 +13,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/numeric"
 	"repro/internal/rerr"
+	"repro/internal/sliceutil"
 )
 
 // denGuard is the relative threshold below which a Sherman–Morrison
@@ -148,6 +149,13 @@ func (e *Engine) out(x []complex128) complex128 {
 
 // Batch is a dense response table: Mags[i][j] is |H(jω_j)| under
 // faults[i], and Golden[j] is the nominal |H(jω_j)|.
+//
+// A Batch owns its storage and can be reused across BatchResponsesInto
+// calls: the magnitude rows share one flat backing array (row headers are
+// resliced, not reallocated), and the per-call fault-resolution scratch
+// lives alongside it. The zero Batch is ready to use. Rows returned from
+// one fill are overwritten by the next, so callers that keep results
+// across fills must copy them out.
 type Batch struct {
 	// Omegas is the frequency axis the table was evaluated on.
 	Omegas []float64
@@ -155,6 +163,15 @@ type Batch struct {
 	Golden []float64
 	// Mags holds one row per requested fault, aligned with the input.
 	Mags [][]float64
+
+	// magsFlat is the contiguous backing store behind the Mags rows: row i
+	// is magsFlat[i*len(Omegas) : (i+1)*len(Omegas)].
+	magsFlat []float64
+	// Per-call fault-resolution scratch, reused across fills.
+	slotOf   []int     // fault index → template slot (-1 golden)
+	valOf    []float64 // fault index → faulted value
+	distinct []int     // distinct slots present, in first-seen order
+	zSlot    []int     // template slot → z-solve position (-1 absent)
 }
 
 // Signatures returns the fault-space points: Mags − Golden, row-aligned
@@ -172,12 +189,15 @@ func (b *Batch) Signatures() [][]float64 {
 }
 
 // workspace is one worker's preallocated scratch: stamped matrix, two
-// factorization targets (golden and fallback), solution vectors, and one
-// z = A⁻¹u vector per distinct fault slot in the batch.
+// factorization targets (golden and fallback) with their reusable LU
+// headers, solution vectors, and one z = A⁻¹u vector per distinct fault
+// slot in the batch.
 type workspace struct {
 	m   *numeric.Matrix // golden A(s), kept unfactored for fallbacks
 	f   *numeric.Matrix // golden factorization storage
 	f2  *numeric.Matrix // fallback factorization storage
+	lu  numeric.LU      // golden LU header, refactored in place
+	lu2 numeric.LU      // fallback LU header
 	x0  []complex128    // golden solution
 	xf  []complex128    // fallback solution
 	rhs []complex128    // dense u for z-solves
@@ -230,47 +250,65 @@ func (e *Engine) BatchResponses(ctx context.Context, faults []fault.Fault, omega
 // multiple workers the hook runs concurrently from worker goroutines and
 // must be safe for that; done is a cumulative count, not a column index.
 func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, progress func(done, total int)) (*Batch, error) {
+	out := &Batch{}
+	if err := e.batchInto(ctx, faults, omegas, workers, progress, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchResponsesInto is BatchResponses writing into a caller-owned Batch:
+// out's storage is reused when large enough, so a Batch held across calls
+// makes the steady state allocation-free. This is the GA fitness path,
+// where every candidate test vector fills the same table shape thousands
+// of times. Results are identical to BatchResponses.
+func (e *Engine) BatchResponsesInto(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, out *Batch) error {
+	return e.batchInto(ctx, faults, omegas, workers, nil, out)
+}
+
+// batchInto fills out with the dense response table, reusing its storage.
+func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, progress func(done, total int), out *Batch) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if len(omegas) == 0 {
-		return nil, fmt.Errorf("engine: empty frequency list")
+		return fmt.Errorf("engine: empty frequency list")
 	}
 	for _, w := range omegas {
 		if err := checkOmega(w); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// Resolve every fault up front: slot index and faulted value.
-	slotOf := make([]int, len(faults))
-	valOf := make([]float64, len(faults))
+	out.slotOf = sliceutil.Grow(out.slotOf, len(faults))
+	out.valOf = sliceutil.Grow(out.valOf, len(faults))
 	for i, f := range faults {
 		si, fv, err := e.resolve(f)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		slotOf[i], valOf[i] = si, fv
+		out.slotOf[i], out.valOf[i] = si, fv
 	}
 	// Distinct slots present in the batch get one z-solve per frequency.
-	zIdx := make(map[int]int)
-	var distinct []int
-	for _, si := range slotOf {
-		if si < 0 {
-			continue
-		}
-		if _, ok := zIdx[si]; !ok {
-			zIdx[si] = len(distinct)
-			distinct = append(distinct, si)
+	out.zSlot = sliceutil.Grow(out.zSlot, len(e.tmpl.slots))
+	for i := range out.zSlot {
+		out.zSlot[i] = -1
+	}
+	out.distinct = out.distinct[:0]
+	for _, si := range out.slotOf {
+		if si >= 0 && out.zSlot[si] < 0 {
+			out.zSlot[si] = len(out.distinct)
+			out.distinct = append(out.distinct, si)
 		}
 	}
 
-	out := &Batch{
-		Omegas: append([]float64(nil), omegas...),
-		Golden: make([]float64, len(omegas)),
-		Mags:   make([][]float64, len(faults)),
-	}
+	out.Omegas = append(out.Omegas[:0], omegas...)
+	out.Golden = sliceutil.Grow(out.Golden, len(omegas))
+	nw := len(omegas)
+	out.magsFlat = sliceutil.Grow(out.magsFlat, len(faults)*nw)
+	out.Mags = sliceutil.Grow(out.Mags, len(faults))
 	for i := range out.Mags {
-		out.Mags[i] = make([]float64, len(omegas))
+		out.Mags[i] = out.magsFlat[i*nw : (i+1)*nw : (i+1)*nw]
 	}
 
 	if workers <= 0 {
@@ -280,12 +318,14 @@ func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Faul
 		workers = len(omegas)
 	}
 
+	// The progress closure (and the counter it captures) is only built
+	// when a hook is set: the GA fitness path runs without one, and the
+	// escape to the heap would cost two allocations per call.
 	total := len(omegas)
-	var done atomic.Int64
-	report := func() {
-		if progress != nil {
-			progress(int(done.Add(1)), total)
-		}
+	var report func()
+	if progress != nil {
+		var done atomic.Int64
+		report = func() { progress(int(done.Add(1)), total) }
 	}
 
 	if workers == 1 {
@@ -295,16 +335,26 @@ func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Faul
 		defer e.pool.Put(ws)
 		for j := range omegas {
 			if err := ctx.Err(); err != nil {
-				return nil, rerr.Canceled(err)
+				return rerr.Canceled(err)
 			}
-			if err := e.solveColumn(ws, omegas[j], faults, slotOf, valOf, distinct, zIdx, out, j); err != nil {
-				return nil, err
+			if err := e.solveColumn(ws, omegas[j], faults, out, j); err != nil {
+				return err
 			}
-			report()
+			if report != nil {
+				report()
+			}
 		}
-		return out, nil
+		return nil
 	}
+	return e.batchParallel(ctx, faults, omegas, workers, report, out)
+}
 
+// batchParallel is batchInto's worker-pool branch. It lives in its own
+// function so its goroutine closures capture this frame's variables, not
+// batchInto's: escape analysis is flow-insensitive, and keeping the
+// captures here is what lets the single-worker GA path run without ctx
+// or progress state escaping to the heap.
+func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, report func(), out *Batch) error {
 	jobs := make(chan int)
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -318,7 +368,7 @@ func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Faul
 				if ctx.Err() != nil {
 					continue // drain without solving so the producer never blocks
 				}
-				if err := e.solveColumn(ws, omegas[j], faults, slotOf, valOf, distinct, zIdx, out, j); err != nil {
+				if err := e.solveColumn(ws, omegas[j], faults, out, j); err != nil {
 					select {
 					case errs <- err:
 					default:
@@ -328,7 +378,9 @@ func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Faul
 					}
 					return
 				}
-				report()
+				if report != nil {
+					report()
+				}
 			}
 		}()
 	}
@@ -347,36 +399,37 @@ feed:
 	// failure the caller must see (retrying on ErrCanceled would loop).
 	select {
 	case err := <-errs:
-		return nil, err
+		return err
 	default:
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, rerr.Canceled(err)
+		return rerr.Canceled(err)
 	}
-	return out, nil
+	return nil
 }
 
 // solveColumn fills column j of the batch table: one golden
 // factorization, one z-solve per distinct slot, then O(1) work per fault.
-func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
-	slotOf []int, valOf []float64, distinct []int, zIdx map[int]int, out *Batch, j int) error {
+// The fault-resolution scratch (slotOf, valOf, distinct, zSlot) is read
+// from out, where batchInto prepared it.
+func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault, out *Batch, j int) error {
 	s := complex(0, omega)
 	t := e.tmpl
 	t.stampGolden(ws.m, s)
 	if err := ws.f.CopyFrom(ws.m); err != nil {
 		return err
 	}
-	lu, err := numeric.FactorInPlace(ws.f)
-	if err != nil {
+	if err := numeric.FactorReuse(&ws.lu, ws.f); err != nil {
 		return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
 	}
+	lu := &ws.lu
 	if err := lu.SolveInto(ws.x0, t.b); err != nil {
 		return err
 	}
 	x0out := e.out(ws.x0)
 	out.Golden[j] = cmplx.Abs(x0out / e.amp)
 
-	for zi, si := range distinct {
+	for zi, si := range out.distinct {
 		for i := range ws.rhs {
 			ws.rhs[i] = 0
 		}
@@ -389,18 +442,18 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 	}
 
 	for fi := range faults {
-		si := slotOf[fi]
+		si := out.slotOf[fi]
 		if si < 0 {
 			out.Mags[fi][j] = out.Golden[j]
 			continue
 		}
 		sl := &t.slots[si]
-		delta := sl.coeff(valOf[fi], s) - sl.coeff(sl.value, s)
+		delta := sl.coeff(out.valOf[fi], s) - sl.coeff(sl.value, s)
 		if delta == 0 {
 			out.Mags[fi][j] = out.Golden[j]
 			continue
 		}
-		z := ws.z[zIdx[si]]
+		z := ws.z[out.zSlot[si]]
 		vtz := sparseDot(sl.v, z)
 		den := 1 + delta*vtz
 		var zout complex128
@@ -416,11 +469,10 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 				return err
 			}
 			t.addRank1(ws.f2, sl, delta)
-			flu, err := numeric.FactorInPlace(ws.f2)
-			if err != nil {
+			if err := numeric.FactorReuse(&ws.lu2, ws.f2); err != nil {
 				return fmt.Errorf("engine: fault %s at ω=%g: %w", faults[fi].ID(), omega, err)
 			}
-			if err := flu.SolveInto(ws.xf, t.b); err != nil {
+			if err := ws.lu2.SolveInto(ws.xf, t.b); err != nil {
 				return err
 			}
 			xout = e.out(ws.xf)

@@ -1,0 +1,159 @@
+package ga
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rerr"
+)
+
+// batchOf wraps a problem's per-genome fitness as a BatchFitness hook.
+func batchOf(p Problem) Problem {
+	fit := p.Fitness
+	p.Fitness = nil
+	p.BatchFitness = func(genomes [][]float64, out []float64) {
+		for i, g := range genomes {
+			out[i] = fit(g)
+		}
+	}
+	return p
+}
+
+// TestBatchFitnessMatchesPerIndividual: for a fixed seed, the
+// generation-batched path must be bit-identical to the per-individual
+// path — same history, same best, same evaluation count — at any worker
+// count (workers only affect the per-individual path's parallelism).
+func TestBatchFitnessMatchesPerIndividual(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		cfg := PaperConfig()
+		cfg.PopSize, cfg.Generations, cfg.Workers = 24, 6, workers
+		ref, err := Run(nil, sphere(1.5), cfg, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(nil, batchOf(sphere(1.5)), cfg, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.BestFitness != ref.BestFitness || got.Evaluations != ref.Evaluations {
+			t.Fatalf("workers=%d: batched (%v, %d evals) != per-individual (%v, %d evals)",
+				workers, got.BestFitness, got.Evaluations, ref.BestFitness, ref.Evaluations)
+		}
+		if !reflect.DeepEqual(got.Best, ref.Best) {
+			t.Fatalf("workers=%d: best genes differ: %v vs %v", workers, got.Best, ref.Best)
+		}
+		if !reflect.DeepEqual(got.History, ref.History) {
+			t.Fatalf("workers=%d: histories differ", workers)
+		}
+	}
+}
+
+// TestBatchFitnessCalledOncePerGeneration: the hook must fire exactly
+// Generations times, each call covering only the unscored individuals.
+func TestBatchFitnessCalledOncePerGeneration(t *testing.T) {
+	var calls atomic.Int64
+	p := sphere(0)
+	fit := p.Fitness
+	p.Fitness = nil
+	p.BatchFitness = func(genomes [][]float64, out []float64) {
+		calls.Add(1)
+		for i, g := range genomes {
+			out[i] = fit(g)
+		}
+	}
+	cfg := PaperConfig()
+	cfg.PopSize, cfg.Generations = 16, 5
+	res, err := Run(nil, p, cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != int64(cfg.Generations) {
+		t.Fatalf("BatchFitness fired %d times, want %d", n, cfg.Generations)
+	}
+	if res.Evaluations >= cfg.PopSize*cfg.Generations {
+		t.Fatalf("%d evaluations — batching re-scored already-scored individuals", res.Evaluations)
+	}
+}
+
+// TestBatchFitnessClampsBadValues: NaN and negative batch outputs are
+// clamped to zero mass, exactly like the per-individual path.
+func TestBatchFitnessClampsBadValues(t *testing.T) {
+	p := Problem{
+		Bounds: []Interval{{0, 1}},
+		BatchFitness: func(genomes [][]float64, out []float64) {
+			for i := range genomes {
+				switch i % 3 {
+				case 0:
+					out[i] = math.NaN()
+				case 1:
+					out[i] = -2
+				default:
+					out[i] = 1
+				}
+			}
+		},
+	}
+	cfg := PaperConfig()
+	cfg.PopSize, cfg.Generations = 9, 2
+	res, err := Run(nil, p, cfg, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.History {
+		if math.IsNaN(st.Best) || math.IsNaN(st.Mean) || st.Worst < 0 {
+			t.Fatalf("bad values leaked into stats: %+v", st)
+		}
+	}
+}
+
+// TestBatchFitnessCanceledContext: a cancellation observed around the
+// batched call must surface as ErrCanceled without committing partial
+// scores.
+func TestBatchFitnessCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Problem{
+		Bounds: []Interval{{0, 1}},
+		BatchFitness: func(genomes [][]float64, out []float64) {
+			cancel() // the evaluator observes cancellation mid-batch
+			for i := range genomes {
+				out[i] = 1
+			}
+		},
+	}
+	cfg := PaperConfig()
+	cfg.PopSize, cfg.Generations = 8, 3
+	res, err := Run(ctx, p, cfg, rand.New(rand.NewSource(9)))
+	if err == nil || res != nil {
+		t.Fatalf("canceled run returned (%v, %v)", res, err)
+	}
+	if !errors.Is(err, rerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+// TestNilFitnessRejectedOnlyWithoutBatch: Fitness may be nil when
+// BatchFitness is provided, but not when both are missing.
+func TestNilFitnessRejectedOnlyWithoutBatch(t *testing.T) {
+	cfg := PaperConfig()
+	cfg.PopSize, cfg.Generations = 8, 1
+	_, err := Run(nil, Problem{Bounds: []Interval{{0, 1}}}, cfg, rand.New(rand.NewSource(1)))
+	if !errors.Is(err, rerr.ErrBadConfig) {
+		t.Fatalf("nil fitness accepted: %v", err)
+	}
+	p := Problem{
+		Bounds: []Interval{{0, 1}},
+		BatchFitness: func(genomes [][]float64, out []float64) {
+			for i := range out {
+				out[i] = 1
+			}
+		},
+	}
+	if _, err := Run(nil, p, cfg, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("BatchFitness-only problem rejected: %v", err)
+	}
+}

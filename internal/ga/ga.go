@@ -43,8 +43,21 @@ type Problem struct {
 	// Fitness scores a genome; it must be finite and >= 0 (roulette
 	// selection interprets fitness as probability mass). Larger is
 	// better. It is called from Config.Workers goroutines concurrently
-	// and must be safe for that.
+	// and must be safe for that. May be nil when BatchFitness is set.
 	Fitness func(genes []float64) float64
+	// BatchFitness, when non-nil, takes precedence over Fitness and
+	// scores a whole generation in one call: it must set out[i] to the
+	// fitness of genomes[i] for every i (same contract as Fitness:
+	// finite, >= 0, larger is better; NaN and negative values are
+	// clamped to 0 either way). It is called once per generation from
+	// the Run goroutine with only the genomes that need scoring; how the
+	// implementation parallelizes internally is its own business — per-
+	// genome results must not depend on evaluation order, which keeps
+	// runs deterministic for a fixed seed at any parallelism. Batching
+	// lets the evaluator amortize per-call setup (scratch buffers,
+	// per-worker solver state) across the generation instead of paying
+	// it per individual.
+	BatchFitness func(genomes [][]float64, out []float64)
 }
 
 // SelectionMethod names a parent-selection strategy.
@@ -226,7 +239,7 @@ func Run(ctx context.Context, p Problem, cfg Config, rng *rand.Rand) (*Result, e
 			return nil, fmt.Errorf("ga: %w: bad bounds for gene %d: [%g, %g]", rerr.ErrBadConfig, i, b.Lo, b.Hi)
 		}
 	}
-	if p.Fitness == nil {
+	if p.Fitness == nil && p.BatchFitness == nil {
 		return nil, fmt.Errorf("ga: %w: nil fitness function", rerr.ErrBadConfig)
 	}
 	if rng == nil {
@@ -241,7 +254,7 @@ func Run(ctx context.Context, p Problem, cfg Config, rng *rand.Rand) (*Result, e
 	res := &Result{}
 	evals := 0
 	for gen := 0; gen < cfg.Generations; gen++ {
-		n, err := evaluate(ctx, pop, p.Fitness, cfg.Workers)
+		n, err := evaluate(ctx, pop, p, cfg.Workers)
 		evals += n
 		if err != nil {
 			return nil, err
@@ -276,12 +289,18 @@ func randomGenome(bounds []Interval, rng *rand.Rand) []float64 {
 }
 
 // evaluate scores all unscored individuals, returning how many fitness
-// calls it made. Worker goroutines preserve determinism because each
-// writes only its own index. Every worker checks the context before each
-// fitness call, so a cancellation mid-generation stops the pool within
-// one in-flight evaluation per worker; evaluate then reports
-// rerr.Canceled after the pool drains.
-func evaluate(ctx context.Context, pop []individual, fit func([]float64) float64, workers int) (int, error) {
+// evaluations it made. With BatchFitness set, the whole generation goes
+// through one batched call; otherwise Fitness fans out over workers.
+// Worker goroutines preserve determinism because each writes only its
+// own index. Every worker checks the context before each fitness call,
+// so a cancellation mid-generation stops the pool within one in-flight
+// evaluation per worker; evaluate then reports rerr.Canceled after the
+// pool drains.
+func evaluate(ctx context.Context, pop []individual, p Problem, workers int) (int, error) {
+	if p.BatchFitness != nil {
+		return evaluateBatch(ctx, pop, p.BatchFitness)
+	}
+	fit := p.Fitness
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -323,6 +342,45 @@ feed:
 		return int(count.Load()), rerr.Canceled(err)
 	}
 	return int(count.Load()), nil
+}
+
+// evaluateBatch scores the generation's unscored individuals with one
+// BatchFitness call. The context is checked before the call and again
+// after it returns: a cancellation mid-batch (observed by the evaluator
+// through the same context) discards the partial scores and reports
+// rerr.Canceled, so a canceled run never commits half-scored
+// generations. An uncanceled run scores exactly the individuals the
+// per-individual path would — the two paths are interchangeable for a
+// fixed seed.
+func evaluateBatch(ctx context.Context, pop []individual, bf func([][]float64, []float64)) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, rerr.Canceled(err)
+	}
+	idxs := make([]int, 0, len(pop))
+	genomes := make([][]float64, 0, len(pop))
+	for i := range pop {
+		if !pop[i].scored {
+			idxs = append(idxs, i)
+			genomes = append(genomes, pop[i].genes)
+		}
+	}
+	if len(genomes) == 0 {
+		return 0, nil
+	}
+	out := make([]float64, len(genomes))
+	bf(genomes, out)
+	if err := ctx.Err(); err != nil {
+		return 0, rerr.Canceled(err)
+	}
+	for k, i := range idxs {
+		f := out[k]
+		if math.IsNaN(f) || f < 0 {
+			f = 0 // defensive: keep roulette well-defined
+		}
+		pop[i].fitness = f
+		pop[i].scored = true
+	}
+	return len(genomes), nil
 }
 
 func sortByFitness(pop []individual) {

@@ -137,38 +137,123 @@ func IntersectionCount(a, b Polyline, countTouches bool) int {
 // that both pass through a common point (the golden origin in the
 // fault-trajectory plane), excluding meetings that happen within tol of
 // that shared point — those are structural, not diagnostic ambiguity.
+// It allocates nothing.
 func SharedOriginIntersections(a, b Polyline, origin Point, tol float64) int {
-	sa, sb := a.Segments(), b.Segments()
 	count := 0
-	for _, s := range sa {
-		for _, t := range sb {
-			k, p := Intersect(s, t)
-			switch k {
-			case ProperCrossing:
-				if p.Dist(origin) > tol {
-					count++
-				}
-			case CollinearOverlap:
-				// Overlap away from the origin is a common pathway.
-				if furthestFromOrigin(s, t, origin) > tol {
-					count++
-				}
-			case EndpointTouch:
-				if p.Dist(origin) > tol {
-					count++
-				}
-			}
+	for i := 0; i+1 < len(a); i++ {
+		s := Segment{a[i], a[i+1]}
+		for j := 0; j+1 < len(b); j++ {
+			count += offOriginCount(s, Segment{b[j], b[j+1]}, origin, tol)
 		}
 	}
 	return count
 }
 
-func furthestFromOrigin(s, t Segment, origin Point) float64 {
-	d := 0.0
-	for _, p := range []Point{s.A, s.B, t.A, t.B} {
-		if v := p.Dist(origin); v > d {
-			d = v
+// offOriginCount reports whether the segment pair contributes one
+// off-origin intersection (the per-pair kernel of
+// SharedOriginIntersections).
+func offOriginCount(s, t Segment, origin Point, tol float64) int {
+	k, p := Intersect(s, t)
+	switch k {
+	case ProperCrossing, EndpointTouch:
+		if p.Dist(origin) > tol {
+			return 1
 		}
+	case CollinearOverlap:
+		// Overlap away from the origin is a common pathway.
+		if furthestFromOrigin(s, t, origin) > tol {
+			return 1
+		}
+	}
+	return 0
+}
+
+// SegmentBoxes fills dst (resliced, reallocated only if too small) with
+// the per-segment bounding boxes of pl, each expanded by Eps so the
+// Eps-tolerant intersection predicates can never find a meeting outside
+// the boxes. Precomputing these once per polyline lets the pairwise
+// counters skip disjoint segment pairs without rebuilding boxes per pair.
+func (pl Polyline) SegmentBoxes(dst []BoundingBox) []BoundingBox {
+	dst = dst[:0]
+	for i := 0; i+1 < len(pl); i++ {
+		dst = append(dst, BoxOf(Segment{pl[i], pl[i+1]}).Expand(Eps))
+	}
+	return dst
+}
+
+// SharedOriginIntersectionsBoxed is SharedOriginIntersections with
+// caller-precomputed per-segment boxes (from SegmentBoxes) and
+// whole-polyline boxes (the union of each polyline's segment boxes).
+// Segment pairs with disjoint boxes are skipped before any intersection
+// predicate runs, and when the two polylines' boxes only overlap within
+// tol of the origin — trajectories leaving the origin into different
+// regions of the plane — every point intersection is structural by
+// construction, so only collinear overlaps (counted by their farthest
+// segment endpoint) are still tested. Counts are identical to
+// SharedOriginIntersections; nothing is allocated.
+func SharedOriginIntersectionsBoxed(a, b Polyline, aSeg, bSeg []BoundingBox, aBox, bBox BoundingBox, origin Point, tol float64) int {
+	if !aBox.Overlaps(bBox) {
+		return 0
+	}
+	// The overlap region contains every point where the polylines can
+	// meet. If its farthest corner is within tol of the origin, any
+	// ProperCrossing or EndpointTouch found there would be excluded as
+	// structural — only CollinearOverlap can still count, because its
+	// counting criterion looks at segment endpoints, which may lie
+	// outside the overlap region.
+	lo := Point{math.Max(aBox.Min.X, bBox.Min.X), math.Max(aBox.Min.Y, bBox.Min.Y)}
+	hi := Point{math.Min(aBox.Max.X, bBox.Max.X), math.Min(aBox.Max.Y, bBox.Max.Y)}
+	collinearOnly := maxCornerDist(lo, hi, origin) <= tol
+
+	count := 0
+	for i := range aSeg {
+		if !aSeg[i].Overlaps(bBox) {
+			continue
+		}
+		s := Segment{a[i], a[i+1]}
+		for j := range bSeg {
+			if !aSeg[i].Overlaps(bSeg[j]) {
+				continue
+			}
+			t := Segment{b[j], b[j+1]}
+			if collinearOnly {
+				if k, _ := Intersect(s, t); k == CollinearOverlap && furthestFromOrigin(s, t, origin) > tol {
+					count++
+				}
+				continue
+			}
+			count += offOriginCount(s, t, origin, tol)
+		}
+	}
+	return count
+}
+
+// maxCornerDist returns the largest distance from origin to the rectangle
+// [lo, hi] — attained at one of its corners.
+func maxCornerDist(lo, hi, origin Point) float64 {
+	d := origin.Dist(lo)
+	if v := origin.Dist(hi); v > d {
+		d = v
+	}
+	if v := origin.Dist(Point{lo.X, hi.Y}); v > d {
+		d = v
+	}
+	if v := origin.Dist(Point{hi.X, lo.Y}); v > d {
+		d = v
+	}
+	return d
+}
+
+func furthestFromOrigin(s, t Segment, origin Point) float64 {
+	d := s.A.Dist(origin)
+	if v := s.B.Dist(origin); v > d {
+		d = v
+	}
+	if v := t.A.Dist(origin); v > d {
+		d = v
+	}
+	if v := t.B.Dist(origin); v > d {
+		d = v
 	}
 	return d
 }

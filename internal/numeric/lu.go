@@ -27,23 +27,47 @@ func Factor(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("numeric: factor %dx%d: %w", a.rows, a.cols, ErrDimension)
 	}
-	return factorStorage(a.Clone())
+	f := &LU{}
+	if err := f.factorStorage(a.Clone()); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // FactorInPlace factors a using a's own storage as the packed LU — the
-// allocation-free path for batched solvers that rebuild the matrix each
-// round anyway. The caller must not use a afterwards; its contents are
-// destroyed.
+// low-allocation path for batched solvers that rebuild the matrix each
+// round anyway (only the LU header and pivot vector are allocated; see
+// FactorReuse for the fully allocation-free variant). The caller must
+// not use a afterwards; its contents are destroyed.
 func FactorInPlace(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("numeric: factor %dx%d: %w", a.rows, a.cols, ErrDimension)
 	}
-	return factorStorage(a)
+	f := &LU{}
+	if err := f.factorStorage(a); err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
-func factorStorage(a *Matrix) (*LU, error) {
+// FactorReuse is FactorInPlace recycling a caller-owned LU: the pivot
+// vector is resliced instead of reallocated, so a worker that refactors
+// into the same LU every round allocates nothing in steady state. On
+// error f is unusable until the next successful refactorization, exactly
+// like the matrix.
+func FactorReuse(f *LU, a *Matrix) error {
+	if a.rows != a.cols {
+		return fmt.Errorf("numeric: factor %dx%d: %w", a.rows, a.cols, ErrDimension)
+	}
+	return f.factorStorage(a)
+}
+
+func (f *LU) factorStorage(a *Matrix) error {
 	n := a.rows
-	f := &LU{lu: a, piv: make([]int, n), sign: 1, n: n, normA: a.NormInf()}
+	if cap(f.piv) < n {
+		f.piv = make([]int, n)
+	}
+	*f = LU{lu: a, piv: f.piv[:n], sign: 1, n: n, normA: a.NormInf()}
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -59,7 +83,7 @@ func factorStorage(a *Matrix) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, fmt.Errorf("numeric: zero pivot at column %d: %w", k, ErrSingular)
+			return fmt.Errorf("numeric: zero pivot at column %d: %w", k, ErrSingular)
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -80,7 +104,7 @@ func factorStorage(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // N returns the order of the factored system.

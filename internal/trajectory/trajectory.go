@@ -72,6 +72,12 @@ type Map struct {
 	Omegas []float64 `json:"omegas"`
 	// Trajectories holds one entry per component, in universe order.
 	Trajectories []*Trajectory `json:"trajectories"`
+
+	// cache holds the precomputed intersection state (origin tolerance,
+	// planar projections, segment boxes) for Builder-produced maps; nil
+	// for hand-assembled or unmarshaled maps, which compute it per
+	// Intersections call.
+	cache *intersectCache
 }
 
 // Build constructs the trajectory map for the given test vector from a
@@ -86,47 +92,15 @@ type Map struct {
 // The context is threaded into the batched solve; a canceled context
 // returns an error wrapping rerr.ErrCanceled within one frequency. A nil
 // context is treated as context.Background().
+//
+// Build dedicates a fresh Builder per call, so the returned map is
+// independent; hot loops that rebuild maps repeatedly (the GA fitness
+// path) hold a Builder instead and reuse its storage. Unlike
+// Builder.Build it does not attach a precomputed intersection cache:
+// one-shot maps usually count intersections at most once, and cache-less
+// maps stay reflect.DeepEqual across an artifact save/load round-trip.
 func Build(ctx context.Context, d *dictionary.Dictionary, omegas []float64) (*Map, error) {
-	if len(omegas) == 0 {
-		return nil, fmt.Errorf("trajectory: empty test vector")
-	}
-	for _, w := range omegas {
-		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, fmt.Errorf("trajectory: invalid test frequency %g", w)
-		}
-	}
-	u := d.Universe()
-	// Signatures are row-aligned with u.Faults(): component-major, each
-	// component's block sorted ascending by deviation.
-	sigs, err := d.UniverseSignatures(ctx, omegas)
-	if err != nil {
-		return nil, err
-	}
-	perComp := len(u.Deviations)
-	m := &Map{Omegas: append([]float64(nil), omegas...)}
-	for ci, comp := range u.Components {
-		tr := &Trajectory{Component: comp}
-		// Deviations are sorted ascending; insert the golden origin
-		// between the last negative and first positive.
-		inserted := false
-		appendPoint := func(dev float64, pt geometry.VecN) {
-			tr.Deviations = append(tr.Deviations, dev)
-			tr.Points = append(tr.Points, pt)
-		}
-		origin := make(geometry.VecN, len(omegas))
-		for di, dev := range u.Deviations {
-			if !inserted && dev > 0 {
-				appendPoint(0, origin)
-				inserted = true
-			}
-			appendPoint(dev, geometry.VecN(sigs[ci*perComp+di]))
-		}
-		if !inserted {
-			appendPoint(0, origin)
-		}
-		m.Trajectories = append(m.Trajectories, tr)
-	}
-	return m, nil
+	return NewBuilder(d).build(ctx, omegas)
 }
 
 // ByComponent returns the trajectory of a named component; a miss wraps
@@ -166,15 +140,17 @@ func (m *Map) originTolerance() float64 {
 // meeting at the shared golden origin. For k = 2 this is the planar
 // count; for other k the count is taken over every coordinate-plane
 // projection.
+//
+// Builder-produced maps count off a precomputed cache (tolerance,
+// projections, segment bounding boxes) and allocate nothing; other maps
+// compute the same cache on the fly. Counts are identical either way.
 func (m *Map) Intersections() int {
-	tol := m.originTolerance()
-	total := 0
-	for i := 0; i < len(m.Trajectories); i++ {
-		for j := i + 1; j < len(m.Trajectories); j++ {
-			total += pairIntersections(m.Trajectories[i], m.Trajectories[j], m.Dim(), tol)
-		}
+	if m.cache != nil {
+		return m.cache.count(m)
 	}
-	return total
+	var c intersectCache
+	c.build(m)
+	return c.count(m)
 }
 
 // PairIntersections counts off-origin intersections between the named

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# benchcompare.sh — benchmark two git refs and compare with benchstat.
+#
+# Usage:
+#   scripts/benchcompare.sh [OLD_REF] [NEW_REF] [BENCH_REGEX] [COUNT]
+#
+# Defaults: OLD_REF=main, NEW_REF=HEAD (or the working tree when NEW_REF
+# is the literal string "worktree"), BENCH_REGEX='.', COUNT=5.
+#
+# Each ref is benchmarked in a detached git worktree so the current
+# checkout is never disturbed. Outputs land in bench-out/<ref>.txt and
+# are compared with benchstat when available; otherwise the raw files
+# are left for manual inspection (install benchstat with
+# `go install golang.org/x/perf/cmd/benchstat@latest`).
+set -euo pipefail
+
+old_ref=${1:-main}
+new_ref=${2:-HEAD}
+pattern=${3:-.}
+count=${4:-5}
+
+root=$(git rev-parse --show-toplevel)
+out_dir=$root/bench-out
+mkdir -p "$out_dir"
+
+bench_ref() {
+    local ref=$1 out=$2
+    if [ "$ref" = worktree ]; then
+        echo ">> benchmarking working tree -> $out" >&2
+        (cd "$root" && go test -run '^$' -bench "$pattern" -benchmem -count "$count" .) >"$out"
+        return
+    fi
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'git -C "$root" worktree remove --force "$tmp" >/dev/null 2>&1 || true; rm -rf "$tmp"' RETURN
+    echo ">> benchmarking $ref -> $out" >&2
+    git -C "$root" worktree add --detach "$tmp" "$ref" >/dev/null
+    (cd "$tmp" && go test -run '^$' -bench "$pattern" -benchmem -count "$count" .) >"$out"
+}
+
+old_out=$out_dir/$(echo "$old_ref" | tr '/' '_').txt
+new_out=$out_dir/$(echo "$new_ref" | tr '/' '_').txt
+
+bench_ref "$old_ref" "$old_out"
+bench_ref "$new_ref" "$new_out"
+
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$old_out" "$new_out"
+else
+    echo "benchstat not found; raw outputs:"
+    echo "  old: $old_out"
+    echo "  new: $new_out"
+    echo "install it with: go install golang.org/x/perf/cmd/benchstat@latest"
+fi
