@@ -14,11 +14,13 @@ import (
 type DictionaryExport = dictionary.Export
 
 // Artifact kinds: the envelope tags distinguishing the three persisted
-// products so a test-vector file is never misread as a dictionary.
+// products so a test-vector file is never misread as a dictionary. The
+// canonical strings live in internal/artifact, shared with the serving
+// registry's manifest scanner.
 const (
-	kindDictionary   = "repro.dictionary-grid"
-	kindTestVector   = "repro.test-vector"
-	kindTrajectories = "repro.trajectory-map"
+	kindDictionary   = artifact.KindDictionary
+	kindTestVector   = artifact.KindTestVector
+	kindTrajectories = artifact.KindTrajectories
 
 	// KindDiagnosisReport tags the machine-readable report ftdiag -json
 	// emits. Exported so downstream consumers can dispatch on it.

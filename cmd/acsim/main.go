@@ -20,13 +20,18 @@ import (
 
 func main() {
 	var (
-		source = flag.String("source", "V1", "driving voltage source")
-		output = flag.String("output", "out", "observed node")
-		lo     = flag.Float64("lo", 0.01, "sweep start (rad/s)")
-		hi     = flag.Float64("hi", 100, "sweep end (rad/s)")
-		points = flag.Int("points", 25, "number of log-spaced points")
+		source  = flag.String("source", "V1", "driving voltage source")
+		output  = flag.String("output", "out", "observed node")
+		lo      = flag.Float64("lo", 0.01, "sweep start (rad/s)")
+		hi      = flag.Float64("hi", 100, "sweep end (rad/s)")
+		points  = flag.Int("points", 25, "number of log-spaced points")
+		version = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.VersionString("acsim"))
+		return
+	}
 
 	text, err := readInput(flag.Arg(0))
 	if err != nil {

@@ -14,6 +14,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+
+	"repro"
 )
 
 func main() {
@@ -22,8 +24,13 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed for GA and noise draws")
 		full       = flag.Bool("full", false, "use the paper's full GA (128x15) everywhere (slower)")
 		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the HOTPATH benchmark report")
+		version    = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.VersionString("ftbench"))
+		return
+	}
 
 	// Ctrl-C cancels the context; every v2 stage aborts within one GA
 	// generation / frequency batch.

@@ -21,12 +21,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 
 	"repro"
+	"repro/internal/diagnosis"
 	"repro/internal/fault"
 	"repro/internal/numeric"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -43,10 +46,16 @@ func main() {
 		reject   = flag.Float64("reject", 0, "rejection ratio for out-of-model faults (0 disables; try 0.02)")
 		export   = flag.String("export", "", "write the fault dictionary grid as a versioned artifact to this file and exit")
 		saveTraj = flag.String("save-trajectories", "", "write the trajectory map as a versioned artifact to this file and exit")
+		loadDict = flag.String("load-dictionary", "", "diagnose against a saved dictionary-grid artifact (requires -freqs; skips grid re-simulation)")
 		jsonOut  = flag.Bool("json", false, "emit the diagnosis/evaluation as machine-readable JSON")
 		progress = flag.Bool("progress", false, "stream per-generation GA progress to stderr")
+		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(repro.VersionString("ftdiag"))
+		return
+	}
 
 	if *list {
 		for _, c := range repro.Benchmarks() {
@@ -84,16 +93,36 @@ func main() {
 	}
 
 	if *export != "" {
-		if err := exportDictionary(ctx, s, *export); err != nil {
+		// Explicit -freqs are merged into the exported grid so a later
+		// -load-dictionary (or ftserve warm start) at those frequencies
+		// reads stored responses bit-for-bit instead of interpolating.
+		var extra []float64
+		if *freqsArg != "" {
+			if extra, err = repro.ParseFrequencies(*freqsArg); err != nil {
+				fail(err)
+			}
+		}
+		if err := exportDictionary(ctx, s, *export, extra); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(status, "dictionary artifact written to %s\n", *export)
 		return
 	}
 
+	if *loadDict != "" && *freqsArg == "" {
+		fail(fmt.Errorf("-load-dictionary requires -freqs: the saved grid replaces simulation, so the GA cannot search for a test vector"))
+	}
+
 	omegas, err := chooseFrequencies(ctx, s, *freqsArg, *seed, *full, *jsonOut)
 	if err != nil {
 		fail(err)
+	}
+
+	if *loadDict != "" {
+		if err := runFromArtifact(ctx, s, *loadDict, omegas, *inject, *reject, *jsonOut, status); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *saveTraj != "" {
@@ -122,7 +151,7 @@ func main() {
 			fail(err)
 		}
 		if *jsonOut {
-			data, err := diagnoseJSON(ctx, s, omegas, fit, f, *reject)
+			data, err := diagnoseJSON(ctx, s, nil, omegas, fit, f, *reject)
 			if err != nil {
 				fail(err)
 			}
@@ -134,26 +163,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		res, err := dg.DiagnoseFault(s.Dictionary(), f)
-		if err != nil {
+		if err := printInjected(s, dg, f, *reject); err != nil {
 			fail(err)
 		}
-		fmt.Printf("injected: %s\n%s", f.ID(), res)
-		if *reject > 0 && res.Rejected(dg.Extent(), *reject) {
-			fmt.Printf("=> REJECTED as out-of-model at ratio %.3g (no single known fault explains the point)\n", *reject)
-			return
-		}
-		best := res.Best()
-		status := "MISDIAGNOSED"
-		if best.Component == f.Component {
-			status = "correctly diagnosed"
-		}
-		fmt.Printf("=> %s as %s (estimated deviation %+.0f%%)\n", status, best.Component, best.Deviation*100)
 		return
 	}
 
 	if *jsonOut {
-		data, err := evaluateJSON(ctx, s, omegas, fit)
+		data, err := evaluateJSON(ctx, s, nil, omegas, fit)
 		if err != nil {
 			fail(err)
 		}
@@ -165,10 +182,83 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	printEvaluation(ev)
+}
+
+// printInjected diagnoses one injected fault against dg and prints the
+// human-readable verdict.
+func printInjected(s *repro.Session, dg *repro.Diagnoser, f repro.Fault, reject float64) error {
+	res, err := dg.DiagnoseFault(s.Dictionary(), f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("injected: %s\n%s", f.ID(), res)
+	if reject > 0 && res.Rejected(dg.Extent(), reject) {
+		fmt.Printf("=> REJECTED as out-of-model at ratio %.3g (no single known fault explains the point)\n", reject)
+		return nil
+	}
+	best := res.Best()
+	status := "MISDIAGNOSED"
+	if best.Component == f.Component {
+		status = "correctly diagnosed"
+	}
+	fmt.Printf("=> %s as %s (estimated deviation %+.0f%%)\n", status, best.Component, best.Deviation*100)
+	return nil
+}
+
+func printEvaluation(ev *repro.Evaluation) {
 	fmt.Printf("hold-out evaluation (±15/25/35%% on every target):\n")
 	fmt.Printf("  top-1 accuracy: %.1f%%   top-2: %.1f%%   mean deviation error: %.1f%%\n",
 		100*ev.Accuracy(), 100*ev.TopTwoAccuracy(), 100*ev.MeanDevError)
 	fmt.Printf("confusion matrix:\n%s", ev.ConfusionTable())
+}
+
+// runFromArtifact is the -load-dictionary flow: rebuild the diagnosis
+// stage from a saved dictionary-grid artifact (checksum-validated against
+// this session's CUT) through the same load path the ftserve registry
+// warm-starts from, skipping grid re-simulation entirely.
+func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas []float64, inject string, reject float64, jsonOut bool, status *os.File) error {
+	dg, tm, ex, err := serve.DiagnoserFromGrid(s, path, omegas)
+	if err != nil {
+		return err
+	}
+	// The paper fitness 1/(1+I) is recoverable from the loaded map.
+	fit := 1 / (1 + float64(tm.Intersections()))
+	fmt.Fprintf(status, "dictionary artifact %s loaded (grid re-simulation skipped)\n", path)
+	if off := serve.OffGridFrequencies(ex, omegas); len(off) > 0 {
+		fmt.Fprintf(status, "warning: ω = %s not stored in the grid; trajectories are log-ω interpolated and may misrank close faults (re-export with -export -freqs to pin them)\n", joinFloats(off))
+	}
+	if inject != "" {
+		f, err := fault.ParseID(inject)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			data, err := diagnoseJSON(ctx, s, dg, omegas, fit, f, reject)
+			if err != nil {
+				return err
+			}
+			os.Stdout.Write(data)
+			fmt.Println()
+			return nil
+		}
+		return printInjected(s, dg, f, reject)
+	}
+	if jsonOut {
+		data, err := evaluateJSON(ctx, s, dg, omegas, fit)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return nil
+	}
+	ev, err := dg.Evaluate(ctx, s.Dictionary(), diagnosis.HoldOutTrials(s.Dictionary().Universe(), diagnosis.DefaultHoldOutDeviations()))
+	if err != nil {
+		return err
+	}
+	printEvaluation(ev)
+	return nil
 }
 
 func buildSession(cutName, nlPath, source, output string, opts ...repro.Option) (*repro.Session, error) {
@@ -188,16 +278,7 @@ func buildSession(cutName, nlPath, source, output string, opts ...repro.Option) 
 
 func chooseFrequencies(ctx context.Context, s *repro.Session, freqsArg string, seed int64, full, quiet bool) ([]float64, error) {
 	if freqsArg != "" {
-		parts := strings.Split(freqsArg, ",")
-		out := make([]float64, 0, len(parts))
-		for _, f := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("bad frequency %q: %v", f, err)
-			}
-			out = append(out, v)
-		}
-		return out, nil
+		return repro.ParseFrequencies(freqsArg)
 	}
 	cfg := repro.PaperOptimizeConfig(s.CUT().Omega0)
 	cfg.Seed = seed
@@ -228,10 +309,15 @@ type diagReport struct {
 }
 
 // diagnoseJSON runs the single-fault diagnosis and renders the envelope.
-func diagnoseJSON(ctx context.Context, s *repro.Session, omegas []float64, fit float64, f repro.Fault, rejectRatio float64) ([]byte, error) {
-	dg, err := s.Diagnoser(ctx, omegas)
-	if err != nil {
-		return nil, err
+// A nil dg is built live from the session; a non-nil one (the
+// -load-dictionary path) is used as-is.
+func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, fit float64, f repro.Fault, rejectRatio float64) ([]byte, error) {
+	if dg == nil {
+		var err error
+		dg, err = s.Diagnoser(ctx, omegas)
+		if err != nil {
+			return nil, err
+		}
 	}
 	res, err := dg.DiagnoseFault(s.Dictionary(), f)
 	if err != nil {
@@ -252,8 +338,16 @@ func diagnoseJSON(ctx context.Context, s *repro.Session, omegas []float64, fit f
 }
 
 // evaluateJSON runs the hold-out evaluation and renders the envelope.
-func evaluateJSON(ctx context.Context, s *repro.Session, omegas []float64, fit float64) ([]byte, error) {
-	ev, err := s.Evaluate(ctx, omegas, nil)
+// A nil dg is built live from the session; a non-nil one (the
+// -load-dictionary path) evaluates against the loaded map.
+func evaluateJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, fit float64) ([]byte, error) {
+	var ev *repro.Evaluation
+	var err error
+	if dg == nil {
+		ev, err = s.Evaluate(ctx, omegas, nil)
+	} else {
+		ev, err = dg.Evaluate(ctx, s.Dictionary(), diagnosis.HoldOutTrials(s.Dictionary().Universe(), diagnosis.DefaultHoldOutDeviations()))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -276,10 +370,20 @@ func joinFloats(x []float64) string {
 
 // exportDictionary persists the fault dictionary over a two-decade grid
 // around the CUT's characteristic frequency as a versioned artifact.
-func exportDictionary(ctx context.Context, s *repro.Session, path string) error {
+// Extra frequencies (an intended test vector) are merged into the grid
+// so later loads at those frequencies are exact, not interpolated.
+func exportDictionary(ctx context.Context, s *repro.Session, path string, extra []float64) error {
 	omega0 := s.CUT().Omega0
 	grid := numeric.Logspace(omega0/100, omega0*100, 25)
-	return s.SaveDictionary(ctx, path, grid)
+	grid = append(grid, extra...)
+	sort.Float64s(grid)
+	uniq := grid[:0]
+	for i, w := range grid {
+		if i == 0 || w != uniq[len(uniq)-1] {
+			uniq = append(uniq, w)
+		}
+	}
+	return s.SaveDictionary(ctx, path, uniq)
 }
 
 func fail(err error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/serve"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -82,7 +84,7 @@ func TestExportDictionaryWritesArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "dict.json")
-	if err := exportDictionary(context.Background(), s, path); err != nil {
+	if err := exportDictionary(context.Background(), s, path, []float64{0.56, 4.55}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -98,13 +100,17 @@ func TestExportDictionaryWritesArtifact(t *testing.T) {
 	if !strings.Contains(string(data), `"checksum"`) || !strings.Contains(string(data), `"version"`) {
 		t.Fatal("export missing artifact envelope")
 	}
-	// The artifact round-trips through the session loader.
+	// The artifact round-trips through the session loader, with the
+	// explicit test frequencies merged into the grid exactly.
 	ex, err := s.LoadDictionary(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ex.Circuit != "sallen-key-lp" {
 		t.Fatalf("loaded circuit = %q", ex.Circuit)
+	}
+	if off := serve.OffGridFrequencies(ex, []float64{0.56, 4.55}); off != nil {
+		t.Fatalf("merged test frequencies missing from grid: %v", off)
 	}
 }
 
@@ -121,7 +127,7 @@ func TestDiagnoseJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data, err := diagnoseJSON(ctx, s, omegas, fit, repro.Fault{Component: "R3", Deviation: 0.25}, 0.02)
+	data, err := diagnoseJSON(ctx, s, nil, omegas, fit, repro.Fault{Component: "R3", Deviation: 0.25}, 0.02)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,6 +231,73 @@ func jsonDiff(path string, got, want any) string {
 	return ""
 }
 
+// TestLoadDictionaryFlow pins the -load-dictionary path: a diagnoser
+// rebuilt from a saved grid artifact (no re-simulation) diagnoses an
+// injected fault identically to the live pipeline.
+func TestLoadDictionaryFlow(t *testing.T) {
+	s, err := buildSession("nf-lowpass-7", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	omegas := []float64{0.56, 4.55}
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := s.SaveDictionary(ctx, path, omegas); err != nil {
+		t.Fatal(err)
+	}
+
+	dg, tm, ex, err := serve.DiagnoserFromGrid(s, path, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off := serve.OffGridFrequencies(ex, omegas); off != nil {
+		t.Fatalf("off-grid frequencies %v on an exact-grid artifact", off)
+	}
+	if tm.Intersections() != 0 {
+		t.Fatalf("loaded map intersections = %d, want 0 on the known-good vector", tm.Intersections())
+	}
+	f := repro.Fault{Component: "R3", Deviation: 0.25}
+	got, err := dg.DiagnoseFault(s.Dictionary(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveDG, err := s.Diagnoser(ctx, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := liveDG.DiagnoseFault(s.Dictionary(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, _ := json.Marshal(got)
+	wj, _ := json.Marshal(want)
+	if string(gj) != string(wj) {
+		t.Fatalf("artifact-loaded diagnosis drifted from live:\n got: %s\nwant: %s", gj, wj)
+	}
+
+	// The full flow helper renders the same verdict without error, and a
+	// stale artifact (different CUT) is rejected. Its stdout chatter goes
+	// to /dev/null, not the test log.
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	realStdout := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = realStdout }()
+	if err := runFromArtifact(ctx, s, path, omegas, "R3@+25%", 0.02, true, devnull); err != nil {
+		t.Fatal(err)
+	}
+	other, err := buildSession("sallen-key-lp", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runFromArtifact(ctx, other, path, omegas, "", 0, true, devnull); !errors.Is(err, repro.ErrStaleArtifact) {
+		t.Fatalf("stale artifact err = %v, want ErrStaleArtifact", err)
+	}
+}
+
 // TestEvaluateJSONShape sanity-checks the evaluation report payload.
 func TestEvaluateJSONShape(t *testing.T) {
 	s, err := buildSession("nf-lowpass-7", "", "", "")
@@ -232,7 +305,7 @@ func TestEvaluateJSONShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	data, err := evaluateJSON(ctx, s, []float64{0.56, 4.55}, 1)
+	data, err := evaluateJSON(ctx, s, nil, []float64{0.56, 4.55}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,167 @@
+// Command ftserve is the long-lived fault-diagnosis service: it holds
+// per-CUT fault dictionaries, test vectors, and trajectory maps in a
+// registry (built lazily with single-flight deduplication, or
+// warm-started from saved artifacts) and serves diagnoses over HTTP,
+// coalescing concurrent requests into micro-batched engine passes.
+//
+// Quickstart:
+//
+//	ftserve -addr :8080 -cuts nf-lowpass-7 -freqs 0.56,4.55
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/diagnose \
+//	  -d '{"cut":"nf-lowpass-7","fault":{"component":"R3","deviation":0.25}}'
+//
+// Endpoints: POST /v1/diagnose, POST /v1/diagnose/batch, GET /v1/cuts,
+// GET /healthz, GET /metrics (Prometheus text).
+//
+// SIGINT/SIGTERM begin a graceful shutdown: the listener closes,
+// in-flight requests drain through their batchers, then the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cuts     = flag.String("cuts", "", "comma-separated CUT names to preload at startup ('all' for every benchmark; others load lazily)")
+		arts     = flag.String("artifacts", "", "directory of saved artifacts to warm-start CUTs from")
+		freqsArg = flag.String("freqs", "", "fixed test frequencies in rad/s for every CUT (default: GA-optimized per CUT)")
+		seed     = flag.Int64("seed", 1, "GA random seed for optimized test vectors")
+		full     = flag.Bool("full", false, "use the paper's full 128x15 GA for optimized test vectors")
+		workers  = flag.Int("workers", 0, "worker bound per session (0 = one per CPU)")
+		lru      = flag.Int("lru", serve.DefaultCapacity, "max CUTs resident in the registry")
+		flush    = flag.Duration("flush", 2*time.Millisecond, "micro-batch flush window")
+		maxBatch = flag.Int("max-batch", 64, "max requests per micro-batch")
+		queue    = flag.Int("queue", 256, "bounded diagnose queue size per CUT")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+		version  = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(repro.VersionString("ftserve"))
+		return
+	}
+	if err := run(*addr, *cuts, *arts, *freqsArg, *seed, *full, *workers, *lru, *flush, *maxBatch, *queue, *drain, nil); err != nil {
+		log.Fatalf("ftserve: %v", err)
+	}
+}
+
+// run builds and serves until SIGINT/SIGTERM, then drains. ready, when
+// non-nil, receives the bound address once the listener is up (tests).
+func run(addr, cuts, arts, freqsArg string, seed int64, full bool, workers, lru int, flush time.Duration, maxBatch, queue int, drain time.Duration, ready chan<- string) error {
+	freqs, err := parseFreqs(freqsArg)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Capacity: lru,
+		Version:  repro.VersionString("ftserve"),
+		Build: serve.BuildConfig{
+			Workers:     workers,
+			Freqs:       freqs,
+			Seed:        seed,
+			FullGA:      full,
+			ArtifactDir: arts,
+			Scheduler: serve.SchedulerConfig{
+				FlushWindow: flush,
+				MaxBatch:    maxBatch,
+				QueueSize:   queue,
+			},
+		},
+	}
+	srv := serve.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if names := preloadNames(cuts); len(names) > 0 {
+		log.Printf("preloading %s", strings.Join(names, ", "))
+		if err := srv.Preload(ctx, names); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	log.Printf("%s", cfg.Version)
+	log.Printf("serving on %s (flush %s, max batch %d, queue %d, lru %d)", ln.Addr(), flush, maxBatch, queue, lru)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers finish
+	// (their queued requests flush through the batchers), then stop the
+	// registry.
+	log.Printf("shutdown: draining in-flight requests (timeout %s)", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(dctx)
+	srv.Close()
+	if shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed) {
+		return fmt.Errorf("drain: %w", shutdownErr)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	log.Printf("shutdown complete")
+	return nil
+}
+
+// preloadNames expands the -cuts flag.
+func preloadNames(cuts string) []string {
+	cuts = strings.TrimSpace(cuts)
+	if cuts == "" {
+		return nil
+	}
+	if cuts == "all" {
+		var names []string
+		for _, c := range repro.Benchmarks() {
+			names = append(names, c.Circuit.Name())
+		}
+		return names
+	}
+	var names []string
+	for _, n := range strings.Split(cuts, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// parseFreqs parses the -freqs flag (empty means "GA-optimize per CUT").
+func parseFreqs(arg string) ([]float64, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	return repro.ParseFrequencies(arg)
+}

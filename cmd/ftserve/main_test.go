@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestPreloadNames(t *testing.T) {
+	if got := preloadNames(""); got != nil {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := preloadNames(" a, b ,"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("list = %v", got)
+	}
+	all := preloadNames("all")
+	if len(all) < 2 {
+		t.Fatalf("all = %v", all)
+	}
+}
+
+func TestParseFreqs(t *testing.T) {
+	got, err := parseFreqs("0.56, 4.55")
+	if err != nil || !reflect.DeepEqual(got, []float64{0.56, 4.55}) {
+		t.Fatalf("parseFreqs = %v, %v", got, err)
+	}
+	if _, err := parseFreqs("abc"); err == nil {
+		t.Fatal("bad freq accepted")
+	}
+	if got, err := parseFreqs(" "); got != nil || err != nil {
+		t.Fatalf("blank = %v, %v", got, err)
+	}
+}
+
+// TestRunServesAndDrainsOnSIGTERM is the end-to-end smoke: start the
+// server on an ephemeral port, serve /healthz and a diagnosis, then send
+// the process a real SIGTERM while requests are in flight and assert
+// they complete and run returns cleanly.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", "nf-lowpass-7", "", "0.56,4.55",
+			1, false, 1, 4, 20*time.Millisecond, 64, 256, 10*time.Second, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+
+	diagnose := func() (int, []byte, error) {
+		resp, err := http.Post(base+"/v1/diagnose", "application/json",
+			bytes.NewReader([]byte(`{"cut":"nf-lowpass-7","fault":{"component":"R3","deviation":0.25}}`)))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body, nil
+	}
+	status, body, err := diagnose()
+	if err != nil || status != 200 {
+		t.Fatalf("diagnose: %d %s (%v)", status, body, err)
+	}
+	var rep struct {
+		Result struct {
+			Candidates []struct {
+				Component string `json:"component"`
+			} `json:"candidates"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil || len(rep.Result.Candidates) == 0 || rep.Result.Candidates[0].Component != "R3" {
+		t.Fatalf("diagnosis: %s (%v)", body, err)
+	}
+
+	// In-flight requests ride out the SIGTERM: fire a burst sitting in
+	// the 20ms flush window, signal mid-flight, and require every
+	// response.
+	const inflight = 8
+	var wg sync.WaitGroup
+	errs := make([]error, inflight)
+	codes := make([]int, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, errs[i] = diagnose()
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < inflight; i++ {
+		// A request that lost the race to the closing listener sees a
+		// connection error; one that got in must be fully served.
+		if errs[i] == nil && codes[i] != 200 {
+			t.Fatalf("in-flight request %d: status %d, want 200 (drained) or connection refused", i, codes[i])
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil (clean drain)", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+}

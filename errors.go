@@ -1,6 +1,10 @@
 package repro
 
 import (
+	"context"
+	"errors"
+	"net/http"
+
 	"repro/internal/netlist"
 	"repro/internal/numeric"
 	"repro/internal/rerr"
@@ -42,3 +46,43 @@ var (
 // 1-based source line number and the offending card text. Recover it
 // from a ParseNetlist failure with errors.As.
 type ParseError = netlist.ParseError
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) HTTPStatus maps client-side cancellation onto: the request
+// died with its caller, not with the server.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps a library error onto the HTTP status a serving layer
+// should answer with — the single place the structured-error vocabulary
+// meets the wire:
+//
+//	ErrBadConfig          → 400 Bad Request (malformed request)
+//	ErrUnknownComponent   → 404 Not Found (no such fault target)
+//	ErrSingular           → 422 Unprocessable (fault yields an unsolvable circuit)
+//	ErrStaleArtifact      → 409 Conflict (artifact from a different board revision)
+//	ErrCanceled + timeout → 504 Gateway Timeout
+//	ErrCanceled otherwise → 499 (client closed request)
+//	ErrArtifact, other    → 500 Internal Server Error
+//
+// A ParseError counts as a bad request. nil maps to 200.
+func HTTPStatus(err error) int {
+	var pe *ParseError
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrStaleArtifact):
+		return http.StatusConflict
+	case errors.Is(err, ErrBadConfig), errors.As(err, &pe):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownComponent):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSingular):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

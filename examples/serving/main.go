@@ -1,0 +1,122 @@
+// Command serving is a minimal ftserve client: it checks the server's
+// health, lists the available circuits, runs one diagnosis, and then a
+// coalesced batch — the request shapes a board-test station would send.
+//
+// Start a server first:
+//
+//	go run ./cmd/ftserve -addr :8080 -cuts nf-lowpass-7 -freqs 0.56,4.55
+//
+// then:
+//
+//	go run ./examples/serving -url http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "ftserve base URL")
+	cut := flag.String("cut", "nf-lowpass-7", "circuit under test")
+	flag.Parse()
+
+	var health struct {
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}
+	getJSON(*url+"/healthz", &health)
+	fmt.Printf("server %s: %s\n", health.Version, health.Status)
+
+	var cuts struct {
+		Cuts []struct {
+			Name   string `json:"name"`
+			Loaded bool   `json:"loaded"`
+		} `json:"cuts"`
+	}
+	getJSON(*url+"/v1/cuts", &cuts)
+	fmt.Printf("%d circuits served\n", len(cuts.Cuts))
+
+	// One parametric fault: "R3 drifted +25% — which component is bad?"
+	var single struct {
+		BatchSize int `json:"batch_size"`
+		Result    struct {
+			Candidates []struct {
+				Component string  `json:"component"`
+				Deviation float64 `json:"deviation"`
+				Distance  float64 `json:"distance"`
+			} `json:"candidates"`
+		} `json:"result"`
+	}
+	postJSON(*url+"/v1/diagnose", map[string]any{
+		"cut":   *cut,
+		"fault": map[string]any{"component": "R3", "deviation": 0.25},
+	}, &single)
+	best := single.Result.Candidates[0]
+	fmt.Printf("R3@+25%% diagnosed as %s (est. %+.0f%%), served in a batch of %d\n",
+		best.Component, best.Deviation*100, single.BatchSize)
+
+	// A batch: several suspect boards diagnosed in one call. The server
+	// coalesces these into shared engine passes.
+	var batch struct {
+		Results []struct {
+			BatchSize int `json:"batch_size"`
+			Result    struct {
+				Candidates []struct {
+					Component string `json:"component"`
+				} `json:"candidates"`
+			} `json:"result"`
+		} `json:"results"`
+	}
+	postJSON(*url+"/v1/diagnose/batch", map[string]any{
+		"cut": *cut,
+		"requests": []map[string]any{
+			{"fault": map[string]any{"component": "R1", "deviation": -0.3}},
+			{"fault": map[string]any{"component": "C2", "deviation": 0.2}},
+			{"fault": map[string]any{"component": "R4", "deviation": 0.35}},
+		},
+	}, &batch)
+	for i, r := range batch.Results {
+		fmt.Printf("batch[%d]: %s (coalesced into a batch of %d)\n",
+			i, r.Result.Candidates[0].Component, r.BatchSize)
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	decode(url, resp, out)
+}
+
+func postJSON(url string, body, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	decode(url, resp, out)
+}
+
+func decode(url string, resp *http.Response, out any) {
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("%s: decode: %v", url, err)
+	}
+}

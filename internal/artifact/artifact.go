@@ -20,6 +20,16 @@ import (
 // Decode rejects any other version.
 const Version = 1
 
+// The canonical envelope kinds of the library's persisted products.
+const (
+	// KindDictionary tags a dictionary-grid snapshot.
+	KindDictionary = "repro.dictionary-grid"
+	// KindTestVector tags an optimized test vector.
+	KindTestVector = "repro.test-vector"
+	// KindTrajectories tags a trajectory map.
+	KindTrajectories = "repro.trajectory-map"
+)
+
 // Envelope is the on-disk frame around every persisted artifact.
 type Envelope struct {
 	// Kind names the payload type, e.g. "repro.dictionary-grid".

@@ -195,6 +195,34 @@ func (d *Diagnoser) DiagnoseFault(dict *dictionary.Dictionary, f fault.Fault) (*
 	return d.Diagnose(geometry.VecN(sig))
 }
 
+// DiagnoseFaults computes the signatures of every given fault in one
+// batched solve at the map's test vector and diagnoses each, returning
+// results aligned with the input. It is the bulk shared-read entry point
+// a serving layer coalesces concurrent requests onto: the signature solve
+// bypasses the dictionary's memo into call-local scratch and the
+// projection pass only reads the map, so any number of goroutines may
+// call it on one Diagnoser/Dictionary pair concurrently. Per-fault
+// results are computed independently, so a batched call is bit-identical
+// to the same faults diagnosed one at a time.
+func (d *Diagnoser) DiagnoseFaults(ctx context.Context, dict *dictionary.Dictionary, faults []fault.Fault) ([]*Result, error) {
+	if len(faults) == 0 {
+		return nil, fmt.Errorf("diagnosis: no faults")
+	}
+	sigs, err := dict.Signatures(ctx, faults, d.m.Omegas)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(faults))
+	for i := range faults {
+		res, err := d.Diagnose(geometry.VecN(sigs[i]))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
 // Evaluation aggregates diagnosis quality over a set of trial faults.
 type Evaluation struct {
 	// Total is the number of trials.

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics holds the service's counters and gauges. All fields are
+// atomics, updated lock-free from request handlers, batcher workers, and
+// registry builds; WritePrometheus renders a consistent-enough snapshot
+// in the Prometheus text exposition format.
+type Metrics struct {
+	// Requests counts diagnose requests accepted into a queue.
+	Requests atomic.Int64
+	// Batches counts micro-batches flushed through the engine.
+	Batches atomic.Int64
+	// BatchedRequests counts requests served through flushed batches;
+	// BatchedRequests/Batches is the realized coalescing factor.
+	BatchedRequests atomic.Int64
+	// Builds counts dictionary-registry entry builds (cold starts).
+	Builds atomic.Int64
+	// BuildErrors counts failed entry builds.
+	BuildErrors atomic.Int64
+	// WarmStarts counts entries restored from artifacts instead of
+	// simulated.
+	WarmStarts atomic.Int64
+	// Evictions counts LRU evictions.
+	Evictions atomic.Int64
+	// QueueRejects counts requests bounced off a full queue.
+	QueueRejects atomic.Int64
+	// Canceled counts requests whose context died before their flush.
+	Canceled atomic.Int64
+	// Errors counts requests answered with a non-2xx status.
+	Errors atomic.Int64
+	// InFlight gauges requests currently inside a queue or batch.
+	InFlight atomic.Int64
+	// Resident gauges registry entries currently loaded.
+	Resident atomic.Int64
+}
+
+// WritePrometheus renders every metric in the Prometheus text format
+// under the ftserve_ namespace.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP ftserve_%s %s\n# TYPE ftserve_%s counter\nftserve_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP ftserve_%s %s\n# TYPE ftserve_%s gauge\nftserve_%s %d\n", name, help, name, name, v)
+	}
+	counter("requests_total", "diagnose requests accepted", m.Requests.Load())
+	counter("batches_total", "micro-batches flushed", m.Batches.Load())
+	counter("batched_requests_total", "requests served through batches", m.BatchedRequests.Load())
+	counter("builds_total", "registry entry builds", m.Builds.Load())
+	counter("build_errors_total", "failed registry entry builds", m.BuildErrors.Load())
+	counter("warm_starts_total", "entries restored from artifacts", m.WarmStarts.Load())
+	counter("evictions_total", "LRU evictions", m.Evictions.Load())
+	counter("queue_rejects_total", "requests bounced off a full queue", m.QueueRejects.Load())
+	counter("canceled_total", "requests canceled before flush", m.Canceled.Load())
+	counter("errors_total", "requests answered with an error", m.Errors.Load())
+	gauge("inflight", "requests inside a queue or batch", m.InFlight.Load())
+	gauge("resident_entries", "registry entries loaded", m.Resident.Load())
+}

@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro"
+)
+
+// stubBuilder counts builds and can hold them open to widen race windows.
+type stubBuilder struct {
+	builds atomic.Int64
+	gate   chan struct{} // when non-nil, builds block until it closes
+}
+
+func (sb *stubBuilder) build(ctx context.Context, name string) (*Entry, error) {
+	sb.builds.Add(1)
+	if sb.gate != nil {
+		<-sb.gate
+	}
+	if name == "missing" {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCUT, name)
+	}
+	return &Entry{Name: name}, nil
+}
+
+func TestRegistrySingleFlight(t *testing.T) {
+	sb := &stubBuilder{gate: make(chan struct{})}
+	var m Metrics
+	r := NewRegistry(context.Background(), 4, sb.build, &m)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	entries := make([]*Entry, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			entries[i], errs[i] = r.Get(context.Background(), "nf-lowpass-7")
+		}(i)
+	}
+	// Release the build only after every caller is in flight: either
+	// waiting on the single build, or about to join it.
+	close(sb.gate)
+	wg.Wait()
+
+	if got := sb.builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want exactly 1 (single-flight)", got)
+	}
+	for i := range entries {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if entries[i] != entries[0] {
+			t.Fatalf("caller %d got a different entry", i)
+		}
+	}
+	if m.Builds.Load() != 1 {
+		t.Fatalf("metrics builds = %d", m.Builds.Load())
+	}
+}
+
+func TestRegistryLRUEviction(t *testing.T) {
+	sb := &stubBuilder{}
+	var m Metrics
+	r := NewRegistry(context.Background(), 2, sb.build, &m)
+	ctx := context.Background()
+
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := r.Get(ctx, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Resident(); !reflect.DeepEqual(got, []string{"c", "b"}) {
+		t.Fatalf("resident = %v, want [c b] (a evicted)", got)
+	}
+	if m.Evictions.Load() != 1 {
+		t.Fatalf("evictions = %d", m.Evictions.Load())
+	}
+	// Touching b makes c the eviction candidate.
+	if _, err := r.Get(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Resident(); !reflect.DeepEqual(got, []string{"d", "b"}) {
+		t.Fatalf("resident = %v, want [d b]", got)
+	}
+	// An evicted CUT rebuilds on demand.
+	if _, err := r.Get(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.builds.Load(); got != 5 {
+		t.Fatalf("builds = %d, want 5 (a, b, c, d, a again)", got)
+	}
+}
+
+func TestRegistryBuildErrorNotCached(t *testing.T) {
+	sb := &stubBuilder{}
+	r := NewRegistry(context.Background(), 2, sb.build, nil)
+	ctx := context.Background()
+	if _, err := r.Get(ctx, "missing"); !errors.Is(err, ErrUnknownCUT) {
+		t.Fatalf("err = %v, want ErrUnknownCUT", err)
+	}
+	// Failures are not cached: the next request retries the build.
+	if _, err := r.Get(ctx, "missing"); !errors.Is(err, ErrUnknownCUT) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := sb.builds.Load(); got != 2 {
+		t.Fatalf("builds = %d, want 2", got)
+	}
+}
+
+func TestRegistryWaiterCancellation(t *testing.T) {
+	sb := &stubBuilder{gate: make(chan struct{})}
+	r := NewRegistry(context.Background(), 2, sb.build, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Get(ctx, "slow")
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, repro.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The build itself was not canceled; once released its result serves
+	// future requests.
+	close(sb.gate)
+	if _, err := r.Get(context.Background(), "slow"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want 1 (canceled waiter did not kill the build)", got)
+	}
+}
+
+func TestRegistryClose(t *testing.T) {
+	sb := &stubBuilder{}
+	r := NewRegistry(context.Background(), 2, sb.build, nil)
+	if _, err := r.Get(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if _, err := r.Get(context.Background(), "a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if got := r.Resident(); len(got) != 0 {
+		t.Fatalf("resident after close = %v", got)
+	}
+}
+
+// TestRegistrySingleFlightRealBuild pins the acceptance criterion with
+// the production builder: concurrent cold requests for one CUT trigger
+// exactly one dictionary build.
+func TestRegistrySingleFlightRealBuild(t *testing.T) {
+	var m Metrics
+	build := NewEntryBuilder(BuildConfig{Workers: 1, Freqs: []float64{0.56, 4.55}}, &m)
+	r := NewRegistry(context.Background(), 2, build, &m)
+	defer r.Close()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.Get(context.Background(), "nf-lowpass-7")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := m.Builds.Load(); got != 1 {
+		t.Fatalf("builds = %d, want exactly 1", got)
+	}
+}

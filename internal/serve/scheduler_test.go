@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/rerr"
+)
+
+var (
+	entryOnce sync.Once
+	entryVal  *Entry
+	entryErr  error
+)
+
+// paperEntry builds one shared serving entry for the paper CUT at a
+// fixed, known-good test vector. Entries are read-only for batchers, so
+// tests may share it.
+func paperEntry(t *testing.T) *Entry {
+	t.Helper()
+	entryOnce.Do(func() {
+		build := NewEntryBuilder(BuildConfig{Workers: 1, Freqs: []float64{0.56, 4.55}}, nil)
+		entryVal, entryErr = build(context.Background(), "nf-lowpass-7")
+		if entryErr == nil {
+			// Tests drive their own batchers; idle the built-in one.
+			entryVal.close()
+		}
+	})
+	if entryErr != nil {
+		t.Fatal(entryErr)
+	}
+	return entryVal
+}
+
+// never is an after-hook whose flush timer never fires: batches close
+// only on MaxBatch or shutdown.
+func never(time.Duration) <-chan time.Time { return make(chan time.Time) }
+
+// manualFlush returns an after-hook delivering a caller-controlled
+// timer channel.
+func manualFlush() (func(time.Duration) <-chan time.Time, chan time.Time) {
+	ch := make(chan time.Time)
+	return func(time.Duration) <-chan time.Time { return ch }, ch
+}
+
+func waitCollecting(t *testing.T, b *batcher, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.collecting.Load() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("batcher never collected %d requests (at %d)", n, b.collecting.Load())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// submitAsync runs Diagnose on its own goroutine, delivering the
+// response through a channel.
+func submitAsync(ctx context.Context, b *batcher, req *Request) chan Response {
+	out := make(chan Response, 1)
+	go func() { out <- b.Diagnose(ctx, req) }()
+	return out
+}
+
+func TestBatcherCoalescesToMaxBatch(t *testing.T) {
+	e := paperEntry(t)
+	var m Metrics
+	const n = 5
+	b := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: n, after: never}, &m)
+	defer b.stop()
+
+	comps := e.Session.CUT().Passives
+	var chans []chan Response
+	for i := 0; i < n; i++ {
+		req := &Request{Fault: repro.Fault{Component: comps[i%len(comps)], Deviation: 0.22}}
+		chans = append(chans, submitAsync(context.Background(), b, req))
+	}
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		if resp.BatchSize != n {
+			t.Fatalf("request %d batch size = %d, want %d (one coalesced flush)", i, resp.BatchSize, n)
+		}
+		if resp.Result.Best().Component != comps[i%len(comps)] {
+			t.Fatalf("request %d diagnosed %s, want %s", i, resp.Result.Best().Component, comps[i%len(comps)])
+		}
+	}
+	if got := m.Batches.Load(); got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+	if got := m.BatchedRequests.Load(); got != n {
+		t.Fatalf("batched requests = %d, want %d", got, n)
+	}
+}
+
+func TestBatcherFlushWindowCoalescing(t *testing.T) {
+	e := paperEntry(t)
+	var m Metrics
+	after, flush := manualFlush()
+	b := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: 100, after: after}, &m)
+	defer b.stop()
+
+	comps := e.Session.CUT().Passives
+	var chans []chan Response
+	for i := 0; i < 3; i++ {
+		req := &Request{Fault: repro.Fault{Component: comps[i], Deviation: -0.13}}
+		chans = append(chans, submitAsync(context.Background(), b, req))
+	}
+	// All three requests are gathered into the open window; firing the
+	// flush timer releases them as one batch.
+	waitCollecting(t, b, 3)
+	flush <- time.Time{}
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		if resp.BatchSize != 3 {
+			t.Fatalf("request %d batch size = %d, want 3", i, resp.BatchSize)
+		}
+	}
+	if got := m.Batches.Load(); got != 1 {
+		t.Fatalf("batches = %d, want 1", got)
+	}
+}
+
+func TestBatcherMaxBatchSpillover(t *testing.T) {
+	e := paperEntry(t)
+	var m Metrics
+	b := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: 2, FlushWindow: time.Millisecond}, &m)
+	defer b.stop()
+
+	comps := e.Session.CUT().Passives
+	const n = 5
+	var chans []chan Response
+	for i := 0; i < n; i++ {
+		req := &Request{Fault: repro.Fault{Component: comps[i%len(comps)], Deviation: 0.22}}
+		chans = append(chans, submitAsync(context.Background(), b, req))
+	}
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatalf("request %d: %v", i, resp.Err)
+		}
+		if resp.BatchSize > 2 {
+			t.Fatalf("request %d batch size = %d, want ≤ MaxBatch 2", i, resp.BatchSize)
+		}
+	}
+	if got := m.Batches.Load(); got < 3 {
+		t.Fatalf("batches = %d, want ≥ 3 for 5 requests at MaxBatch 2", got)
+	}
+	if got := m.BatchedRequests.Load(); got != n {
+		t.Fatalf("batched requests = %d, want %d (spillover served, not dropped)", got, n)
+	}
+}
+
+func TestBatcherQueuedCancellation(t *testing.T) {
+	e := paperEntry(t)
+	var m Metrics
+	after, flush := manualFlush()
+	b := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: 100, after: after}, &m)
+	defer b.stop()
+
+	comps := e.Session.CUT().Passives
+	cctx, cancel := context.WithCancel(context.Background())
+	canceled := submitAsync(cctx, b, &Request{Fault: repro.Fault{Component: comps[0], Deviation: 0.22}})
+	live := submitAsync(context.Background(), b, &Request{Fault: repro.Fault{Component: comps[1], Deviation: 0.22}})
+
+	waitCollecting(t, b, 2)
+	cancel()
+	// The canceled caller is released immediately, before any flush.
+	resp := <-canceled
+	if !errors.Is(resp.Err, rerr.ErrCanceled) || !errors.Is(resp.Err, context.Canceled) {
+		t.Fatalf("canceled request err = %v, want ErrCanceled wrapping context.Canceled", resp.Err)
+	}
+
+	flush <- time.Time{}
+	lresp := <-live
+	if lresp.Err != nil {
+		t.Fatalf("live request: %v", lresp.Err)
+	}
+	if lresp.Result.Best().Component != comps[1] {
+		t.Fatalf("live request diagnosed %s, want %s", lresp.Result.Best().Component, comps[1])
+	}
+	if got := m.Canceled.Load(); got != 1 {
+		t.Fatalf("canceled = %d, want 1 (skipped at flush, no work wasted)", got)
+	}
+}
+
+// TestBatcherDeterminism pins the golden-response property: a coalesced
+// batch produces bit-identical diagnoses to the same requests served one
+// at a time.
+func TestBatcherDeterminism(t *testing.T) {
+	e := paperEntry(t)
+	comps := e.Session.CUT().Passives
+	var faults []repro.Fault
+	for _, c := range comps {
+		for _, dev := range []float64{-0.13, 0.22} {
+			faults = append(faults, repro.Fault{Component: c, Deviation: dev})
+		}
+	}
+	newReq := func(i int) *Request {
+		return &Request{Fault: faults[i], RejectRatio: 0.02}
+	}
+
+	// One at a time: MaxBatch 1 forces a dedicated flush per request.
+	single := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: 1}, nil)
+	want := make([]Response, len(faults))
+	for i := range faults {
+		want[i] = single.Diagnose(context.Background(), newReq(i))
+		if want[i].Err != nil {
+			t.Fatalf("single %d: %v", i, want[i].Err)
+		}
+	}
+	single.stop()
+
+	// Coalesced: every request lands in one flush.
+	batched := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: len(faults), after: never}, nil)
+	chans := make([]chan Response, len(faults))
+	for i := range faults {
+		chans[i] = submitAsync(context.Background(), batched, newReq(i))
+	}
+	for i, ch := range chans {
+		got := <-ch
+		if got.Err != nil {
+			t.Fatalf("batched %d: %v", i, got.Err)
+		}
+		if got.BatchSize != len(faults) {
+			t.Fatalf("batched %d batch size = %d, want %d", i, got.BatchSize, len(faults))
+		}
+		gj, _ := json.Marshal(got.Result)
+		wj, _ := json.Marshal(want[i].Result)
+		if string(gj) != string(wj) {
+			t.Fatalf("request %d drifted between batched and single serving:\n batched: %s\n single:  %s", i, gj, wj)
+		}
+		if *got.Rejected != *want[i].Rejected {
+			t.Fatalf("request %d rejection drifted", i)
+		}
+	}
+	batched.stop()
+}
+
+func TestBatcherValidation(t *testing.T) {
+	e := paperEntry(t)
+	// No worker needed: validation fails before the queue.
+	b := &batcher{entry: e, cfg: SchedulerConfig{}.withDefaults(), metrics: &Metrics{}}
+
+	cases := []struct {
+		name string
+		req  *Request
+		want error
+	}{
+		{"unknown component", &Request{Fault: repro.Fault{Component: "R99", Deviation: 0.2}}, rerr.ErrUnknownComponent},
+		{"no fault no point", &Request{}, rerr.ErrBadConfig},
+		{"deviation at -100%", &Request{Fault: repro.Fault{Component: "R1", Deviation: -1}}, rerr.ErrBadConfig},
+		{"point dimension", &Request{Point: []float64{1, 2, 3}}, rerr.ErrBadConfig},
+	}
+	for _, tc := range cases {
+		if err := b.validate(tc.req); !errors.Is(err, tc.want) {
+			t.Fatalf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBatcherQueueFull(t *testing.T) {
+	e := paperEntry(t)
+	var m Metrics
+	// Hand-built batcher with no worker: the queue never drains, so the
+	// bound is observable deterministically.
+	b := &batcher{
+		entry:   e,
+		cfg:     SchedulerConfig{QueueSize: 1}.withDefaults(),
+		ctx:     context.Background(),
+		queue:   make(chan *Request, 1),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		metrics: &m,
+	}
+	b.queue <- &Request{} // occupy the only slot
+	resp := b.Diagnose(context.Background(), &Request{Fault: repro.Fault{Component: "R1", Deviation: 0.2}})
+	if !errors.Is(resp.Err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", resp.Err)
+	}
+	if m.QueueRejects.Load() != 1 {
+		t.Fatalf("queue rejects = %d", m.QueueRejects.Load())
+	}
+}
+
+// TestBatcherShutdownDrain pins the drain contract: requests queued when
+// shutdown begins are still served, not dropped.
+func TestBatcherShutdownDrain(t *testing.T) {
+	e := paperEntry(t)
+	var m Metrics
+	b := newBatcher(context.Background(), e, SchedulerConfig{MaxBatch: 100, after: never}, &m)
+
+	comps := e.Session.CUT().Passives
+	var chans []chan Response
+	for i := 0; i < 3; i++ {
+		req := &Request{Fault: repro.Fault{Component: comps[i], Deviation: 0.22}}
+		chans = append(chans, submitAsync(context.Background(), b, req))
+	}
+	waitCollecting(t, b, 3)
+	b.stop() // flush never fires: only shutdown can release the batch
+	for i, ch := range chans {
+		resp := <-ch
+		if resp.Err != nil {
+			t.Fatalf("request %d dropped at shutdown: %v", i, resp.Err)
+		}
+		if resp.Result.Best().Component != comps[i] {
+			t.Fatalf("request %d misdiagnosed after drain", i)
+		}
+	}
+	if m.InFlight.Load() != 0 {
+		t.Fatalf("inflight after drain = %d", m.InFlight.Load())
+	}
+}

@@ -1,0 +1,279 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Config parameterizes a serving instance.
+type Config struct {
+	// Build configures entry construction (workers, fixed frequencies,
+	// GA settings, artifact warm start, scheduler).
+	Build BuildConfig
+	// Capacity bounds the registry LRU (≤ 0 → DefaultCapacity).
+	Capacity int
+	// Version is reported by /healthz (e.g. repro.VersionString output).
+	Version string
+	// BuildFunc overrides the production entry builder (tests).
+	BuildFunc BuildFunc
+}
+
+// Server is the HTTP serving layer over the registry and scheduler.
+//
+// Shutdown order matters for draining: first stop accepting connections
+// and wait for handlers (http.Server.Shutdown), then Close the Server —
+// queued requests are flushed through their batchers before workers
+// stop, so no accepted request goes unanswered.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+	reg     *Registry
+	mux     *http.ServeMux
+	start   time.Time
+	cancel  context.CancelFunc
+}
+
+// New builds a serving instance. The server owns its lifetime context;
+// Close releases it.
+func New(cfg Config) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{cfg: cfg, start: time.Now(), cancel: cancel}
+	build := cfg.BuildFunc
+	if build == nil {
+		build = NewEntryBuilder(cfg.Build, &s.metrics)
+	}
+	s.reg = NewRegistry(ctx, cfg.Capacity, build, &s.metrics)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/diagnose", s.handleDiagnose)
+	s.mux.HandleFunc("/v1/diagnose/batch", s.handleDiagnoseBatch)
+	s.mux.HandleFunc("/v1/cuts", s.handleCuts)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Registry exposes the dictionary registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Preload warms the registry for the named CUTs, building (or
+// artifact-loading) their serving state before traffic arrives.
+func (s *Server) Preload(ctx context.Context, names []string) error {
+	for _, name := range names {
+		if _, err := s.reg.Get(ctx, name); err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Close drains and stops the registry's batchers and releases the
+// server's lifetime context. Call after http.Server.Shutdown has
+// returned.
+func (s *Server) Close() {
+	s.reg.Close()
+	s.cancel()
+}
+
+// diagnoseRequest is the wire form of one diagnose request.
+type diagnoseRequest struct {
+	// CUT names the circuit under test (top-level requests only).
+	CUT string `json:"cut"`
+	// Fault is the parametric fault to simulate and diagnose.
+	Fault *struct {
+		Component string  `json:"component"`
+		Deviation float64 `json:"deviation"`
+	} `json:"fault,omitempty"`
+	// Point is an observed signature point (alternative to Fault).
+	Point []float64 `json:"point,omitempty"`
+	// RejectRatio enables out-of-model rejection when > 0.
+	RejectRatio float64 `json:"reject_ratio,omitempty"`
+}
+
+// diagnoseReply is the wire form of one diagnosis.
+type diagnoseReply struct {
+	CUT       string                 `json:"cut"`
+	Omegas    []float64              `json:"omegas"`
+	BatchSize int                    `json:"batch_size"`
+	Rejected  *bool                  `json:"rejected,omitempty"`
+	Result    *repro.DiagnosisResult `json:"result,omitempty"`
+	Error     string                 `json:"error,omitempty"`
+	Status    int                    `json:"status,omitempty"`
+}
+
+// toRequest converts the wire form to a scheduler request.
+func (d *diagnoseRequest) toRequest() *Request {
+	req := &Request{Point: d.Point, RejectRatio: d.RejectRatio}
+	if d.Fault != nil {
+		req.Fault = repro.Fault{Component: d.Fault.Component, Deviation: d.Fault.Deviation}
+	}
+	return req
+}
+
+// maxBodyBytes bounds every request body; maxBatchItems bounds the
+// sub-requests of one batch call (each costs a waiting goroutine).
+const (
+	maxBodyBytes  = 1 << 20
+	maxBatchItems = 1024
+)
+
+// diagnose resolves the CUT and submits one request through its batcher.
+// When an LRU eviction closes the batcher between the registry lookup
+// and the submit, the request retries once against the rebuilt entry —
+// only a genuine shutdown surfaces ErrClosed to the client.
+func (s *Server) diagnose(ctx context.Context, cut string, dr *diagnoseRequest) (*Entry, Response) {
+	for attempt := 0; ; attempt++ {
+		entry, err := s.reg.Get(ctx, cut)
+		if err != nil {
+			return nil, Response{Err: err}
+		}
+		resp := entry.batcher.Diagnose(ctx, dr.toRequest())
+		if errors.Is(resp.Err, ErrClosed) && attempt == 0 {
+			continue
+		}
+		return entry, resp
+	}
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var dr diagnoseRequest
+	if err := json.NewDecoder(r.Body).Decode(&dr); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	entry, resp := s.diagnose(r.Context(), dr.CUT, &dr)
+	if resp.Err != nil {
+		s.writeError(w, statusOf(resp.Err), resp.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, diagnoseReply{
+		CUT:       entry.Name,
+		Omegas:    entry.Omegas,
+		BatchSize: resp.BatchSize,
+		Rejected:  resp.Rejected,
+		Result:    resp.Result,
+	})
+}
+
+// batchRequest is the wire form of a multi-diagnose call: one CUT, many
+// requests, answered positionally.
+type batchRequest struct {
+	CUT      string            `json:"cut"`
+	Requests []diagnoseRequest `json:"requests"`
+}
+
+type batchReply struct {
+	CUT     string          `json:"cut"`
+	Omegas  []float64       `json:"omegas"`
+	Results []diagnoseReply `json:"results"`
+}
+
+func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var br batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&br); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %v", err))
+		return
+	}
+	if len(br.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty request list"))
+		return
+	}
+	if len(br.Requests) > maxBatchItems {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds the %d-request limit", len(br.Requests), maxBatchItems))
+		return
+	}
+	entry, err := s.reg.Get(r.Context(), br.CUT)
+	if err != nil {
+		s.writeError(w, statusOf(err), err)
+		return
+	}
+	// Submit every sub-request concurrently so the scheduler coalesces
+	// them — a batch HTTP call is micro-batching's best case.
+	replies := make([]diagnoseReply, len(br.Requests))
+	var wg sync.WaitGroup
+	for i := range br.Requests {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, resp := s.diagnose(r.Context(), br.CUT, &br.Requests[i])
+			rep := diagnoseReply{CUT: entry.Name, BatchSize: resp.BatchSize, Rejected: resp.Rejected, Result: resp.Result}
+			if resp.Err != nil {
+				rep.Error = resp.Err.Error()
+				rep.Status = statusOf(resp.Err)
+			}
+			replies[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, batchReply{CUT: entry.Name, Omegas: entry.Omegas, Results: replies})
+}
+
+func (s *Server) handleCuts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cuts": Catalog(s.reg)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        s.cfg.Version,
+		"cuts_loaded":    len(s.reg.Resident()),
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WritePrometheus(w)
+}
+
+// statusOf maps an error onto its HTTP status: serving-layer sentinels
+// first, then the library's structured-error mapping.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownCUT):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return repro.HTTPStatus(err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.metrics.Errors.Add(1)
+	writeJSON(w, status, map[string]any{"error": err.Error(), "status": status})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the connection owns delivery
+}

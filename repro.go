@@ -39,6 +39,10 @@
 package repro
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"repro/internal/circuit"
 	"repro/internal/circuits"
 	"repro/internal/core"
@@ -131,6 +135,22 @@ func PaperOptimizeConfig(omega0 float64) OptimizeConfig {
 // netlist card reference in the internal/netlist package docs). Syntax
 // failures are ParseErrors carrying the source line and card text.
 func ParseNetlist(text string) (*Circuit, error) { return netlist.Parse(text) }
+
+// ParseFrequencies parses a comma-separated list of angular frequencies
+// in rad/s ("0.56, 4.55") — the format the CLI -freqs flags accept.
+// Failures wrap ErrBadConfig.
+func ParseFrequencies(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, f := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w: bad frequency %q", ErrBadConfig, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 // SerializeNetlist renders a Circuit back to netlist text.
 func SerializeNetlist(c *Circuit) (string, error) { return netlist.Serialize(c) }

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# loadgen.sh — drive N concurrent diagnose requests at a running ftserve
+# for local throughput checks of the micro-batching scheduler.
+#
+# Usage:
+#   scripts/loadgen.sh [URL] [REQUESTS] [CONCURRENCY] [CUT]
+#
+# Defaults: URL=http://localhost:8080, REQUESTS=256, CONCURRENCY=32,
+# CUT=nf-lowpass-7. Requires curl. Exits non-zero if any request fails.
+#
+# Quickstart:
+#   go run ./cmd/ftserve -addr :8080 -cuts nf-lowpass-7 -freqs 0.56,4.55 &
+#   scripts/loadgen.sh
+#
+# Watch the realized coalescing factor on the server:
+#   curl -s localhost:8080/metrics | grep -E 'batches_total|batched_requests'
+set -euo pipefail
+
+URL="${1:-http://localhost:8080}"
+REQUESTS="${2:-256}"
+CONCURRENCY="${3:-32}"
+CUT="${4:-nf-lowpass-7}"
+
+command -v curl >/dev/null || { echo "loadgen: curl not found" >&2; exit 1; }
+
+# Rotate faults across components and deviations so batches mix work.
+COMPONENTS=(R1 R2 R3 R4 C1 C2 C3)
+DEVIATIONS=(0.25 -0.30 0.17 -0.13 0.31)
+
+fail_log="$(mktemp)"
+trap 'rm -f "$fail_log"' EXIT
+
+one_request() {
+  local i="$1"
+  local comp="${COMPONENTS[$((i % ${#COMPONENTS[@]}))]}"
+  local dev="${DEVIATIONS[$((i % ${#DEVIATIONS[@]}))]}"
+  local code
+  code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$URL/v1/diagnose" \
+    -H 'Content-Type: application/json' \
+    -d "{\"cut\":\"$CUT\",\"fault\":{\"component\":\"$comp\",\"deviation\":$dev}}")
+  if [ "$code" != "200" ]; then
+    echo "request $i ($comp@$dev): HTTP $code" >>"$fail_log"
+  fi
+}
+
+echo "loadgen: $REQUESTS requests, $CONCURRENCY concurrent, CUT=$CUT, URL=$URL"
+start=$(date +%s.%N 2>/dev/null || date +%s)
+
+active=0
+for ((i = 0; i < REQUESTS; i++)); do
+  one_request "$i" &
+  active=$((active + 1))
+  if ((active >= CONCURRENCY)); then
+    wait -n 2>/dev/null || wait
+    active=$((active - 1))
+  fi
+done
+wait
+
+end=$(date +%s.%N 2>/dev/null || date +%s)
+elapsed=$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.2f", b - a }')
+rps=$(awk -v n="$REQUESTS" -v t="$elapsed" 'BEGIN { if (t > 0) printf "%.0f", n / t; else print "inf" }')
+
+if [ -s "$fail_log" ]; then
+  failures=$(wc -l <"$fail_log")
+  echo "loadgen: $failures/$REQUESTS requests FAILED:" >&2
+  head -5 "$fail_log" >&2
+  exit 1
+fi
+echo "loadgen: $REQUESTS/$REQUESTS ok in ${elapsed}s (~$rps req/s)"

@@ -235,6 +235,15 @@ func (s *Session) emit(ev Progress) {
 func (s *Session) CUT() CUT { return s.cut }
 
 // Dictionary exposes the fault dictionary.
+//
+// The dictionary is safe for concurrent use: lazy response queries
+// serialize only their memo bookkeeping behind an internal mutex, bulk
+// signature computation (Signatures, UniverseSignatures, and the
+// diagnose paths built on them) bypasses the memo into call-local
+// scratch, and the batched engine draws per-worker workspaces from a
+// sync.Pool. Any number of goroutines may query one dictionary — the
+// contract the ftserve registry and micro-batcher rely on, pinned by the
+// repository's -race hammer test.
 func (s *Session) Dictionary() *Dictionary { return s.atpg.Dictionary() }
 
 // ATPG exposes the underlying test generator for advanced use (baseline
@@ -298,8 +307,25 @@ func (s *Session) Trajectories(ctx context.Context, omegas []float64) (*Trajecto
 }
 
 // Diagnoser builds the diagnosis stage for a test vector.
+//
+// A built Diagnoser is immutable and safe for concurrent read-only use:
+// Diagnose, DiagnoseFault, DiagnoseFaults, Extent and Map only read the
+// trajectory map they were built over. Build one Diagnoser per test
+// vector and share it across request-serving goroutines.
 func (s *Session) Diagnoser(ctx context.Context, omegas []float64) (*Diagnoser, error) {
 	return s.atpg.BuildDiagnoser(ctx, omegas)
+}
+
+// DiagnoseFaults computes the signatures of every given fault in one
+// batched solve at the diagnoser's test vector and diagnoses each,
+// returning results aligned with the input — the bulk, shared-read
+// diagnose entry point a serving layer coalesces concurrent requests
+// onto. It is safe to call from any number of goroutines sharing one
+// Session and Diagnoser, and a batched call is bit-identical to the same
+// faults diagnosed one at a time. A canceled context returns an error
+// wrapping ErrCanceled within one frequency.
+func (s *Session) DiagnoseFaults(ctx context.Context, dg *Diagnoser, faults []Fault) ([]*DiagnosisResult, error) {
+	return dg.DiagnoseFaults(ctx, s.Dictionary(), faults)
 }
 
 // Evaluate runs the hold-out evaluation: off-grid deviations (nil → the

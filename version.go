@@ -1,0 +1,41 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the library release every binary reports through its
+// -version flag, so deployed instances (an ftserve replica, a tester's
+// ftdiag) are identifiable. Bump it once per release, not per commit —
+// the VCS revision in VersionString pins the exact build.
+const Version = "0.4.0"
+
+// VersionString renders the one-line build identification for a binary:
+// name, library version, Go toolchain, and — when the binary was built
+// inside a VCS checkout — the revision and dirty flag stamped by the Go
+// toolchain.
+func VersionString(binary string) string {
+	s := fmt.Sprintf("%s %s (%s %s/%s)", binary, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, kv := range info.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				if kv.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			s += fmt.Sprintf(" rev %s%s", rev, dirty)
+		}
+	}
+	return s
+}
