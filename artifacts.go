@@ -37,7 +37,10 @@ func (s *Session) EncodeArtifact(kind string, payload any) ([]byte, error) {
 // SaveDictionary persists the fault dictionary evaluated on the given
 // frequency grid: it precomputes the grid (streaming StageDictionary
 // progress, honoring the context per frequency), snapshots it, and
-// writes a versioned, checksummed artifact to path.
+// writes a versioned, checksummed artifact to path. A double-fault
+// session (WithDoubleFaults) additionally precomputes and stores one row
+// per modeled pair, keyed by the pair's stable ID, so the artifact
+// round-trips into the same pair map the session serves live.
 //
 // The stored responses are produced by the same batched solver that
 // builds in-process trajectory maps, so a map rebuilt from the artifact
@@ -50,7 +53,17 @@ func (s *Session) SaveDictionary(ctx context.Context, path string, omegas []floa
 	if err := s.Precompute(ctx, omegas); err != nil {
 		return err
 	}
-	snap, err := s.Dictionary().Snapshot(omegas)
+	var sets []FaultSet
+	if len(s.pairs) > 0 {
+		sets = make([]FaultSet, len(s.pairs))
+		for i, p := range s.pairs {
+			sets[i] = p
+		}
+		if err := s.Dictionary().BuildGridSets(ctx, sets, omegas, s.workers); err != nil {
+			return err
+		}
+	}
+	snap, err := s.Dictionary().SnapshotSets(omegas, sets)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/diagnosis"
+	"repro/internal/dictionary"
 	"repro/internal/fault"
 	"repro/internal/numeric"
 	"repro/internal/signal"
@@ -483,4 +484,58 @@ func BenchmarkFitRational(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMultiFaultBatchVsClones: the rank-k batched engine against
+// per-pair full-LU clones on the paper CUT's double-fault universe
+// (every component pair × paper deviations, 1344 pairs) across a
+// 9-point grid. "clones" applies each pair to a circuit clone and fully
+// solves per (pair, ω); "batch" is one BatchResponsesSetsInto pass —
+// per frequency one golden LU, shared z-solves, and a 2×2 Woodbury
+// capacitance solve per pair. `ftbench -e multifault` records the same
+// comparison (cross-checked to 1e-9) into BENCH_multifault.json.
+func BenchmarkMultiFaultBatchVsClones(b *testing.B) {
+	s, err := NewSession(PaperCUT())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs, err := s.Universe().Pairs(nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := make([]FaultSet, len(pairs))
+	for i, p := range pairs {
+		sets[i] = p
+	}
+	grid := numeric.Logspace(0.01, 100, 9)
+	b.Run("clones", func(b *testing.B) {
+		golden := s.Dictionary().Golden()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range pairs {
+				faulty, err := p.Apply(golden)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sig, err := s.Dictionary().CircuitSignature(faulty, grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sig) != len(grid) {
+					b.Fatal("short signature")
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		var scratch dictionary.SignatureScratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Dictionary().SignaturesSetsInto(nil, sets, grid, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

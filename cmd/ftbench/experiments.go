@@ -16,11 +16,12 @@ import (
 // long-running stage, so Ctrl-C during a slow experiment aborts within
 // one GA generation / frequency batch.
 type runner struct {
-	ctx        context.Context
-	seed       int64
-	full       bool
-	out        io.Writer
-	hotpathOut string // destination of the HOTPATH report
+	ctx           context.Context
+	seed          int64
+	full          bool
+	out           io.Writer
+	hotpathOut    string // destination of the HOTPATH report
+	multifaultOut string // destination of the MULTIFAULT report
 
 	session  *repro.Session // lazily built paper-CUT session
 	gaVector *repro.TestVector

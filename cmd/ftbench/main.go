@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("e", "all", "experiment to run: E1..E15, HOTPATH, or 'all'")
-		seed       = flag.Int64("seed", 1, "random seed for GA and noise draws")
-		full       = flag.Bool("full", false, "use the paper's full GA (128x15) everywhere (slower)")
-		hotpathOut = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the HOTPATH benchmark report")
-		version    = flag.Bool("version", false, "print version and exit")
+		exp           = flag.String("e", "all", "experiment to run: E1..E15, HOTPATH, MULTIFAULT, or 'all'")
+		seed          = flag.Int64("seed", 1, "random seed for GA and noise draws")
+		full          = flag.Bool("full", false, "use the paper's full GA (128x15) everywhere (slower)")
+		hotpathOut    = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the HOTPATH benchmark report")
+		multifaultOut = flag.String("multifault-out", "BENCH_multifault.json", "output path for the MULTIFAULT benchmark report")
+		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *version {
@@ -37,26 +38,28 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner := &runner{ctx: ctx, seed: *seed, full: *full, out: os.Stdout, hotpathOut: *hotpathOut}
+	runner := &runner{ctx: ctx, seed: *seed, full: *full, out: os.Stdout, hotpathOut: *hotpathOut, multifaultOut: *multifaultOut}
 	experiments := map[string]func() error{
-		// HOTPATH is opt-in (not part of 'all'): it runs Go benchmarks of
-		// the GA fitness hot path and writes BENCH_hotpath.json.
-		"HOTPATH": runner.hotpath,
-		"E1":      runner.e1Dictionary,
-		"E2":      runner.e2Transform,
-		"E3":      runner.e3Trajectory,
-		"E4":      runner.e4GA,
-		"E5":      runner.e5Baselines,
-		"E6":      runner.e6Frequencies,
-		"E7":      runner.e7GAAblation,
-		"E8":      runner.e8Noise,
-		"E9":      runner.e9Circuits,
-		"E10":     runner.e10Reject,
-		"E11":     runner.e11Tolerance,
-		"E12":     runner.e12Active,
-		"E13":     runner.e13Grid,
-		"E14":     runner.e14Deployed,
-		"E15":     runner.e15Catastrophic,
+		// HOTPATH and MULTIFAULT are opt-in (not part of 'all'): they run
+		// Go benchmarks and write BENCH_hotpath.json /
+		// BENCH_multifault.json respectively.
+		"HOTPATH":    runner.hotpath,
+		"MULTIFAULT": runner.multifault,
+		"E1":         runner.e1Dictionary,
+		"E2":         runner.e2Transform,
+		"E3":         runner.e3Trajectory,
+		"E4":         runner.e4GA,
+		"E5":         runner.e5Baselines,
+		"E6":         runner.e6Frequencies,
+		"E7":         runner.e7GAAblation,
+		"E8":         runner.e8Noise,
+		"E9":         runner.e9Circuits,
+		"E10":        runner.e10Reject,
+		"E11":        runner.e11Tolerance,
+		"E12":        runner.e12Active,
+		"E13":        runner.e13Grid,
+		"E14":        runner.e14Deployed,
+		"E15":        runner.e15Catastrophic,
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
@@ -72,7 +75,7 @@ func main() {
 	}
 	f, ok := experiments[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (want E1..E15, HOTPATH, or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (want E1..E15, HOTPATH, MULTIFAULT, or all)\n", *exp)
 		os.Exit(2)
 	}
 	if err := f(); err != nil {

@@ -7,6 +7,7 @@
 //	ftdiag -cut nf-lowpass-7
 //	ftdiag -cut nf-lowpass-7 -inject R3@+25%
 //	ftdiag -cut nf-lowpass-7 -inject R3@+25% -json
+//	ftdiag -cut nf-lowpass-7 -double-faults -inject R1@+30%+C2@-20%
 //	ftdiag -netlist rc.cir -source V1 -output out -inject R1@-30%
 //	ftdiag -cut sallen-key-lp -freqs 0.5,2.0
 //	ftdiag -cut nf-lowpass-7 -save-trajectories map.json -freqs 0.56,4.55
@@ -39,10 +40,12 @@ func main() {
 		nlPath   = flag.String("netlist", "", "netlist file (overrides -cut)")
 		source   = flag.String("source", "V1", "driving source name (netlist mode)")
 		output   = flag.String("output", "out", "observed output node (netlist mode)")
-		inject   = flag.String("inject", "", "fault to inject and diagnose, e.g. R3@+25% (default: evaluate all hold-out faults)")
+		inject   = flag.String("inject", "", "fault to inject and diagnose, e.g. R3@+25% or R1@+30%+C2@-20% (default: evaluate all hold-out faults)")
 		freqsArg = flag.String("freqs", "", "comma-separated test frequencies in rad/s (default: GA-optimized)")
 		seed     = flag.Int64("seed", 1, "GA random seed")
 		full     = flag.Bool("full", false, "use the paper's full 128x15 GA")
+		doubles  = flag.Bool("double-faults", false, "model double faults: the trajectory map gains pair families and multi-fault injections are named, not rejected")
+		maxDbl   = flag.Int("max-double-faults", 0, "cap the modeled double-fault universe (0 = no cap)")
 		reject   = flag.Float64("reject", 0, "rejection ratio for out-of-model faults (0 disables; try 0.02)")
 		export   = flag.String("export", "", "write the fault dictionary grid as a versioned artifact to this file and exit")
 		saveTraj = flag.String("save-trajectories", "", "write the trajectory map as a versioned artifact to this file and exit")
@@ -75,6 +78,9 @@ func main() {
 					p.Completed, p.Total, p.BestFitness)
 			}
 		}))
+	}
+	if *doubles {
+		opts = append(opts, repro.WithDoubleFaults(*maxDbl))
 	}
 	s, err := buildSession(*cutName, *nlPath, *source, *output, opts...)
 	if err != nil {
@@ -119,7 +125,7 @@ func main() {
 	}
 
 	if *loadDict != "" {
-		if err := runFromArtifact(ctx, s, *loadDict, omegas, *inject, *reject, *jsonOut, status); err != nil {
+		if err := runFromArtifact(ctx, s, *loadDict, omegas, *inject, *reject, *jsonOut, *doubles, status); err != nil {
 			fail(err)
 		}
 		return
@@ -146,12 +152,12 @@ func main() {
 	}
 
 	if *inject != "" {
-		f, err := fault.ParseID(*inject)
+		set, err := fault.ParseSetID(*inject)
 		if err != nil {
 			fail(err)
 		}
 		if *jsonOut {
-			data, err := diagnoseJSON(ctx, s, nil, omegas, fit, f, *reject)
+			data, err := diagnoseJSON(ctx, s, nil, omegas, fit, set, *reject)
 			if err != nil {
 				fail(err)
 			}
@@ -163,14 +169,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := printInjected(s, dg, f, *reject); err != nil {
+		if err := printInjected(s, dg, set, *reject); err != nil {
 			fail(err)
 		}
 		return
 	}
 
 	if *jsonOut {
-		data, err := evaluateJSON(ctx, s, nil, omegas, fit)
+		data, err := evaluateJSON(ctx, s, nil, omegas, fit, *doubles)
 		if err != nil {
 			fail(err)
 		}
@@ -178,29 +184,72 @@ func main() {
 		fmt.Println()
 		return
 	}
-	ev, err := s.Evaluate(ctx, omegas, nil)
+	if !*doubles {
+		ev, err := s.Evaluate(ctx, omegas, nil)
+		if err != nil {
+			fail(err)
+		}
+		printEvaluation(ev)
+		return
+	}
+	// Double-fault flow: build the (expensive) pair map once and run
+	// both evaluations against it.
+	dg, err := s.Diagnoser(ctx, omegas)
+	if err != nil {
+		fail(err)
+	}
+	ev, err := dg.Evaluate(ctx, s.Dictionary(), diagnosis.HoldOutTrials(s.Universe(), diagnosis.DefaultHoldOutDeviations()))
 	if err != nil {
 		fail(err)
 	}
 	printEvaluation(ev)
+	dev, err := evaluateDoubles(ctx, s, dg)
+	if err != nil {
+		fail(err)
+	}
+	printDoubleEvaluation(dev)
 }
 
-// printInjected diagnoses one injected fault against dg and prints the
-// human-readable verdict.
-func printInjected(s *repro.Session, dg *repro.Diagnoser, f repro.Fault, reject float64) error {
-	res, err := dg.DiagnoseFault(s.Dictionary(), f)
+// doubleHoldOutCap bounds the double-fault hold-out trial count: the
+// full off-grid pair sweep grows quadratically and a capped prefix
+// already measures naming accuracy.
+const doubleHoldOutCap = 210
+
+// evaluateDoubles runs the double-fault hold-out evaluation — off-grid
+// pair injections diagnosed against dg's map (built once by the caller
+// and shared with the single-fault evaluation).
+func evaluateDoubles(ctx context.Context, s *repro.Session, dg *repro.Diagnoser) (*repro.Evaluation, error) {
+	trials, err := s.HoldOutDoubleFaults([]float64{-0.25, 0.25}, doubleHoldOutCap)
+	if err != nil {
+		return nil, err
+	}
+	return s.EvaluateSets(ctx, dg, trials)
+}
+
+// printInjected diagnoses one injected fault set against dg and prints
+// the human-readable verdict.
+func printInjected(s *repro.Session, dg *repro.Diagnoser, set repro.FaultSet, reject float64) error {
+	res, err := dg.DiagnoseSet(s.Dictionary(), set)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("injected: %s\n%s", f.ID(), res)
+	fmt.Printf("injected: %s\n%s", set.ID(), res)
 	if reject > 0 && res.Rejected(dg.Extent(), reject) {
-		fmt.Printf("=> REJECTED as out-of-model at ratio %.3g (no single known fault explains the point)\n", reject)
+		fmt.Printf("=> REJECTED as out-of-model at ratio %.3g (no modeled fault explains the point)\n", reject)
 		return nil
 	}
 	best := res.Best()
 	status := "MISDIAGNOSED"
-	if best.Component == f.Component {
+	if best.Key() == repro.FaultSetKey(set) {
 		status = "correctly diagnosed"
+	}
+	if best.IsMulti() {
+		parts := make([]string, len(best.Components))
+		for i, c := range best.Components {
+			parts[i] = fmt.Sprintf("%s%+.0f%%", c, best.Deviations[i]*100)
+		}
+		fmt.Printf("=> %s as double fault %s\n", status, strings.Join(parts, " + "))
+		return nil
 	}
 	fmt.Printf("=> %s as %s (estimated deviation %+.0f%%)\n", status, best.Component, best.Deviation*100)
 	return nil
@@ -213,11 +262,21 @@ func printEvaluation(ev *repro.Evaluation) {
 	fmt.Printf("confusion matrix:\n%s", ev.ConfusionTable())
 }
 
+func printDoubleEvaluation(ev *repro.Evaluation) {
+	fmt.Printf("double-fault hold-out evaluation (±25%% pair injections, %d trials):\n", ev.Total)
+	fmt.Printf("  top-1 accuracy: %.1f%%   top-2: %.1f%%   mean deviation error: %.1f%%\n",
+		100*ev.Accuracy(), 100*ev.TopTwoAccuracy(), 100*ev.MeanDevError)
+}
+
 // runFromArtifact is the -load-dictionary flow: rebuild the diagnosis
 // stage from a saved dictionary-grid artifact (checksum-validated against
 // this session's CUT) through the same load path the ftserve registry
-// warm-starts from, skipping grid re-simulation entirely.
-func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas []float64, inject string, reject float64, jsonOut bool, status *os.File) error {
+// warm-starts from, skipping grid re-simulation entirely. With doubles
+// set (the artifact then stores pair rows — checksums only match
+// between double-fault sessions and double-fault artifacts), the
+// rebuilt map carries the pair families and the evaluation flow appends
+// the double-fault hold-out pass.
+func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas []float64, inject string, reject float64, jsonOut, doubles bool, status *os.File) error {
 	dg, tm, ex, err := serve.DiagnoserFromGrid(s, path, omegas)
 	if err != nil {
 		return err
@@ -229,12 +288,12 @@ func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas 
 		fmt.Fprintf(status, "warning: ω = %s not stored in the grid; trajectories are log-ω interpolated and may misrank close faults (re-export with -export -freqs to pin them)\n", joinFloats(off))
 	}
 	if inject != "" {
-		f, err := fault.ParseID(inject)
+		set, err := fault.ParseSetID(inject)
 		if err != nil {
 			return err
 		}
 		if jsonOut {
-			data, err := diagnoseJSON(ctx, s, dg, omegas, fit, f, reject)
+			data, err := diagnoseJSON(ctx, s, dg, omegas, fit, set, reject)
 			if err != nil {
 				return err
 			}
@@ -242,10 +301,10 @@ func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas 
 			fmt.Println()
 			return nil
 		}
-		return printInjected(s, dg, f, reject)
+		return printInjected(s, dg, set, reject)
 	}
 	if jsonOut {
-		data, err := evaluateJSON(ctx, s, dg, omegas, fit)
+		data, err := evaluateJSON(ctx, s, dg, omegas, fit, doubles)
 		if err != nil {
 			return err
 		}
@@ -258,6 +317,13 @@ func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas 
 		return err
 	}
 	printEvaluation(ev)
+	if doubles {
+		dev, err := evaluateDoubles(ctx, s, dg)
+		if err != nil {
+			return err
+		}
+		printDoubleEvaluation(dev)
+	}
 	return nil
 }
 
@@ -299,19 +365,20 @@ func chooseFrequencies(ctx context.Context, s *repro.Session, freqsArg string, s
 // diagReport is the machine-readable payload ftdiag -json wraps in the
 // versioned artifact envelope.
 type diagReport struct {
-	Circuit  string                 `json:"circuit"`
-	Omegas   []float64              `json:"omegas"`
-	Fitness  float64                `json:"fitness"`
-	Injected string                 `json:"injected,omitempty"`
-	Rejected *bool                  `json:"rejected,omitempty"`
-	Result   *repro.DiagnosisResult `json:"result,omitempty"`
-	Eval     *repro.Evaluation      `json:"evaluation,omitempty"`
+	Circuit    string                 `json:"circuit"`
+	Omegas     []float64              `json:"omegas"`
+	Fitness    float64                `json:"fitness"`
+	Injected   string                 `json:"injected,omitempty"`
+	Rejected   *bool                  `json:"rejected,omitempty"`
+	Result     *repro.DiagnosisResult `json:"result,omitempty"`
+	Eval       *repro.Evaluation      `json:"evaluation,omitempty"`
+	DoubleEval *repro.Evaluation      `json:"double_evaluation,omitempty"`
 }
 
-// diagnoseJSON runs the single-fault diagnosis and renders the envelope.
-// A nil dg is built live from the session; a non-nil one (the
-// -load-dictionary path) is used as-is.
-func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, fit float64, f repro.Fault, rejectRatio float64) ([]byte, error) {
+// diagnoseJSON runs the injected-fault diagnosis (single or multiple)
+// and renders the envelope. A nil dg is built live from the session; a
+// non-nil one (the -load-dictionary path) is used as-is.
+func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, fit float64, set repro.FaultSet, rejectRatio float64) ([]byte, error) {
 	if dg == nil {
 		var err error
 		dg, err = s.Diagnoser(ctx, omegas)
@@ -319,7 +386,7 @@ func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, om
 			return nil, err
 		}
 	}
-	res, err := dg.DiagnoseFault(s.Dictionary(), f)
+	res, err := dg.DiagnoseSet(s.Dictionary(), set)
 	if err != nil {
 		return nil, err
 	}
@@ -327,7 +394,7 @@ func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, om
 		Circuit:  s.CUT().Circuit.Name(),
 		Omegas:   omegas,
 		Fitness:  fit,
-		Injected: f.ID(),
+		Injected: set.ID(),
 		Result:   res,
 	}
 	if rejectRatio > 0 {
@@ -337,17 +404,19 @@ func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, om
 	return s.EncodeArtifact(repro.KindDiagnosisReport, rep)
 }
 
-// evaluateJSON runs the hold-out evaluation and renders the envelope.
-// A nil dg is built live from the session; a non-nil one (the
-// -load-dictionary path) evaluates against the loaded map.
-func evaluateJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, fit float64) ([]byte, error) {
-	var ev *repro.Evaluation
-	var err error
+// evaluateJSON runs the hold-out evaluation (plus the double-fault one
+// when requested) and renders the envelope. A nil dg is built live from
+// the session; a non-nil one (the -load-dictionary path) evaluates
+// against the loaded map. Either way one map serves both evaluations.
+func evaluateJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, fit float64, doubles bool) ([]byte, error) {
 	if dg == nil {
-		ev, err = s.Evaluate(ctx, omegas, nil)
-	} else {
-		ev, err = dg.Evaluate(ctx, s.Dictionary(), diagnosis.HoldOutTrials(s.Dictionary().Universe(), diagnosis.DefaultHoldOutDeviations()))
+		var err error
+		dg, err = s.Diagnoser(ctx, omegas)
+		if err != nil {
+			return nil, err
+		}
 	}
+	ev, err := dg.Evaluate(ctx, s.Dictionary(), diagnosis.HoldOutTrials(s.Dictionary().Universe(), diagnosis.DefaultHoldOutDeviations()))
 	if err != nil {
 		return nil, err
 	}
@@ -356,6 +425,12 @@ func evaluateJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, om
 		Omegas:  omegas,
 		Fitness: fit,
 		Eval:    ev,
+	}
+	if doubles {
+		rep.DoubleEval, err = evaluateDoubles(ctx, s, dg)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return s.EncodeArtifact(repro.KindDiagnosisReport, rep)
 }

@@ -286,14 +286,14 @@ func TestLoadDictionaryFlow(t *testing.T) {
 	realStdout := os.Stdout
 	os.Stdout = devnull
 	defer func() { os.Stdout = realStdout }()
-	if err := runFromArtifact(ctx, s, path, omegas, "R3@+25%", 0.02, true, devnull); err != nil {
+	if err := runFromArtifact(ctx, s, path, omegas, "R3@+25%", 0.02, true, false, devnull); err != nil {
 		t.Fatal(err)
 	}
 	other, err := buildSession("sallen-key-lp", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runFromArtifact(ctx, other, path, omegas, "", 0, true, devnull); !errors.Is(err, repro.ErrStaleArtifact) {
+	if err := runFromArtifact(ctx, other, path, omegas, "", 0, true, false, devnull); !errors.Is(err, repro.ErrStaleArtifact) {
 		t.Fatalf("stale artifact err = %v, want ErrStaleArtifact", err)
 	}
 }
@@ -305,7 +305,7 @@ func TestEvaluateJSONShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	data, err := evaluateJSON(ctx, s, nil, []float64{0.56, 4.55}, 1)
+	data, err := evaluateJSON(ctx, s, nil, []float64{0.56, 4.55}, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,52 +37,73 @@ import (
 	"repro/internal/serve"
 )
 
+// options collects the serving configuration the flags map onto.
+type options struct {
+	addr       string
+	cuts       string
+	arts       string
+	freqsArg   string
+	seed       int64
+	full       bool
+	doubles    bool
+	maxDoubles int
+	workers    int
+	lru        int
+	flush      time.Duration
+	maxBatch   int
+	queue      int
+	drain      time.Duration
+}
+
 func main() {
-	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		cuts     = flag.String("cuts", "", "comma-separated CUT names to preload at startup ('all' for every benchmark; others load lazily)")
-		arts     = flag.String("artifacts", "", "directory of saved artifacts to warm-start CUTs from")
-		freqsArg = flag.String("freqs", "", "fixed test frequencies in rad/s for every CUT (default: GA-optimized per CUT)")
-		seed     = flag.Int64("seed", 1, "GA random seed for optimized test vectors")
-		full     = flag.Bool("full", false, "use the paper's full 128x15 GA for optimized test vectors")
-		workers  = flag.Int("workers", 0, "worker bound per session (0 = one per CPU)")
-		lru      = flag.Int("lru", serve.DefaultCapacity, "max CUTs resident in the registry")
-		flush    = flag.Duration("flush", 2*time.Millisecond, "micro-batch flush window")
-		maxBatch = flag.Int("max-batch", 64, "max requests per micro-batch")
-		queue    = flag.Int("queue", 256, "bounded diagnose queue size per CUT")
-		drain    = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
-		version  = flag.Bool("version", false, "print version and exit")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.cuts, "cuts", "", "comma-separated CUT names to preload at startup ('all' for every benchmark; others load lazily)")
+	flag.StringVar(&o.arts, "artifacts", "", "directory of saved artifacts to warm-start CUTs from")
+	flag.StringVar(&o.freqsArg, "freqs", "", "fixed test frequencies in rad/s for every CUT (default: GA-optimized per CUT)")
+	flag.Int64Var(&o.seed, "seed", 1, "GA random seed for optimized test vectors")
+	flag.BoolVar(&o.full, "full", false, "use the paper's full 128x15 GA for optimized test vectors")
+	flag.BoolVar(&o.doubles, "double-faults", false, "model double faults: maps gain pair trajectories and {\"faults\":[...]} injections are named")
+	flag.IntVar(&o.maxDoubles, "max-double-faults", 0, "cap the modeled double-fault universe per CUT (0 = no cap)")
+	flag.IntVar(&o.workers, "workers", 0, "worker bound per session (0 = one per CPU)")
+	flag.IntVar(&o.lru, "lru", serve.DefaultCapacity, "max CUTs resident in the registry")
+	flag.DurationVar(&o.flush, "flush", 2*time.Millisecond, "micro-batch flush window")
+	flag.IntVar(&o.maxBatch, "max-batch", 64, "max requests per micro-batch")
+	flag.IntVar(&o.queue, "queue", 256, "bounded diagnose queue size per CUT")
+	flag.DurationVar(&o.drain, "drain", 15*time.Second, "graceful shutdown drain timeout")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println(repro.VersionString("ftserve"))
 		return
 	}
-	if err := run(*addr, *cuts, *arts, *freqsArg, *seed, *full, *workers, *lru, *flush, *maxBatch, *queue, *drain, nil); err != nil {
+	if err := run(o, nil); err != nil {
 		log.Fatalf("ftserve: %v", err)
 	}
 }
 
 // run builds and serves until SIGINT/SIGTERM, then drains. ready, when
 // non-nil, receives the bound address once the listener is up (tests).
-func run(addr, cuts, arts, freqsArg string, seed int64, full bool, workers, lru int, flush time.Duration, maxBatch, queue int, drain time.Duration, ready chan<- string) error {
-	freqs, err := parseFreqs(freqsArg)
+func run(o options, ready chan<- string) error {
+	freqs, err := parseFreqs(o.freqsArg)
 	if err != nil {
 		return err
 	}
 	cfg := serve.Config{
-		Capacity: lru,
+		Capacity: o.lru,
 		Version:  repro.VersionString("ftserve"),
 		Build: serve.BuildConfig{
-			Workers:     workers,
-			Freqs:       freqs,
-			Seed:        seed,
-			FullGA:      full,
-			ArtifactDir: arts,
+			Workers:         o.workers,
+			Freqs:           freqs,
+			Seed:            o.seed,
+			FullGA:          o.full,
+			DoubleFaults:    o.doubles,
+			MaxDoubleFaults: o.maxDoubles,
+			ArtifactDir:     o.arts,
 			Scheduler: serve.SchedulerConfig{
-				FlushWindow: flush,
-				MaxBatch:    maxBatch,
-				QueueSize:   queue,
+				FlushWindow: o.flush,
+				MaxBatch:    o.maxBatch,
+				QueueSize:   o.queue,
 			},
 		},
 	}
@@ -91,7 +112,7 @@ func run(addr, cuts, arts, freqsArg string, seed int64, full bool, workers, lru 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if names := preloadNames(cuts); len(names) > 0 {
+	if names := preloadNames(o.cuts); len(names) > 0 {
 		log.Printf("preloading %s", strings.Join(names, ", "))
 		if err := srv.Preload(ctx, names); err != nil {
 			srv.Close()
@@ -99,15 +120,16 @@ func run(addr, cuts, arts, freqsArg string, seed int64, full bool, workers, lru 
 		}
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		srv.Close()
 		return err
 	}
 	log.Printf("%s", cfg.Version)
-	log.Printf("serving on %s (flush %s, max batch %d, queue %d, lru %d)", ln.Addr(), flush, maxBatch, queue, lru)
+	log.Printf("serving on %s (flush %s, max batch %d, queue %d, lru %d, double faults %v)",
+		ln.Addr(), o.flush, o.maxBatch, o.queue, o.lru, o.doubles)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -123,8 +145,8 @@ func run(addr, cuts, arts, freqsArg string, seed int64, full bool, workers, lru 
 	// Graceful drain: stop accepting, let in-flight handlers finish
 	// (their queued requests flush through the batchers), then stop the
 	// registry.
-	log.Printf("shutdown: draining in-flight requests (timeout %s)", drain)
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("shutdown: draining in-flight requests (timeout %s)", o.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(dctx)
 	srv.Close()

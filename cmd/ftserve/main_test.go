@@ -46,8 +46,11 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", "nf-lowpass-7", "", "0.56,4.55",
-			1, false, 1, 4, 20*time.Millisecond, 64, 256, 10*time.Second, ready)
+		done <- run(options{
+			addr: "127.0.0.1:0", cuts: "nf-lowpass-7", freqsArg: "0.56,4.55",
+			seed: 1, workers: 1, lru: 4, flush: 20 * time.Millisecond,
+			maxBatch: 64, queue: 256, drain: 10 * time.Second,
+		}, ready)
 	}()
 	var addr string
 	select {

@@ -20,20 +20,63 @@ import (
 	"repro/internal/trajectory"
 )
 
-// Candidate is one component's claim on an observed fault point. The
-// JSON tags define the machine-readable report schema (ftdiag -json).
+// Candidate is one fault hypothesis' claim on an observed fault point:
+// a single component, or — when the map models multi-fault families — a
+// named set of simultaneously faulted components. The JSON tags define
+// the machine-readable report schema (ftdiag -json); the multi-fault
+// fields are omitted empty, so single-fault reports are unchanged.
 type Candidate struct {
-	// Component is the candidate faulty component.
+	// Component is the candidate faulty component; for a multi-fault
+	// candidate it is the family label (e.g. "C1@-20%+R3").
 	Component string `json:"component"`
+	// Components lists every faulted part of a multi-fault candidate in
+	// canonical order (nil ⇒ a single fault on Component).
+	Components []string `json:"components,omitempty"`
 	// Distance is the point's distance to the trajectory (to the
 	// perpendicular foot when one exists, else to the nearest endpoint).
 	Distance float64 `json:"distance"`
 	// Deviation is the estimated fractional deviation at the projection
-	// foot.
+	// foot (the swept part's, for a multi-fault candidate).
 	Deviation float64 `json:"deviation"`
+	// Deviations holds the per-part deviation estimates of a multi-fault
+	// candidate, aligned with Components. Frozen parts carry their
+	// family's modeled deviation (grid resolution); the swept part is
+	// interpolated like a single-fault estimate.
+	Deviations []float64 `json:"deviations,omitempty"`
 	// Perpendicular reports whether a perpendicular foot exists inside
 	// some segment of the trajectory (the paper's preferred evidence).
 	Perpendicular bool `json:"perpendicular"`
+}
+
+// IsMulti reports whether the candidate names a multiple fault.
+func (c Candidate) IsMulti() bool { return len(c.Components) > 0 }
+
+// Key is the candidate's component-set identity: the faulted components
+// joined with "+" ("R3", "C1+R3"), independent of deviation estimates.
+// Candidates from different sweep families of one pair share a Key, and
+// Diagnose keeps only the best per Key, so comparing Key against
+// SetKey of an injected fault decides correctness.
+func (c Candidate) Key() string {
+	if !c.IsMulti() {
+		return c.Component
+	}
+	return strings.Join(c.Components, "+")
+}
+
+// SetKey is the component-set identity of a fault set, matching
+// Candidate.Key ("golden" for the empty set). Multi parts are already
+// canonically sorted; single faults are their component.
+func SetKey(set fault.Set) string {
+	parts := set.Parts()
+	if len(parts) == 0 {
+		return "golden"
+	}
+	comps := make([]string, len(parts))
+	for i, p := range parts {
+		comps[i] = p.Component
+	}
+	sort.Strings(comps)
+	return strings.Join(comps, "+")
 }
 
 // Result is a ranked diagnosis.
@@ -90,12 +133,16 @@ func (r *Result) String() string {
 }
 
 // Rejected reports whether the diagnosis should be distrusted: the
-// observed point is farther from every known single-fault trajectory
-// than ratio × the map's extent. Points from multiple simultaneous
-// faults, gross measurement errors, or fault classes outside the
-// dictionary land here — the honest alternative to confidently naming
-// the wrong component. A ratio around 0.02–0.05 works well in practice
-// (see experiment E10).
+// observed point is farther from every modeled fault trajectory than
+// ratio × the map's extent. What lands here depends on what the map
+// models: against a single-fault map, multiple simultaneous faults are
+// rejected; against a map with double-fault families (trajectory
+// BuildPairs, Session WithDoubleFaults), doubles are named like any
+// other fault and rejection means "not in the modeled universe" —
+// triples, gross measurement errors, fault classes outside the
+// dictionary. Either way it is the honest alternative to confidently
+// naming the wrong fault. A ratio around 0.02–0.05 works well in
+// practice (see experiment E10).
 func (r *Result) Rejected(extent, ratio float64) bool {
 	if len(r.Candidates) == 0 {
 		return true
@@ -151,6 +198,10 @@ func (d *Diagnoser) Diagnose(point geometry.VecN) (*Result, error) {
 			cand.Distance = proj.Dist
 			cand.Deviation = tr.DeviationAt(seg, proj.T)
 		}
+		if tr.IsMulti() {
+			cand.Components = append([]string(nil), tr.Components...)
+			cand.Deviations = append(append([]float64(nil), tr.FixedDeviations...), cand.Deviation)
+		}
 		res.Candidates = append(res.Candidates, cand)
 	}
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
@@ -162,6 +213,19 @@ func (d *Diagnoser) Diagnose(point geometry.VecN) (*Result, error) {
 		}
 		return a.Distance < b.Distance
 	})
+	// A pair's sweep families all claim the same component set; keep only
+	// the best-ranked claim per Key so the ranking reads as distinct
+	// hypotheses. Single-fault maps have unique keys, so this is a no-op
+	// there.
+	seen := make(map[string]bool, len(res.Candidates))
+	kept := res.Candidates[:0]
+	for _, c := range res.Candidates {
+		if k := c.Key(); !seen[k] {
+			seen[k] = true
+			kept = append(kept, c)
+		}
+	}
+	res.Candidates = kept
 	return res, nil
 }
 
@@ -214,6 +278,41 @@ func (d *Diagnoser) DiagnoseFaults(ctx context.Context, dict *dictionary.Diction
 	}
 	out := make([]*Result, len(faults))
 	for i := range faults {
+		res, err := d.Diagnose(geometry.VecN(sigs[i]))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// DiagnoseSet computes the fault set's signature from the dictionary at
+// the map's test vector and diagnoses it — DiagnoseFault generalized to
+// golden, single, or multiple faults.
+func (d *Diagnoser) DiagnoseSet(dict *dictionary.Dictionary, set fault.Set) (*Result, error) {
+	sig, err := dict.SignatureSet(set, d.m.Omegas)
+	if err != nil {
+		return nil, err
+	}
+	return d.Diagnose(geometry.VecN(sig))
+}
+
+// DiagnoseSets computes the signatures of every given fault set in one
+// batched rank-k solve at the map's test vector and diagnoses each,
+// returning results aligned with the input — DiagnoseFaults generalized
+// to mixed single and multiple faults, with the same shared-read
+// concurrency contract and batched-equals-one-at-a-time guarantee.
+func (d *Diagnoser) DiagnoseSets(ctx context.Context, dict *dictionary.Dictionary, sets []fault.Set) ([]*Result, error) {
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("diagnosis: no faults")
+	}
+	sigs, err := dict.SignaturesSets(ctx, sets, d.m.Omegas)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(sets))
+	for i := range sets {
 		res, err := d.Diagnose(geometry.VecN(sigs[i]))
 		if err != nil {
 			return nil, err
@@ -320,6 +419,90 @@ func (d *Diagnoser) Evaluate(ctx context.Context, dict *dictionary.Dictionary, t
 	return ev, nil
 }
 
+// EvaluateSets is Evaluate over arbitrary fault-set trials — the way a
+// double-fault trajectory map's top-1 accuracy is measured. A trial
+// counts as correct when the top candidate's Key names exactly the
+// trial's faulted component set (SetKey); Confusion and PerComponent are
+// keyed by those set keys ("C1+R3"). MeanDevError averages the per-part
+// |estimated − true| deviation over the correctly named trials. Trial
+// signatures are computed in one batched rank-k solve; cancellation
+// semantics match Evaluate.
+func (d *Diagnoser) EvaluateSets(ctx context.Context, dict *dictionary.Dictionary, trials []fault.Set) (*Evaluation, error) {
+	if len(trials) == 0 {
+		return nil, fmt.Errorf("diagnosis: no trial faults")
+	}
+	sigs, err := dict.SignaturesSets(ctx, trials, d.m.Omegas)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{
+		Confusion:    make(map[string]map[string]int),
+		PerComponent: make(map[string]*ComponentScore),
+	}
+	var devErrSum float64
+	for ti, set := range trials {
+		res, err := d.Diagnose(geometry.VecN(sigs[ti]))
+		if err != nil {
+			return nil, err
+		}
+		best := res.Best()
+		want := SetKey(set)
+		ev.Total++
+		if ev.Confusion[want] == nil {
+			ev.Confusion[want] = make(map[string]int)
+		}
+		ev.Confusion[want][best.Key()]++
+		cs := ev.PerComponent[want]
+		if cs == nil {
+			cs = &ComponentScore{}
+			ev.PerComponent[want] = cs
+		}
+		cs.Total++
+		if best.Key() == want {
+			ev.Correct++
+			cs.Correct++
+			devErrSum += setDevError(set, best)
+		}
+		for i, c := range res.Candidates {
+			if i > 1 {
+				break
+			}
+			if c.Key() == want {
+				ev.TopTwo++
+				break
+			}
+		}
+	}
+	if ev.Correct > 0 {
+		ev.MeanDevError = devErrSum / float64(ev.Correct)
+	}
+	return ev, nil
+}
+
+// setDevError averages |estimated − true| deviation across the parts of
+// a correctly named trial. The candidate's Key matched the trial's, so
+// both sides name the same components; estimates are matched to true
+// parts by component.
+func setDevError(set fault.Set, c Candidate) float64 {
+	parts := set.Parts()
+	if len(parts) == 0 {
+		return 0
+	}
+	est := func(comp string) float64 {
+		for i, cc := range c.Components {
+			if cc == comp {
+				return c.Deviations[i]
+			}
+		}
+		return c.Deviation // single-fault candidate
+	}
+	var sum float64
+	for _, p := range parts {
+		sum += math.Abs(est(p.Component) - p.Deviation)
+	}
+	return sum / float64(len(parts))
+}
+
 // ConfusionTable renders the confusion matrix with components sorted.
 func (e *Evaluation) ConfusionTable() string {
 	comps := make([]string, 0, len(e.Confusion))
@@ -378,4 +561,23 @@ func HoldOutTrials(u *fault.Universe, deviations []float64) []fault.Fault {
 // paper's ±10..40% grid points.
 func DefaultHoldOutDeviations() []float64 {
 	return []float64{-0.35, -0.25, -0.15, 0.15, 0.25, 0.35}
+}
+
+// HoldOutPairTrials builds the double-fault analogue of HoldOutTrials:
+// every component pair of the universe swept over the given deviations
+// (nil → DefaultHoldOutDeviations, exercising interpolation off the
+// modeled pair grid), capped at max sets (≤ 0 → no cap).
+func HoldOutPairTrials(u *fault.Universe, deviations []float64, max int) ([]fault.Set, error) {
+	if deviations == nil {
+		deviations = DefaultHoldOutDeviations()
+	}
+	pairs, err := u.Pairs(deviations, max)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fault.Set, len(pairs))
+	for i, p := range pairs {
+		out[i] = p
+	}
+	return out, nil
 }

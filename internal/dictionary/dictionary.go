@@ -5,8 +5,9 @@
 //
 // Responses are computed by the batched solver in internal/engine: the
 // golden circuit is compiled once into a stamp template, a fault is a
-// rank-1 coefficient patch, and whole (fault × frequency) grids are
-// filled with one golden factorization per frequency. The GA probes
+// rank-1 coefficient patch (a k-component multiple fault a rank-k one),
+// and whole (fault × frequency) grids are filled with one golden
+// factorization per frequency. The GA probes
 // responses at arbitrary candidate frequencies, so the dictionary
 // evaluates lazily instead of precomputing a fixed grid; a fixed grid can
 // still be precomputed with BuildGrid for reporting (Figure 1) or export.
@@ -151,7 +152,15 @@ func (d *Dictionary) ScalarResponse(f fault.Fault, omega float64) (float64, erro
 // it first — callers comparing exports bit-for-bit should produce them
 // through the same call sequence.
 func (d *Dictionary) Response(f fault.Fault, omega float64) (float64, error) {
-	id := f.ID()
+	return d.ResponseSet(f, omega)
+}
+
+// ResponseSet is Response over an arbitrary fault set — golden, single,
+// or multiple fault. Memo keys are the set's stable ID, so single-fault
+// entries are shared with Response and a multi-fault grid coexists with
+// the single-fault one in the same memo.
+func (d *Dictionary) ResponseSet(set fault.Set, omega float64) (float64, error) {
+	id := set.ID()
 	d.mu.Lock()
 	if byW, ok := d.memo[id]; ok {
 		if v, ok := byW[omega]; ok {
@@ -161,7 +170,7 @@ func (d *Dictionary) Response(f fault.Fault, omega float64) (float64, error) {
 	}
 	d.mu.Unlock()
 
-	mag, err := d.eng.Response(f, omega)
+	mag, err := d.eng.ResponseSet(set, omega)
 	if err != nil {
 		return 0, fmt.Errorf("dictionary: %w", err)
 	}
@@ -203,12 +212,18 @@ func (d *Dictionary) GoldenResponse(omega float64) (float64, error) {
 // vector of |H_fault(ωi)| − |H_golden(ωi)| over the test frequencies.
 // Per the paper's simplification, the golden response sits at the origin.
 func (d *Dictionary) Signature(f fault.Fault, omegas []float64) ([]float64, error) {
+	return d.SignatureSet(f, omegas)
+}
+
+// SignatureSet is Signature over an arbitrary fault set (memoized, like
+// ResponseSet).
+func (d *Dictionary) SignatureSet(set fault.Set, omegas []float64) ([]float64, error) {
 	if len(omegas) == 0 {
 		return nil, fmt.Errorf("dictionary: empty test vector")
 	}
 	out := make([]float64, len(omegas))
 	for i, w := range omegas {
-		fm, err := d.Response(f, w)
+		fm, err := d.ResponseSet(set, w)
 		if err != nil {
 			return nil, err
 		}
@@ -281,6 +296,30 @@ func (d *Dictionary) BuildGridProgress(ctx context.Context, omegas []float64, wo
 	return nil
 }
 
+// BuildGridSets precomputes the responses of arbitrary fault sets (plus
+// the golden row) on a frequency grid via the batched rank-k engine and
+// lands them in the memo under each set's ID — the multi-fault analogue
+// of BuildGrid, used to extend a dictionary grid with a double-fault
+// universe before Snapshot. Cancellation semantics match BuildGrid.
+func (d *Dictionary) BuildGridSets(ctx context.Context, sets []fault.Set, omegas []float64, workers int) error {
+	batch, err := d.eng.BatchResponsesSets(ctx, sets, omegas, workers)
+	if err != nil {
+		return fmt.Errorf("dictionary: %w", err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for j, w := range omegas {
+		d.memoize("golden", w, batch.Golden[j])
+	}
+	for i, set := range sets {
+		id := set.ID()
+		for j, w := range omegas {
+			d.memoize(id, w, batch.Mags[i][j])
+		}
+	}
+	return nil
+}
+
 // SignatureScratch owns the reusable storage behind the memo-bypassing
 // SignaturesInto/UniverseSignaturesInto paths: the engine batch and the
 // signature rows (headers resliced over one flat backing array). The zero
@@ -326,9 +365,15 @@ func (d *Dictionary) SignaturesInto(ctx context.Context, faults []fault.Fault, o
 	if err := d.eng.BatchResponsesInto(ctx, faults, omegas, 1, &s.batch); err != nil {
 		return nil, fmt.Errorf("dictionary: %w", err)
 	}
+	return s.finishRows(len(faults), omegas), nil
+}
+
+// finishRows turns the scratch's filled batch into signature rows
+// (mag − golden), reusing the scratch's flat backing.
+func (s *SignatureScratch) finishRows(n int, omegas []float64) [][]float64 {
 	nw := len(omegas)
-	s.flat = sliceutil.Grow(s.flat, len(faults)*nw)
-	s.rows = sliceutil.Grow(s.rows, len(faults))
+	s.flat = sliceutil.Grow(s.flat, n*nw)
+	s.rows = sliceutil.Grow(s.rows, n)
 	golden := s.batch.Golden
 	for i := range s.rows {
 		row := s.flat[i*nw : (i+1)*nw : (i+1)*nw]
@@ -338,7 +383,7 @@ func (d *Dictionary) SignaturesInto(ctx context.Context, faults []fault.Fault, o
 		}
 		s.rows[i] = row
 	}
-	return s.rows, nil
+	return s.rows
 }
 
 // UniverseSignatures computes the signature of every fault in the
@@ -353,6 +398,32 @@ func (d *Dictionary) UniverseSignatures(ctx context.Context, omegas []float64) (
 // reuse path trajectory.Builder rides on.
 func (d *Dictionary) UniverseSignaturesInto(ctx context.Context, omegas []float64, s *SignatureScratch) ([][]float64, error) {
 	return d.SignaturesInto(ctx, d.faults, omegas, s)
+}
+
+// SignaturesSets computes the signature points of arbitrary fault sets —
+// golden, single, or multiple faults, freely mixed — in one batched
+// rank-k solve. Row i is |H_sets[i](ω)| − |H_golden(ω)| over omegas.
+// Like Signatures it bypasses the memo.
+func (d *Dictionary) SignaturesSets(ctx context.Context, sets []fault.Set, omegas []float64) ([][]float64, error) {
+	var s SignatureScratch
+	rows, err := d.SignaturesSetsInto(ctx, sets, omegas, &s)
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil // the scratch is fresh, so the rows are not shared
+}
+
+// SignaturesSetsInto is SignaturesSets writing into caller-owned scratch
+// (see SignaturesInto for the aliasing, memo, and inline-solve
+// contract).
+func (d *Dictionary) SignaturesSetsInto(ctx context.Context, sets []fault.Set, omegas []float64, s *SignatureScratch) ([][]float64, error) {
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("dictionary: empty test vector")
+	}
+	if err := d.eng.BatchResponsesSetsInto(ctx, sets, omegas, 1, &s.batch); err != nil {
+		return nil, fmt.Errorf("dictionary: %w", err)
+	}
+	return s.finishRows(len(sets), omegas), nil
 }
 
 // Entry is one exported dictionary row.
@@ -376,22 +447,31 @@ type Export struct {
 // Snapshot evaluates (memoized) the grid and returns an Export with the
 // golden row first and fault rows in universe order.
 func (d *Dictionary) Snapshot(omegas []float64) (*Export, error) {
+	return d.SnapshotSets(omegas, nil)
+}
+
+// SnapshotSets is Snapshot with extra fault sets appended after the
+// single-fault universe rows — the export path for multi-fault grids.
+// Set rows are keyed by their stable IDs (e.g. "C1@-20%+R3@+30%"),
+// which ParseSetID inverts, so an exported multi-fault grid round-trips
+// through ParseExport and trajectory.BuildFromExport.
+func (d *Dictionary) SnapshotSets(omegas []float64, sets []fault.Set) (*Export, error) {
 	ex := &Export{
 		Circuit: d.golden.Name(),
 		Source:  d.source,
 		Output:  d.output,
 		Omegas:  append([]float64(nil), omegas...),
 	}
-	row := func(f fault.Fault) (Entry, error) {
+	row := func(set fault.Set) (Entry, error) {
 		mags := make([]float64, len(omegas))
 		for i, w := range omegas {
-			m, err := d.Response(f, w)
+			m, err := d.ResponseSet(set, w)
 			if err != nil {
 				return Entry{}, err
 			}
 			mags[i] = m
 		}
-		return Entry{ID: f.ID(), Mags: mags}, nil
+		return Entry{ID: set.ID(), Mags: mags}, nil
 	}
 	g, err := row(fault.Fault{})
 	if err != nil {
@@ -400,6 +480,13 @@ func (d *Dictionary) Snapshot(omegas []float64) (*Export, error) {
 	ex.Entries = append(ex.Entries, g)
 	for _, f := range d.universe.Faults() {
 		e, err := row(f)
+		if err != nil {
+			return nil, err
+		}
+		ex.Entries = append(ex.Entries, e)
+	}
+	for _, set := range sets {
+		e, err := row(set)
 		if err != nil {
 			return nil, err
 		}

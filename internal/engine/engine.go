@@ -17,8 +17,8 @@ import (
 )
 
 // denGuard is the relative threshold below which a Sherman–Morrison
-// denominator counts as ill-conditioned and the fault falls back to a
-// full factorization.
+// denominator (rank 1) or a capacitance-matrix pivot (rank k) counts as
+// ill-conditioned and the fault falls back to a full factorization.
 const denGuard = 1e-3
 
 // cancelGuard flags catastrophic cancellation in the rank-1 correction:
@@ -110,29 +110,59 @@ func (e *Engine) resolve(f fault.Fault) (int, float64, error) {
 // Sherman–Morrison shortcut. This is the reference the batch path must
 // agree with, and the path Dictionary.Response memoizes behind.
 func (e *Engine) Response(f fault.Fault, omega float64) (float64, error) {
+	return e.ResponseSet(f, omega)
+}
+
+// ResponseSet computes |H(jω)| for one fault set exactly: the template
+// is patched at every part's slot and the full system factored — no
+// Woodbury shortcut. This is the full-LU reference the batched rank-k
+// path must agree with (≤ 1e-9 relative, pinned by tests on every
+// built-in CUT), and the path Dictionary.ResponseSet memoizes behind.
+func (e *Engine) ResponseSet(set fault.Set, omega float64) (float64, error) {
 	if err := checkOmega(omega); err != nil {
 		return 0, err
 	}
-	si, fv, err := e.resolve(f)
-	if err != nil {
-		return 0, err
+	parts := set.Parts()
+	if err := checkDistinct(parts); err != nil {
+		return 0, fmt.Errorf("engine: fault %s: %w", set.ID(), err)
 	}
 	s := complex(0, omega)
 	m := numeric.NewMatrix(e.tmpl.n, e.tmpl.n)
 	e.tmpl.stampGolden(m, s)
-	if si >= 0 {
+	for _, p := range parts {
+		si, fv, err := e.resolve(p)
+		if err != nil {
+			return 0, err
+		}
+		if si < 0 {
+			continue
+		}
 		sl := &e.tmpl.slots[si]
 		e.tmpl.addRank1(m, sl, sl.coeff(fv, s)-sl.coeff(sl.value, s))
 	}
 	lu, err := numeric.FactorInPlace(m)
 	if err != nil {
-		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", f.ID(), omega, err)
+		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", set.ID(), omega, err)
 	}
 	x, err := lu.Solve(e.tmpl.b)
 	if err != nil {
-		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", f.ID(), omega, err)
+		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", set.ID(), omega, err)
 	}
 	return cmplx.Abs(e.out(x) / e.amp), nil
+}
+
+// checkDistinct rejects fault sets touching one component twice: the
+// deviations would silently compose multiplicatively, which no caller
+// means.
+func checkDistinct(parts []fault.Fault) error {
+	for i := range parts {
+		for j := i + 1; j < len(parts); j++ {
+			if parts[i].Component == parts[j].Component {
+				return fmt.Errorf("component %q faulted twice", parts[i].Component)
+			}
+		}
+	}
+	return nil
 }
 
 // GoldenResponse computes the nominal |H(jω)|.
@@ -167,9 +197,13 @@ type Batch struct {
 	// magsFlat is the contiguous backing store behind the Mags rows: row i
 	// is magsFlat[i*len(Omegas) : (i+1)*len(Omegas)].
 	magsFlat []float64
-	// Per-call fault-resolution scratch, reused across fills.
-	slotOf   []int     // fault index → template slot (-1 golden)
-	valOf    []float64 // fault index → faulted value
+	// Per-call fault-resolution scratch, reused across fills. A batch
+	// item is a fault *set* of k ≥ 0 (slot, value) parts: item i's parts
+	// are partSlot/partVal[off[i]:off[i+1]] (0 parts ⇒ golden, 1 ⇒ the
+	// rank-1 fast path, k ≥ 2 ⇒ the Woodbury path).
+	off      []int     // item index → first part; len(items)+1 entries
+	partSlot []int     // flattened part slots
+	partVal  []float64 // flattened faulted values
 	distinct []int     // distinct slots present, in first-seen order
 	zSlot    []int     // template slot → z-solve position (-1 absent)
 }
@@ -190,29 +224,37 @@ func (b *Batch) Signatures() [][]float64 {
 
 // workspace is one worker's preallocated scratch: stamped matrix, two
 // factorization targets (golden and fallback) with their reusable LU
-// headers, solution vectors, and one z = A⁻¹u vector per distinct fault
-// slot in the batch.
+// headers, solution vectors, one z = A⁻¹u vector per distinct fault
+// slot in the batch, and the small dense scratch of the rank-k
+// capacitance solves (k is bounded by the slot count, so sizing at
+// nslots covers every batch shape).
 type workspace struct {
-	m   *numeric.Matrix // golden A(s), kept unfactored for fallbacks
-	f   *numeric.Matrix // golden factorization storage
-	f2  *numeric.Matrix // fallback factorization storage
-	lu  numeric.LU      // golden LU header, refactored in place
-	lu2 numeric.LU      // fallback LU header
-	x0  []complex128    // golden solution
-	xf  []complex128    // fallback solution
-	rhs []complex128    // dense u for z-solves
-	z   [][]complex128  // per distinct slot
+	m     *numeric.Matrix // golden A(s), kept unfactored for fallbacks
+	f     *numeric.Matrix // golden factorization storage
+	f2    *numeric.Matrix // fallback factorization storage
+	lu    numeric.LU      // golden LU header, refactored in place
+	lu2   numeric.LU      // fallback LU header
+	x0    []complex128    // golden solution
+	xf    []complex128    // fallback solution
+	rhs   []complex128    // dense u for z-solves
+	z     [][]complex128  // per distinct slot
+	delta []complex128    // per-part coefficient deltas of one item
+	cmat  []complex128    // k×k capacitance matrix (row-major)
+	wvec  []complex128    // capacitance RHS, overwritten with the solution
 }
 
 func newWorkspace(n, nslots int) *workspace {
 	ws := &workspace{
-		m:   numeric.NewMatrix(n, n),
-		f:   numeric.NewMatrix(n, n),
-		f2:  numeric.NewMatrix(n, n),
-		x0:  make([]complex128, n),
-		xf:  make([]complex128, n),
-		rhs: make([]complex128, n),
-		z:   make([][]complex128, nslots),
+		m:     numeric.NewMatrix(n, n),
+		f:     numeric.NewMatrix(n, n),
+		f2:    numeric.NewMatrix(n, n),
+		x0:    make([]complex128, n),
+		xf:    make([]complex128, n),
+		rhs:   make([]complex128, n),
+		z:     make([][]complex128, nslots),
+		delta: make([]complex128, nslots),
+		cmat:  make([]complex128, nslots*nslots),
+		wvec:  make([]complex128, nslots),
 	}
 	for i := range ws.z {
 		ws.z[i] = make([]complex128, n)
@@ -251,7 +293,7 @@ func (e *Engine) BatchResponses(ctx context.Context, faults []fault.Fault, omega
 // must be safe for that; done is a cumulative count, not a column index.
 func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, progress func(done, total int)) (*Batch, error) {
 	out := &Batch{}
-	if err := e.batchInto(ctx, faults, omegas, workers, progress, out); err != nil {
+	if err := e.batchInto(ctx, faults, nil, omegas, workers, progress, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -263,11 +305,47 @@ func (e *Engine) BatchResponsesProgress(ctx context.Context, faults []fault.Faul
 // where every candidate test vector fills the same table shape thousands
 // of times. Results are identical to BatchResponses.
 func (e *Engine) BatchResponsesInto(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, out *Batch) error {
-	return e.batchInto(ctx, faults, omegas, workers, nil, out)
+	return e.batchInto(ctx, faults, nil, omegas, workers, nil, out)
 }
 
-// batchInto fills out with the dense response table, reusing its storage.
-func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, progress func(done, total int), out *Batch) error {
+// BatchResponsesSets is the rank-k generalization of BatchResponses: row
+// i of the table holds |H(jω)| under every part of sets[i] applied
+// simultaneously. Per frequency the golden system is still factored
+// once and one z-solve performed per distinct slot; a k-part item then
+// costs one k×k Sherman–Morrison–Woodbury capacitance solve against
+// those shared vectors, with the same full-refactorization fallback the
+// rank-1 path uses when the update is ill-conditioned. Single-part items
+// take the rank-1 fast path unchanged, so mixing single and multiple
+// faults in one batch costs nothing extra. Concurrency and cancellation
+// semantics match BatchResponses.
+func (e *Engine) BatchResponsesSets(ctx context.Context, sets []fault.Set, omegas []float64, workers int) (*Batch, error) {
+	out := &Batch{}
+	if err := e.batchInto(ctx, nil, sets, omegas, workers, nil, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchResponsesSetsInto is BatchResponsesSets writing into a
+// caller-owned Batch (see BatchResponsesInto for the reuse contract).
+func (e *Engine) BatchResponsesSetsInto(ctx context.Context, sets []fault.Set, omegas []float64, workers int, out *Batch) error {
+	return e.batchInto(ctx, nil, sets, omegas, workers, nil, out)
+}
+
+// itemID names batch item i for error reporting; exactly one of faults
+// and sets is non-nil.
+func itemID(faults []fault.Fault, sets []fault.Set, i int) string {
+	if sets != nil {
+		return sets[i].ID()
+	}
+	return faults[i].ID()
+}
+
+// batchInto fills out with the dense response table, reusing its
+// storage. Exactly one of faults and sets is non-nil; the single-fault
+// form resolves without touching the Set interface (no boxing), which
+// keeps the GA fitness path allocation-free.
+func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fault.Set, omegas []float64, workers int, progress func(done, total int), out *Batch) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -279,15 +357,46 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []f
 			return err
 		}
 	}
-	// Resolve every fault up front: slot index and faulted value.
-	out.slotOf = sliceutil.Grow(out.slotOf, len(faults))
-	out.valOf = sliceutil.Grow(out.valOf, len(faults))
-	for i, f := range faults {
-		si, fv, err := e.resolve(f)
-		if err != nil {
-			return err
+	nitems := len(faults)
+	if sets != nil {
+		nitems = len(sets)
+	}
+	// Resolve every item up front into flattened (slot, value) part
+	// groups: item i owns parts off[i]..off[i+1].
+	out.off = sliceutil.Grow(out.off, nitems+1)
+	out.partSlot = out.partSlot[:0]
+	out.partVal = out.partVal[:0]
+	out.off[0] = 0
+	if sets == nil {
+		for i, f := range faults {
+			si, fv, err := e.resolve(f)
+			if err != nil {
+				return err
+			}
+			if si >= 0 {
+				out.partSlot = append(out.partSlot, si)
+				out.partVal = append(out.partVal, fv)
+			}
+			out.off[i+1] = len(out.partSlot)
 		}
-		out.slotOf[i], out.valOf[i] = si, fv
+	} else {
+		for i, set := range sets {
+			parts := set.Parts()
+			if err := checkDistinct(parts); err != nil {
+				return fmt.Errorf("engine: fault %s: %w", set.ID(), err)
+			}
+			for _, p := range parts {
+				si, fv, err := e.resolve(p)
+				if err != nil {
+					return err
+				}
+				if si >= 0 {
+					out.partSlot = append(out.partSlot, si)
+					out.partVal = append(out.partVal, fv)
+				}
+			}
+			out.off[i+1] = len(out.partSlot)
+		}
 	}
 	// Distinct slots present in the batch get one z-solve per frequency.
 	out.zSlot = sliceutil.Grow(out.zSlot, len(e.tmpl.slots))
@@ -295,8 +404,8 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []f
 		out.zSlot[i] = -1
 	}
 	out.distinct = out.distinct[:0]
-	for _, si := range out.slotOf {
-		if si >= 0 && out.zSlot[si] < 0 {
+	for _, si := range out.partSlot {
+		if out.zSlot[si] < 0 {
 			out.zSlot[si] = len(out.distinct)
 			out.distinct = append(out.distinct, si)
 		}
@@ -305,8 +414,8 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []f
 	out.Omegas = append(out.Omegas[:0], omegas...)
 	out.Golden = sliceutil.Grow(out.Golden, len(omegas))
 	nw := len(omegas)
-	out.magsFlat = sliceutil.Grow(out.magsFlat, len(faults)*nw)
-	out.Mags = sliceutil.Grow(out.Mags, len(faults))
+	out.magsFlat = sliceutil.Grow(out.magsFlat, nitems*nw)
+	out.Mags = sliceutil.Grow(out.Mags, nitems)
 	for i := range out.Mags {
 		out.Mags[i] = out.magsFlat[i*nw : (i+1)*nw : (i+1)*nw]
 	}
@@ -337,7 +446,7 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []f
 			if err := ctx.Err(); err != nil {
 				return rerr.Canceled(err)
 			}
-			if err := e.solveColumn(ws, omegas[j], faults, out, j); err != nil {
+			if err := e.solveColumn(ws, omegas[j], faults, sets, out, j); err != nil {
 				return err
 			}
 			if report != nil {
@@ -346,7 +455,7 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []f
 		}
 		return nil
 	}
-	return e.batchParallel(ctx, faults, omegas, workers, report, out)
+	return e.batchParallel(ctx, faults, sets, omegas, workers, report, out)
 }
 
 // batchParallel is batchInto's worker-pool branch. It lives in its own
@@ -354,7 +463,7 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, omegas []f
 // batchInto's: escape analysis is flow-insensitive, and keeping the
 // captures here is what lets the single-worker GA path run without ctx
 // or progress state escaping to the heap.
-func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, omegas []float64, workers int, report func(), out *Batch) error {
+func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, sets []fault.Set, omegas []float64, workers int, report func(), out *Batch) error {
 	jobs := make(chan int)
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -368,7 +477,7 @@ func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, omegas
 				if ctx.Err() != nil {
 					continue // drain without solving so the producer never blocks
 				}
-				if err := e.solveColumn(ws, omegas[j], faults, out, j); err != nil {
+				if err := e.solveColumn(ws, omegas[j], faults, sets, out, j); err != nil {
 					select {
 					case errs <- err:
 					default:
@@ -409,10 +518,11 @@ feed:
 }
 
 // solveColumn fills column j of the batch table: one golden
-// factorization, one z-solve per distinct slot, then O(1) work per fault.
-// The fault-resolution scratch (slotOf, valOf, distinct, zSlot) is read
-// from out, where batchInto prepared it.
-func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault, out *Batch, j int) error {
+// factorization, one z-solve per distinct slot, then O(k²·n_sparse + k³)
+// work per k-part item (O(1) for the dominant rank-1 case). The
+// item-resolution scratch (off, partSlot, partVal, distinct, zSlot) is
+// read from out, where batchInto prepared it.
+func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, j int) error {
 	s := complex(0, omega)
 	t := e.tmpl
 	t.stampGolden(ws.m, s)
@@ -441,14 +551,21 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 		}
 	}
 
-	for fi := range faults {
-		si := out.slotOf[fi]
-		if si < 0 {
+	for fi := range out.Mags {
+		lo, hi := out.off[fi], out.off[fi+1]
+		if lo == hi {
 			out.Mags[fi][j] = out.Golden[j]
 			continue
 		}
+		if hi-lo > 1 {
+			if err := e.solveItemK(ws, s, omega, faults, sets, out, fi, j, x0out); err != nil {
+				return err
+			}
+			continue
+		}
+		si := out.partSlot[lo]
 		sl := &t.slots[si]
-		delta := sl.coeff(out.valOf[fi], s) - sl.coeff(sl.value, s)
+		delta := sl.coeff(out.partVal[lo], s) - sl.coeff(sl.value, s)
 		if delta == 0 {
 			out.Mags[fi][j] = out.Golden[j]
 			continue
@@ -470,7 +587,7 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 			}
 			t.addRank1(ws.f2, sl, delta)
 			if err := numeric.FactorReuse(&ws.lu2, ws.f2); err != nil {
-				return fmt.Errorf("engine: fault %s at ω=%g: %w", faults[fi].ID(), omega, err)
+				return fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
 			}
 			if err := ws.lu2.SolveInto(ws.xf, t.b); err != nil {
 				return err
@@ -480,4 +597,126 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 		out.Mags[fi][j] = cmplx.Abs(xout / e.amp)
 	}
 	return nil
+}
+
+// solveItemK solves one k ≥ 2 part item of column j by the
+// Sherman–Morrison–Woodbury identity. With the update written as
+// Σ_a δ_a u_a v_aᵀ, the corrected solution is
+//
+//	x = x₀ − Z w,   (I_k + diag(δ) Vᵀ Z) w = diag(δ) Vᵀ x₀,
+//
+// where column b of Z is the already-computed z_b = A⁻¹ u_b shared with
+// every other item touching slot b. Only the k×k capacitance system is
+// new work. An ill-conditioned capacitance matrix (small pivot) or a
+// catastrophic cancellation in the output falls back to an exact
+// refactorization of the patched system — the same guards, and the same
+// fallback, as the rank-1 path.
+func (e *Engine) solveItemK(ws *workspace, s complex128, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, fi, j int, x0out complex128) error {
+	t := e.tmpl
+	lo, hi := out.off[fi], out.off[fi+1]
+	k := hi - lo
+	anyDelta := false
+	for a := 0; a < k; a++ {
+		sl := &t.slots[out.partSlot[lo+a]]
+		d := sl.coeff(out.partVal[lo+a], s) - sl.coeff(sl.value, s)
+		ws.delta[a] = d
+		if d != 0 {
+			anyDelta = true
+		}
+	}
+	if !anyDelta {
+		out.Mags[fi][j] = out.Golden[j]
+		return nil
+	}
+	cm := ws.cmat[:k*k]
+	w := ws.wvec[:k]
+	for a := 0; a < k; a++ {
+		sl := &t.slots[out.partSlot[lo+a]]
+		w[a] = ws.delta[a] * sparseDot(sl.v, ws.x0)
+		for b := 0; b < k; b++ {
+			v := ws.delta[a] * sparseDot(sl.v, ws.z[out.zSlot[out.partSlot[lo+b]]])
+			if a == b {
+				v++
+			}
+			cm[a*k+b] = v
+		}
+	}
+	xout := x0out
+	ok := solveSmall(k, cm, w)
+	if ok && e.outIdx >= 0 {
+		for b := 0; b < k; b++ {
+			xout -= w[b] * ws.z[out.zSlot[out.partSlot[lo+b]]][e.outIdx]
+		}
+	}
+	if !ok || cmplx.Abs(xout) < cancelGuard*cmplx.Abs(x0out) {
+		if err := ws.f2.CopyFrom(ws.m); err != nil {
+			return err
+		}
+		for a := 0; a < k; a++ {
+			t.addRank1(ws.f2, &t.slots[out.partSlot[lo+a]], ws.delta[a])
+		}
+		if err := numeric.FactorReuse(&ws.lu2, ws.f2); err != nil {
+			return fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
+		}
+		if err := ws.lu2.SolveInto(ws.xf, t.b); err != nil {
+			return err
+		}
+		xout = e.out(ws.xf)
+	}
+	out.Mags[fi][j] = cmplx.Abs(xout / e.amp)
+	return nil
+}
+
+// solveSmall solves the k×k dense complex system m·x = r in place
+// (row-major m; r is overwritten with the solution) by Gaussian
+// elimination with partial pivoting. It reports false — leaving the
+// caller to fall back to an exact solve — when a pivot falls below
+// denGuard relative to the matrix magnitude, the analogue of the rank-1
+// denominator guard.
+func solveSmall(k int, m, r []complex128) bool {
+	var norm float64
+	for _, v := range m {
+		if a := cmplx.Abs(v); a > norm {
+			norm = a
+		}
+	}
+	if norm == 0 {
+		return false
+	}
+	for col := 0; col < k; col++ {
+		p, pa := col, cmplx.Abs(m[col*k+col])
+		for row := col + 1; row < k; row++ {
+			if a := cmplx.Abs(m[row*k+col]); a > pa {
+				p, pa = row, a
+			}
+		}
+		if pa < denGuard*norm {
+			return false
+		}
+		if p != col {
+			for c := col; c < k; c++ {
+				m[p*k+c], m[col*k+c] = m[col*k+c], m[p*k+c]
+			}
+			r[p], r[col] = r[col], r[p]
+		}
+		inv := 1 / m[col*k+col]
+		for row := col + 1; row < k; row++ {
+			f := m[row*k+col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col + 1; c < k; c++ {
+				m[row*k+c] -= f * m[col*k+c]
+			}
+			r[row] -= f * r[col]
+		}
+	}
+	for row := k - 1; row >= 0; row-- {
+		v := r[row]
+		for c := row + 1; c < k; c++ {
+			v -= m[row*k+c] * r[c]
+		}
+		r[row] = v / m[row*k+row]
+	}
+	return true
 }

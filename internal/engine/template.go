@@ -9,12 +9,16 @@
 // u_e, v_e are fixed sparse pattern vectors. Every Valued element in this
 // repository — R, C, L, VCVS, VCCS, CCVS, CCCS — contributes to A through
 // exactly one scalar coefficient times a rank-1 pattern, so a parametric
-// fault is a rank-1 perturbation of the golden matrix. Per frequency the
-// engine factors the golden system once and solves every fault in a batch
-// via the Sherman–Morrison identity, falling back to a full LU when the
-// update is ill-conditioned. Frequencies fan out over a worker pool with
-// per-worker scratch workspaces, so a whole dictionary grid costs one
-// O(n³) factorization per frequency instead of one per (fault, frequency).
+// fault is a rank-1 perturbation of the golden matrix and a simultaneous
+// k-component fault is a rank-k one. Per frequency the engine factors
+// the golden system once, performs one z-solve per distinct slot in the
+// batch, and then solves every single fault via the Sherman–Morrison
+// identity and every k-part fault set via the Sherman–Morrison–Woodbury
+// identity (a k×k capacitance system over the shared z vectors), falling
+// back to a full LU when an update is ill-conditioned. Frequencies fan
+// out over a worker pool with per-worker scratch workspaces, so a whole
+// dictionary grid costs one O(n³) factorization per frequency instead of
+// one per (fault, frequency).
 package engine
 
 import (

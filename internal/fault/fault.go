@@ -16,6 +16,19 @@ import (
 	"repro/internal/rerr"
 )
 
+// Set is the fault-set abstraction every diagnosis layer speaks: one
+// named fault hypothesis — the golden circuit, a single parametric
+// Fault, or a simultaneous Multi. IDs are stable (ParseSetID inverts
+// them) and Parts resolves the hypothesis to its per-component
+// deviations, which the engine maps onto template slots.
+type Set interface {
+	// ID renders the stable identifier ("golden", "R3@+20%",
+	// "C1@-20%+R3@+30%").
+	ID() string
+	// Parts lists the individual component deviations (empty for golden).
+	Parts() []Fault
+}
+
 // Fault is a single parametric deviation of one component.
 type Fault struct {
 	// Component is the element name, e.g. "R3".
@@ -39,6 +52,15 @@ func (f Fault) Scale() float64 { return 1 + f.Deviation }
 
 // IsGolden reports whether the fault denotes the nominal circuit.
 func (f Fault) IsGolden() bool { return f.Deviation == 0 }
+
+// Parts implements Set: a golden fault has no parts, a genuine fault is
+// its own single part.
+func (f Fault) Parts() []Fault {
+	if f.IsGolden() {
+		return nil
+	}
+	return []Fault{f}
+}
 
 // ParseID parses an identifier produced by ID (or "golden").
 func ParseID(id string) (Fault, error) {

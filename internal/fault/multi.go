@@ -10,13 +10,18 @@ import (
 )
 
 // Multi is a simultaneous multiple parametric fault — the case the
-// paper's single-fault assumption excludes. The diagnosis stage cannot
-// name such faults, but it can (and should) *reject* them instead of
-// confidently misdiagnosing; see diagnosis.Result.Rejected.
+// paper's single-fault assumption excludes. When the modeled universe
+// includes multi-fault trajectories (see Universe.Pairs and the
+// trajectory package), the diagnosis stage names these like any other
+// fault; points outside the modeled universe are still rejected via
+// diagnosis.Result.Rejected.
 type Multi []Fault
 
 // NewMulti builds a multiple fault after validating that components are
-// distinct and every part is a genuine deviation.
+// distinct and every part is a genuine, injectable deviation — the same
+// construction-time validation single faults get from universe
+// generation, so an invalid multi fails here rather than at apply or
+// solve time.
 func NewMulti(parts ...Fault) (Multi, error) {
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("fault: empty multiple fault")
@@ -25,6 +30,9 @@ func NewMulti(parts ...Fault) (Multi, error) {
 	for _, p := range parts {
 		if p.IsGolden() {
 			return nil, fmt.Errorf("fault: multiple fault includes a zero deviation on %q", p.Component)
+		}
+		if p.Scale() <= 0 {
+			return nil, fmt.Errorf("fault: %s: deviation %+.0f%% makes the value nonpositive", p.Component, p.Deviation*100)
 		}
 		if seen[p.Component] {
 			return nil, fmt.Errorf("fault: component %q faulted twice", p.Component)
@@ -46,7 +54,12 @@ func (m Multi) ID() string {
 	return strings.Join(ids, "+")
 }
 
+// Parts implements Set.
+func (m Multi) Parts() []Fault { return m }
+
 // Apply injects every part into one clone of the golden circuit.
+// Nonpositive scales cannot occur on a NewMulti-built value (rejected at
+// construction); the check remains for hand-assembled literals.
 func (m Multi) Apply(golden *circuit.Circuit) (*circuit.Circuit, error) {
 	if len(m) == 0 {
 		return nil, fmt.Errorf("fault: empty multiple fault")
@@ -61,6 +74,85 @@ func (m Multi) Apply(golden *circuit.Circuit) (*circuit.Circuit, error) {
 		}
 	}
 	return c, nil
+}
+
+// ParseSetID parses an identifier produced by Fault.ID or Multi.ID
+// (or "golden") back into the corresponding fault set — the inverse the
+// dictionary export and the serving wire format round-trip through.
+// Multi-part IDs are split at every "+" that follows a "%" terminator,
+// so deviation signs ("R3@+20%") never act as separators.
+func ParseSetID(id string) (Set, error) {
+	if id == "golden" {
+		return Fault{}, nil
+	}
+	var parts []Fault
+	start := 0
+	for i := 1; i < len(id); i++ {
+		if id[i] == '+' && id[i-1] == '%' {
+			f, err := ParseID(id[start:i])
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, f)
+			start = i + 1
+		}
+	}
+	f, err := ParseID(id[start:])
+	if err != nil {
+		return nil, err
+	}
+	parts = append(parts, f)
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return NewMulti(parts...)
+}
+
+// Pairs enumerates the systematic double-fault universe: every unordered
+// component pair in universe order, each part swept over the given
+// deviation grid (nil → the universe's own grid). The sweep order is
+// canonical — pair (A, B) with A before B in component order, A's
+// deviation outermost, B's innermost — which is what groups the result
+// into the per-(A, B, devA) polylines the trajectory layer builds.
+// max > 0 caps the number of generated multis (a prefix of the
+// systematic order), bounding dictionary and trajectory cost on large
+// universes; max <= 0 means no cap.
+func (u *Universe) Pairs(deviations []float64, max int) ([]Multi, error) {
+	if len(u.Components) < 2 {
+		return nil, fmt.Errorf("fault: double-fault universe needs at least 2 components, have %d", len(u.Components))
+	}
+	devs := deviations
+	if devs == nil {
+		devs = u.Deviations
+	}
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("fault: double-fault universe needs at least one deviation")
+	}
+	total := len(u.Components) * (len(u.Components) - 1) / 2 * len(devs) * len(devs)
+	if max > 0 && max < total {
+		total = max
+	}
+	out := make([]Multi, 0, total)
+	for i := 0; i < len(u.Components); i++ {
+		for j := i + 1; j < len(u.Components); j++ {
+			for _, da := range devs {
+				for _, db := range devs {
+					m, err := NewMulti(
+						Fault{Component: u.Components[i], Deviation: da},
+						Fault{Component: u.Components[j], Deviation: db},
+					)
+					if err != nil {
+						return nil, err
+					}
+					if max > 0 && len(out) >= max {
+						return out, nil
+					}
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // RandomMulti draws a random n-component multiple fault over the

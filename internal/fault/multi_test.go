@@ -19,6 +19,14 @@ func TestNewMultiValidation(t *testing.T) {
 	); err == nil {
 		t.Fatal("duplicate component accepted")
 	}
+	// Nonpositive scale is a construction error, not an apply-time one —
+	// matching single-fault validation in universe generation.
+	if _, err := NewMulti(
+		Fault{Component: "R1", Deviation: -1},
+		Fault{Component: "C1", Deviation: 0.1},
+	); err == nil {
+		t.Fatal("nonpositive scale accepted at construction")
+	}
 	m, err := NewMulti(
 		Fault{Component: "R3", Deviation: 0.3},
 		Fault{Component: "C1", Deviation: -0.2},
@@ -29,6 +37,74 @@ func TestNewMultiValidation(t *testing.T) {
 	// Sorted by component name; ID joins with +.
 	if m.ID() != "C1@-20%+R3@+30%" {
 		t.Fatalf("ID = %q", m.ID())
+	}
+}
+
+func TestParseSetIDRoundTrip(t *testing.T) {
+	for _, id := range []string{"golden", "R3@+25%", "C1@-20%+R3@+30%", "C1@-20%+R2@+10%+R3@+30%"} {
+		s, err := ParseSetID(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if s.ID() != id {
+			t.Fatalf("round-trip %q -> %q", id, s.ID())
+		}
+	}
+	if s, _ := ParseSetID("golden"); len(s.Parts()) != 0 {
+		t.Fatal("golden has parts")
+	}
+	if s, _ := ParseSetID("R3@+25%"); len(s.Parts()) != 1 {
+		t.Fatal("single fault parts != 1")
+	}
+	for _, bad := range []string{"", "R3", "R3@+25%+", "R3@+25%+R3@-10%"} {
+		if _, err := ParseSetID(bad); err == nil {
+			t.Fatalf("malformed id %q accepted", bad)
+		}
+	}
+}
+
+func TestUniversePairs(t *testing.T) {
+	u, err := NewUniverse([]string{"R1", "R2", "C1"}, []float64{-0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := u.Pairs(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 component pairs × 2×2 deviation combos.
+	if len(pairs) != 12 {
+		t.Fatalf("got %d pairs, want 12", len(pairs))
+	}
+	seen := make(map[string]bool)
+	for _, m := range pairs {
+		if len(m) != 2 {
+			t.Fatalf("pair %v has %d parts", m, len(m))
+		}
+		if seen[m.ID()] {
+			t.Fatalf("duplicate pair %s", m.ID())
+		}
+		seen[m.ID()] = true
+	}
+	// Canonical order: first pair sweeps (R1, R2) with R1 outermost.
+	if pairs[0].ID() != "R1@-20%+R2@-20%" || pairs[1].ID() != "R1@-20%+R2@+20%" {
+		t.Fatalf("unexpected order: %s, %s", pairs[0].ID(), pairs[1].ID())
+	}
+	capped, err := u.Pairs(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 5 {
+		t.Fatalf("cap ignored: %d", len(capped))
+	}
+	for i := range capped {
+		if capped[i].ID() != pairs[i].ID() {
+			t.Fatal("cap is not a prefix of the systematic order")
+		}
+	}
+	single, _ := NewUniverse([]string{"R1"}, []float64{0.1})
+	if _, err := single.Pairs(nil, 0); err == nil {
+		t.Fatal("pairs over one component accepted")
 	}
 }
 

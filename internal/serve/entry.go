@@ -54,6 +54,14 @@ type BuildConfig struct {
 	// FullGA selects the paper's full 128×15 GA instead of the quick
 	// 32×10 settings.
 	FullGA bool
+	// DoubleFaults opens every session WithDoubleFaults: trajectory maps
+	// gain the pair sweep families and {"faults": [...]} injections are
+	// diagnosed by name. Artifacts carry a double-fault checksum, so
+	// warm starts only match artifacts saved from double-fault sessions.
+	DoubleFaults bool
+	// MaxDoubleFaults caps the modeled pair universe per CUT (≤ 0 → no
+	// cap); only meaningful with DoubleFaults.
+	MaxDoubleFaults int
 	// ArtifactDir, when non-empty, is scanned once for saved artifacts;
 	// a CUT whose checksum matches a saved trajectory map, test vector,
 	// or dictionary grid warm-starts from it instead of re-simulating.
@@ -88,7 +96,11 @@ func NewEntryBuilder(cfg BuildConfig, m *Metrics) BuildFunc {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrUnknownCUT, err)
 		}
-		s, err := repro.NewSession(cut, repro.WithWorkers(cfg.Workers))
+		opts := []repro.Option{repro.WithWorkers(cfg.Workers)}
+		if cfg.DoubleFaults {
+			opts = append(opts, repro.WithDoubleFaults(cfg.MaxDoubleFaults))
+		}
+		s, err := repro.NewSession(cut, opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -258,6 +270,9 @@ type CatalogEntry struct {
 	Omegas      []float64 `json:"omegas,omitempty"`
 	Origin      string    `json:"origin,omitempty"`
 	Warning     string    `json:"warning,omitempty"`
+	// DoubleFaults counts the modeled double-fault universe of a loaded
+	// entry (0 ⇒ single-fault serving).
+	DoubleFaults int `json:"double_faults,omitempty"`
 }
 
 // Catalog lists every built-in benchmark, annotating the ones resident in
@@ -284,6 +299,7 @@ func Catalog(r *Registry) []CatalogEntry {
 			ce.Origin = e.Origin
 			ce.Warning = e.Warning
 			ce.Components = e.Session.CUT().Passives
+			ce.DoubleFaults = len(e.Session.DoubleFaults())
 		}
 		out = append(out, ce)
 	}

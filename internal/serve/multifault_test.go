@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// doubleServer builds a server whose entries model double faults on a
+// reduced pair universe (capped for test speed) over a fixed
+// 4-frequency test vector.
+func doubleServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s, ts := testServer(t, Config{
+		Build: BuildConfig{
+			Workers:         1,
+			Freqs:           []float64{0.2, 0.56, 4.55, 12},
+			DoubleFaults:    true,
+			MaxDoubleFaults: 256,
+		},
+	})
+	return s, ts.URL
+}
+
+// TestServerDiagnoseMultiFault: a {"faults": [...]} injection through
+// /v1/diagnose is named as a double fault by a double-fault entry.
+func TestServerDiagnoseMultiFault(t *testing.T) {
+	_, url := doubleServer(t)
+	status, body := postJSON(t, url+"/v1/diagnose", map[string]any{
+		"cut": "nf-lowpass-7",
+		"faults": []map[string]any{
+			{"component": "R1", "deviation": 0.3},
+			{"component": "C1", "deviation": -0.2},
+		},
+		"reject_ratio": 0.02,
+	})
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var rep diagnoseReply
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result == nil {
+		t.Fatalf("no result: %s", body)
+	}
+	best := rep.Result.Best()
+	if best.Key() != "C1+R1" {
+		t.Fatalf("best = %q (%+v), want the C1+R1 double", best.Key(), best)
+	}
+	if rep.Rejected == nil || *rep.Rejected {
+		t.Fatal("modeled double fault must not be rejected")
+	}
+	// The same injection against a single-fault server cannot name a
+	// pair: the best candidate is some single component.
+	_, singleTS := testServer(t, Config{})
+	status, body = postJSON(t, singleTS.URL+"/v1/diagnose", map[string]any{
+		"cut": "nf-lowpass-7",
+		"faults": []map[string]any{
+			{"component": "R1", "deviation": 0.3},
+			{"component": "C1", "deviation": -0.2},
+		},
+	})
+	if status != 200 {
+		t.Fatalf("single-fault server status = %d: %s", status, body)
+	}
+	var singleRep diagnoseReply
+	if err := json.Unmarshal(body, &singleRep); err != nil {
+		t.Fatal(err)
+	}
+	if singleRep.Result.Best().IsMulti() {
+		t.Fatal("single-fault server named a multi candidate")
+	}
+}
+
+// TestServerMultiFaultValidation: malformed multi injections fail fast
+// with 4xx, before touching a batch.
+func TestServerMultiFaultValidation(t *testing.T) {
+	_, url := doubleServer(t)
+	for name, req := range map[string]map[string]any{
+		"duplicate component": {
+			"cut": "nf-lowpass-7",
+			"faults": []map[string]any{
+				{"component": "R1", "deviation": 0.3},
+				{"component": "R1", "deviation": -0.2},
+			},
+		},
+		"unknown component": {
+			"cut": "nf-lowpass-7",
+			"faults": []map[string]any{
+				{"component": "R1", "deviation": 0.3},
+				{"component": "R99", "deviation": -0.2},
+			},
+		},
+		"fault and faults": {
+			"cut":   "nf-lowpass-7",
+			"fault": map[string]any{"component": "R1", "deviation": 0.3},
+			"faults": []map[string]any{
+				{"component": "C1", "deviation": -0.2},
+			},
+		},
+		"point and faults": {
+			"cut":   "nf-lowpass-7",
+			"point": []float64{0, 0, 0, 0},
+			"faults": []map[string]any{
+				{"component": "C1", "deviation": -0.2},
+			},
+		},
+		"deviation at -100%": {
+			"cut": "nf-lowpass-7",
+			"faults": []map[string]any{
+				{"component": "R1", "deviation": -1.0},
+				{"component": "C1", "deviation": 0.2},
+			},
+		},
+		"single-element zero deviation": {
+			"cut": "nf-lowpass-7",
+			"faults": []map[string]any{
+				{"component": "R1", "deviation": 0},
+			},
+		},
+	} {
+		status, body := postJSON(t, url+"/v1/diagnose", req)
+		if status < 400 || status >= 500 {
+			t.Errorf("%s: status = %d, want 4xx: %s", name, status, body)
+		}
+	}
+}
+
+// TestServerMultiFaultBatchCoalesces: concurrent single and multi
+// injections coalesce into shared flushes and every reply matches its
+// sequential reference.
+func TestServerMultiFaultBatchCoalesces(t *testing.T) {
+	srv, url := doubleServer(t)
+	reqs := []map[string]any{
+		{"cut": "nf-lowpass-7", "fault": map[string]any{"component": "R3", "deviation": 0.25}},
+		{"cut": "nf-lowpass-7", "faults": []map[string]any{
+			{"component": "R1", "deviation": 0.3}, {"component": "C1", "deviation": -0.2}}},
+		{"cut": "nf-lowpass-7", "faults": []map[string]any{
+			{"component": "R2", "deviation": -0.3}, {"component": "C2", "deviation": 0.3}}},
+	}
+	// Sequential references.
+	want := make([]string, len(reqs))
+	for i, rq := range reqs {
+		status, body := postJSON(t, url+"/v1/diagnose", rq)
+		if status != 200 {
+			t.Fatalf("request %d: %d %s", i, status, body)
+		}
+		var rep diagnoseReply
+		if err := json.Unmarshal(body, &rep); err != nil {
+			t.Fatal(err)
+		}
+		data, _ := json.Marshal(rep.Result)
+		want[i] = string(data)
+	}
+	const clients = 24
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rq := reqs[c%len(reqs)]
+			status, body := postJSON(t, url+"/v1/diagnose", rq)
+			if status != 200 {
+				t.Errorf("client %d: %d %s", c, status, body)
+				return
+			}
+			var rep diagnoseReply
+			if err := json.Unmarshal(body, &rep); err != nil {
+				t.Error(err)
+				return
+			}
+			data, _ := json.Marshal(rep.Result)
+			if string(data) != want[c%len(reqs)] {
+				t.Errorf("client %d: result diverged from sequential reference", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	if srv.Metrics().Batches.Load() == 0 {
+		t.Fatal("no batches recorded")
+	}
+}
+
+// TestCatalogReportsDoubleFaults: /v1/cuts surfaces the modeled pair
+// count of a loaded double-fault entry.
+func TestCatalogReportsDoubleFaults(t *testing.T) {
+	srv, _ := doubleServer(t)
+	if err := srv.Preload(context.Background(), []string{"nf-lowpass-7"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range Catalog(srv.Registry()) {
+		if ce.Name == "nf-lowpass-7" {
+			if !ce.Loaded || ce.DoubleFaults != 256 {
+				t.Fatalf("catalog entry: %+v", ce)
+			}
+			return
+		}
+	}
+	t.Fatal("nf-lowpass-7 missing from catalog")
+}

@@ -51,12 +51,18 @@ func (c SchedulerConfig) withDefaults() SchedulerConfig {
 	return c
 }
 
-// Request is one diagnose request flowing through a batcher: either a
-// parametric fault to simulate-and-diagnose, or an observed signature
-// point to diagnose directly.
+// Request is one diagnose request flowing through a batcher: a
+// parametric fault (single, or a multi-fault injection via Faults) to
+// simulate-and-diagnose, or an observed signature point to diagnose
+// directly.
 type Request struct {
-	// Fault is the parametric fault to diagnose (used when Point is nil).
+	// Fault is the single parametric fault to diagnose (used when Point
+	// is nil and Faults is empty).
 	Fault repro.Fault
+	// Faults, when non-empty, is a simultaneous multi-fault injection:
+	// every part is applied at once and the combined response diagnosed.
+	// Mutually exclusive with Fault and Point.
+	Faults []repro.Fault
 	// Point, when non-nil, is an observed signature point in the test
 	// vector space (dimension must match the entry's test vector).
 	Point []float64
@@ -66,6 +72,9 @@ type Request struct {
 
 	ctx  context.Context
 	resp chan Response
+	// set is the validated fault hypothesis (single faults boxed, multis
+	// constructed), filled by validate for non-point requests.
+	set repro.FaultSet
 	// settled guards the InFlight decrement: a request accepted into the
 	// queue is settled exactly once, by whichever side answers it first
 	// (flush processing, the shutdown sweep, or the caller detecting a
@@ -172,9 +181,13 @@ func (b *batcher) settle(req *Request) {
 }
 
 // validate rejects malformed requests before they reach a batch, so one
-// bad request cannot poison its neighbors' shared solve.
+// bad request cannot poison its neighbors' shared solve. Non-point
+// requests leave their validated fault hypothesis in req.set.
 func (b *batcher) validate(req *Request) error {
 	if req.Point != nil {
+		if req.Fault.Component != "" || len(req.Faults) > 0 {
+			return fmt.Errorf("%w: request mixes a point with fault injections", rerr.ErrBadConfig)
+		}
 		if len(req.Point) != len(b.entry.Omegas) {
 			return fmt.Errorf("%w: point dimension %d, test vector dimension %d",
 				rerr.ErrBadConfig, len(req.Point), len(b.entry.Omegas))
@@ -186,9 +199,48 @@ func (b *batcher) validate(req *Request) error {
 		}
 		return nil
 	}
+	if len(req.Faults) > 0 {
+		if req.Fault.Component != "" {
+			return fmt.Errorf("%w: request mixes fault and faults", rerr.ErrBadConfig)
+		}
+		for _, f := range req.Faults {
+			if err := b.validateFault(f); err != nil {
+				return err
+			}
+			// Every part of a faults injection is a genuine deviation —
+			// the same rule NewMultiFault applies to k >= 2 — so a
+			// one-element array cannot smuggle in a golden part the
+			// multi constructor would reject.
+			if f.Deviation == 0 {
+				return fmt.Errorf("%w: faults part %q has zero deviation (use the golden circuit, not a zero fault)", rerr.ErrBadConfig, f.Component)
+			}
+		}
+		if len(req.Faults) == 1 {
+			req.set = req.Faults[0]
+			return nil
+		}
+		set, err := repro.NewMultiFault(req.Faults...)
+		if err != nil {
+			return fmt.Errorf("%w: %v", rerr.ErrBadConfig, err)
+		}
+		req.set = set
+		return nil
+	}
 	f := req.Fault
 	if f.Component == "" {
 		return fmt.Errorf("%w: request needs a fault or a point", rerr.ErrBadConfig)
+	}
+	if err := b.validateFault(f); err != nil {
+		return err
+	}
+	req.set = f
+	return nil
+}
+
+// validateFault checks one injected fault part.
+func (b *batcher) validateFault(f repro.Fault) error {
+	if f.Component == "" {
+		return fmt.Errorf("%w: fault part without a component", rerr.ErrBadConfig)
 	}
 	if math.IsNaN(f.Deviation) || math.IsInf(f.Deviation, 0) || f.Deviation <= -1 {
 		return fmt.Errorf("%w: fault deviation %g out of range (need finite, > -1)", rerr.ErrBadConfig, f.Deviation)
@@ -318,29 +370,31 @@ func (b *batcher) process(batch []*Request) {
 	}
 	n := len(live)
 
-	var faults []repro.Fault
+	var sets []repro.FaultSet
 	var faultReqs []*Request
 	for _, req := range live {
 		if req.Point == nil {
-			faults = append(faults, req.Fault)
+			sets = append(sets, req.set)
 			faultReqs = append(faultReqs, req)
 		} else {
 			b.respond(req, b.diagnosePoint(req), n)
 		}
 	}
-	if len(faults) == 0 {
+	if len(sets) == 0 {
 		return
 	}
 
 	// One engine pass for the whole flush — the micro-batching payoff.
-	results, err := b.entry.Session.DiagnoseFaults(b.ctx, b.entry.Diagnoser, faults)
+	// Single and multi-fault injections share it: the rank-k batch path
+	// keeps rank-1 items on their fast path.
+	results, err := b.entry.Session.DiagnoseFaultSets(b.ctx, b.entry.Diagnoser, sets)
 	if err == nil {
 		for i, req := range faultReqs {
 			b.respond(req, Response{Result: results[i]}, n)
 		}
 		return
 	}
-	if len(faults) == 1 {
+	if len(sets) == 1 {
 		b.respond(faultReqs[0], Response{Err: err}, n)
 		return
 	}
@@ -348,7 +402,7 @@ func (b *batcher) process(batch []*Request) {
 	// singular). Retry each fault alone so one poisonous request cannot
 	// fail its neighbors.
 	for _, req := range faultReqs {
-		res, rerr1 := b.entry.Session.DiagnoseFaults(b.ctx, b.entry.Diagnoser, []repro.Fault{req.Fault})
+		res, rerr1 := b.entry.Session.DiagnoseFaultSets(b.ctx, b.entry.Diagnoser, []repro.FaultSet{req.set})
 		if rerr1 != nil {
 			b.respond(req, Response{Err: rerr1}, n)
 			continue

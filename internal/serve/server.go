@@ -87,15 +87,24 @@ func (s *Server) Close() {
 	s.cancel()
 }
 
+// wireFault is one injected fault part on the wire.
+type wireFault struct {
+	Component string  `json:"component"`
+	Deviation float64 `json:"deviation"`
+}
+
 // diagnoseRequest is the wire form of one diagnose request.
 type diagnoseRequest struct {
 	// CUT names the circuit under test (top-level requests only).
 	CUT string `json:"cut"`
-	// Fault is the parametric fault to simulate and diagnose.
-	Fault *struct {
-		Component string  `json:"component"`
-		Deviation float64 `json:"deviation"`
-	} `json:"fault,omitempty"`
+	// Fault is the single parametric fault to simulate and diagnose.
+	Fault *wireFault `json:"fault,omitempty"`
+	// Faults is a simultaneous multi-fault injection: every listed part
+	// is applied at once and the combined response diagnosed (requires a
+	// CUT served with double faults for the diagnosis to name pairs;
+	// otherwise the nearest single-fault hypothesis — or a rejection —
+	// answers). Mutually exclusive with Fault and Point.
+	Faults []wireFault `json:"faults,omitempty"`
 	// Point is an observed signature point (alternative to Fault).
 	Point []float64 `json:"point,omitempty"`
 	// RejectRatio enables out-of-model rejection when > 0.
@@ -118,6 +127,9 @@ func (d *diagnoseRequest) toRequest() *Request {
 	req := &Request{Point: d.Point, RejectRatio: d.RejectRatio}
 	if d.Fault != nil {
 		req.Fault = repro.Fault{Component: d.Fault.Component, Deviation: d.Fault.Deviation}
+	}
+	for _, f := range d.Faults {
+		req.Faults = append(req.Faults, repro.Fault{Component: f.Component, Deviation: f.Deviation})
 	}
 	return req
 }

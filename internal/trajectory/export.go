@@ -39,7 +39,10 @@ func BuildFromExport(ex *dictionary.Export, omegas []float64) (*Map, error) {
 		}
 	}
 
-	// Index entries: golden plus per-component deviation rows.
+	// Index entries: golden, per-component single-fault rows, and pair
+	// rows destined for the shared family grouping (buildPairFamilies),
+	// so a SnapshotSets export with a double-fault universe round-trips
+	// into a map equivalent to the live BuildPairs one.
 	var goldenMags []float64
 	type row struct {
 		dev  float64
@@ -47,19 +50,37 @@ func BuildFromExport(ex *dictionary.Export, omegas []float64) (*Map, error) {
 	}
 	byComp := make(map[string][]row)
 	var compOrder []string
+	type pairMags struct {
+		frozen fault.Fault
+		swept  string
+		dev    float64
+		mags   []float64
+	}
+	var pairEntries []pairMags
 	for _, ent := range ex.Entries {
 		if ent.ID == "golden" {
 			goldenMags = ent.Mags
 			continue
 		}
-		f, err := fault.ParseID(ent.ID)
+		set, err := fault.ParseSetID(ent.ID)
 		if err != nil {
 			return nil, fmt.Errorf("trajectory: export entry %q: %w", ent.ID, err)
 		}
-		if _, seen := byComp[f.Component]; !seen {
-			compOrder = append(compOrder, f.Component)
+		parts := set.Parts()
+		switch len(parts) {
+		case 1:
+			f := parts[0]
+			if _, seen := byComp[f.Component]; !seen {
+				compOrder = append(compOrder, f.Component)
+			}
+			byComp[f.Component] = append(byComp[f.Component], row{dev: f.Deviation, mags: ent.Mags})
+		case 2:
+			pairEntries = append(pairEntries, pairMags{
+				frozen: parts[0], swept: parts[1].Component, dev: parts[1].Deviation, mags: ent.Mags,
+			})
+		default:
+			return nil, fmt.Errorf("trajectory: export entry %q has %d parts; only single and double faults reconstruct", ent.ID, len(parts))
 		}
-		byComp[f.Component] = append(byComp[f.Component], row{dev: f.Deviation, mags: ent.Mags})
 	}
 	if goldenMags == nil {
 		return nil, fmt.Errorf("trajectory: export has no golden entry")
@@ -92,6 +113,15 @@ func BuildFromExport(ex *dictionary.Export, omegas []float64) (*Map, error) {
 		}
 		m.Trajectories = append(m.Trajectories, tr)
 	}
+	pairRows := make([]pairRow, len(pairEntries))
+	for i, pe := range pairEntries {
+		pt := make(geometry.VecN, len(omegas))
+		for ki, w := range omegas {
+			pt[ki] = interpAt(ex.Omegas, pe.mags, w) - interpAt(ex.Omegas, goldenMags, w)
+		}
+		pairRows[i] = pairRow{frozen: pe.frozen, swept: pe.swept, dev: pe.dev, pt: pt}
+	}
+	m.Trajectories = append(m.Trajectories, buildPairFamilies(pairRows)...)
 	return m, nil
 }
 

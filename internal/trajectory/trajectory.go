@@ -19,19 +19,40 @@ import (
 	"repro/internal/rerr"
 )
 
-// Trajectory is one component's fault trajectory in R^k: the polyline of
-// signature points ordered from the most negative deviation, through the
-// golden origin, to the most positive deviation. The JSON tags define the
-// persisted artifact schema (see the artifact envelope).
+// Trajectory is one fault family's trajectory in R^k. For the paper's
+// single faults it is the polyline of signature points ordered from the
+// most negative deviation, through the golden origin, to the most
+// positive deviation. For a multi-fault family (Components non-nil) it
+// is one sweep line of the family's sampled manifold: every part but the
+// last is frozen at its FixedDeviations value and the last part swept
+// over Deviations — these lines do not pass through the origin, since
+// the frozen parts stay faulted along the whole sweep. The JSON tags
+// define the persisted artifact schema (see the artifact envelope);
+// the multi-fault fields are omitted empty, so single-fault artifacts
+// are unchanged.
 type Trajectory struct {
-	// Component is the circuit element this trajectory belongs to.
+	// Component is the circuit element this trajectory belongs to; for a
+	// multi-fault family it is the family label, e.g. "C1@-20%+R3" (the
+	// frozen part IDs plus the swept component).
 	Component string `json:"component"`
-	// Deviations holds the fractional deviation of each point, aligned
-	// with Points; the golden origin appears as deviation 0.
+	// Components lists every faulted part of a multi-fault family in
+	// canonical (sorted) order, the swept component last. Nil for the
+	// classic single-fault trajectory.
+	Components []string `json:"components,omitempty"`
+	// FixedDeviations holds the frozen deviations of Components[:len-1],
+	// aligned with them. Nil for single-fault trajectories.
+	FixedDeviations []float64 `json:"fixed_deviations,omitempty"`
+	// Deviations holds the fractional deviation of each point (the swept
+	// part's, for multi-fault families), aligned with Points; the golden
+	// origin appears as deviation 0 on single-fault trajectories.
 	Deviations []float64 `json:"deviations"`
 	// Points holds the signature points, aligned with Deviations.
 	Points geometry.PolylineN `json:"points"`
 }
+
+// IsMulti reports whether the trajectory belongs to a multi-fault
+// family.
+func (t *Trajectory) IsMulti() bool { return len(t.Components) > 0 }
 
 // Dim returns the test-vector dimension k.
 func (t *Trajectory) Dim() int { return t.Points.Dim() }

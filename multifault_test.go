@@ -1,0 +1,265 @@
+package repro_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro"
+)
+
+// doubleSession opens a paper-CUT session modeling double faults over a
+// reduced deviation grid (keeps pair counts small enough for quick
+// tests: 21 pairs × 4 deviations² = 336 sets).
+func doubleSession(t *testing.T) *repro.Session {
+	t.Helper()
+	s, err := repro.NewSession(repro.PaperCUT(),
+		repro.WithDeviations(-0.3, -0.1, 0.1, 0.3),
+		repro.WithDoubleFaults(0),
+		repro.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// doubleOmegas is a 4-frequency test vector; pair families separate far
+// better in R⁴ than in the paper's R².
+var doubleOmegas = []float64{0.2, 0.56, 4.55, 12}
+
+// TestSessionDoubleFaultDiagnosis: a WithDoubleFaults session names
+// injected double faults end to end, with top-1 accuracy reported by the
+// evaluation — the session-level acceptance pin.
+func TestSessionDoubleFaultDiagnosis(t *testing.T) {
+	ctx := context.Background()
+	s := doubleSession(t)
+	pairs := s.DoubleFaults()
+	if len(pairs) != 336 {
+		t.Fatalf("modeled pairs = %d, want 336", len(pairs))
+	}
+	var trials []repro.FaultSet
+	for i := 0; i < len(pairs); i += 5 {
+		trials = append(trials, pairs[i])
+	}
+	dg, err := s.Diagnoser(ctx, doubleOmegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := s.EvaluateSets(ctx, dg, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Accuracy() < 0.9 {
+		t.Fatalf("double-fault top-1 accuracy %.3f, want >= 0.9 (n=%d)", ev.Accuracy(), ev.Total)
+	}
+
+	// A single injected double fault resolves to a named multi candidate.
+	inj, err := repro.NewMultiFault(
+		repro.Fault{Component: "R1", Deviation: 0.3},
+		repro.Fault{Component: "C2", Deviation: -0.3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.DiagnoseFaultSets(ctx, dg, []repro.FaultSet{inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := res[0].Best()
+	if best.Key() != repro.FaultSetKey(inj) {
+		t.Fatalf("best key %q, want %q:\n%s", best.Key(), repro.FaultSetKey(inj), res[0])
+	}
+	if !best.IsMulti() || len(best.Deviations) != 2 {
+		t.Fatalf("best candidate not a named double: %+v", best)
+	}
+}
+
+// TestSessionDoubleFaultChecksumsDiffer: single- and double-fault
+// sessions over the same CUT model different universes, so their
+// artifacts must not warm-start each other.
+func TestSessionDoubleFaultChecksumsDiffer(t *testing.T) {
+	single, err := repro.NewSession(repro.PaperCUT(), repro.WithDeviations(-0.3, -0.1, 0.1, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	double := doubleSession(t)
+	if single.Checksum() == double.Checksum() {
+		t.Fatal("single- and double-fault sessions share a checksum")
+	}
+	// A capped pair universe is yet another model.
+	capped, err := repro.NewSession(repro.PaperCUT(),
+		repro.WithDeviations(-0.3, -0.1, 0.1, 0.3), repro.WithDoubleFaults(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Checksum() == double.Checksum() {
+		t.Fatal("capped and uncapped double-fault sessions share a checksum")
+	}
+	if len(capped.DoubleFaults()) != 50 {
+		t.Fatalf("cap ignored: %d", len(capped.DoubleFaults()))
+	}
+}
+
+// TestDoubleFaultArtifactRoundTrips: a trajectory map with pair families
+// and a dictionary grid with pair rows both survive the artifact
+// round-trip, and the reloaded diagnosis stage names the same double
+// faults.
+func TestDoubleFaultArtifactRoundTrips(t *testing.T) {
+	ctx := context.Background()
+	s := doubleSession(t)
+	dir := t.TempDir()
+
+	m, err := s.Trajectories(ctx, doubleOmegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapPath := filepath.Join(dir, "map.json")
+	if err := s.SaveTrajectories(mapPath, m); err != nil {
+		t.Fatal(err)
+	}
+	loadedMap, err := s.LoadTrajectories(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := 0
+	for _, tr := range loadedMap.Trajectories {
+		if len(tr.Components) > 0 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("loaded map lost its pair families")
+	}
+
+	inj := s.DoubleFaults()[17]
+	liveDg, err := s.Diagnoser(ctx, doubleOmegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedDg, err := repro.NewDiagnoser(loadedMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.DiagnoseFaultSets(ctx, liveDg, []repro.FaultSet{inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.DiagnoseFaultSets(ctx, loadedDg, []repro.FaultSet{inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, _ := json.Marshal(want[0])
+	gj, _ := json.Marshal(got[0])
+	if string(wj) != string(gj) {
+		t.Fatalf("loaded map diagnoses differently:\nlive   %s\nloaded %s", wj, gj)
+	}
+
+	// Dictionary grid with pair rows: save, reload, rebuild the map from
+	// the export alone, and check the pair families reappear.
+	dictPath := filepath.Join(dir, "dict.json")
+	if err := s.SaveDictionary(ctx, dictPath, doubleOmegas); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.LoadDictionary(dictPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 1 + len(s.Universe().Faults()) + len(s.DoubleFaults())
+	if len(ex.Entries) != wantRows {
+		t.Fatalf("export rows = %d, want %d (golden + singles + pairs)", len(ex.Entries), wantRows)
+	}
+	fromGrid, err := repro.TrajectoriesFromExport(ex, doubleOmegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridMulti := 0
+	for _, tr := range fromGrid.Trajectories {
+		if len(tr.Components) > 0 {
+			gridMulti++
+		}
+	}
+	if gridMulti != multi {
+		t.Fatalf("grid-rebuilt map has %d pair families, live map %d", gridMulti, multi)
+	}
+	gridDg, err := repro.NewDiagnoser(fromGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromGridRes, err := s.DiagnoseFaultSets(ctx, gridDg, []repro.FaultSet{inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromGridRes[0].Best().Key() != want[0].Best().Key() {
+		t.Fatalf("grid-rebuilt diagnosis names %q, live names %q",
+			fromGridRes[0].Best().Key(), want[0].Best().Key())
+	}
+
+	if _, err := os.Stat(dictPath); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentMultiFaultDiagnoses is the -race hammer over the
+// multi-fault path: many goroutines sharing one double-fault Session and
+// Diagnoser issue mixed single/double DiagnoseFaultSets batches; every
+// result must be bit-identical to the sequential reference.
+func TestConcurrentMultiFaultDiagnoses(t *testing.T) {
+	ctx := context.Background()
+	s := doubleSession(t)
+	dg, err := s.Diagnoser(ctx, doubleOmegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := s.DoubleFaults()
+	sets := []repro.FaultSet{
+		repro.Fault{Component: "R1", Deviation: 0.22},
+		pairs[3], pairs[100], pairs[335],
+		repro.Fault{Component: "C1", Deviation: -0.17},
+	}
+	want, err := s.DiagnoseFaultSets(ctx, dg, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := make([]string, len(want))
+	for i, r := range want {
+		data, _ := json.Marshal(r)
+		wantJSON[i] = string(data)
+	}
+
+	const goroutines = 16
+	const rounds = 3
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				// Rotate the batch so goroutines disagree on composition;
+				// per-set results must not depend on batch neighbors.
+				rot := append(append([]repro.FaultSet(nil), sets[g%len(sets):]...), sets[:g%len(sets)]...)
+				res, err := s.DiagnoseFaultSets(ctx, dg, rot)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for i := range rot {
+					data, _ := json.Marshal(res[i])
+					if string(data) != wantJSON[(g%len(sets)+i)%len(sets)] {
+						t.Errorf("goroutine %d round %d: result %d diverged", g, round, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -83,9 +83,16 @@ type (
 	TrajectoryMap = trajectory.Map
 	// Dictionary serves golden and faulty AC responses.
 	Dictionary = dictionary.Dictionary
-	// MultiFault is a simultaneous multiple parametric fault (out of the
-	// paper's single-fault model; diagnosable only as a rejection).
+	// MultiFault is a simultaneous multiple parametric fault. Sessions
+	// opened WithDoubleFaults diagnose these by name; other sessions can
+	// only reject them as out-of-model.
 	MultiFault = fault.Multi
+	// FaultSet is the abstraction over fault hypotheses — golden, Fault,
+	// or MultiFault — with stable IDs (ParseFaultSetID inverts them).
+	FaultSet = fault.Set
+	// DiagnosisCandidate is one ranked fault hypothesis of a diagnosis
+	// (single component, or a named multi-fault component set).
+	DiagnosisCandidate = diagnosis.Candidate
 	// Tolerance models manufacturing spread on every component.
 	Tolerance = fault.Tolerance
 	// Rational is a fitted transfer function N(s)/D(s).
@@ -135,6 +142,21 @@ func PaperOptimizeConfig(omega0 float64) OptimizeConfig {
 // netlist card reference in the internal/netlist package docs). Syntax
 // failures are ParseErrors carrying the source line and card text.
 func ParseNetlist(text string) (*Circuit, error) { return netlist.Parse(text) }
+
+// NewMultiFault builds a simultaneous multiple fault from its parts,
+// validating that components are distinct and every deviation is a
+// genuine, injectable one.
+func NewMultiFault(parts ...Fault) (MultiFault, error) { return fault.NewMulti(parts...) }
+
+// ParseFaultSetID parses a stable fault-set identifier — "golden",
+// "R3@+25%", or "C1@-20%+R3@+30%" — back into the fault set, the format
+// fault IDs render to and the CLI -inject flag accepts.
+func ParseFaultSetID(id string) (FaultSet, error) { return fault.ParseSetID(id) }
+
+// FaultSetKey returns the component-set identity of a fault set
+// ("R3", "C1+R3", "golden"), the key DiagnosisCandidate.Key matches
+// against when deciding whether a diagnosis named the injected fault.
+func FaultSetKey(set FaultSet) string { return diagnosis.SetKey(set) }
 
 // ParseFrequencies parses a comma-separated list of angular frequencies
 // in rad/s ("0.56, 4.55") — the format the CLI -freqs flags accept.

@@ -57,10 +57,12 @@ type GenStats = ga.GenStats
 type Option func(*sessionOptions)
 
 type sessionOptions struct {
-	deviations []float64
-	components []string
-	workers    int
-	progress   []func(Progress)
+	deviations   []float64
+	components   []string
+	workers      int
+	progress     []func(Progress)
+	doubleFaults bool
+	maxDoubles   int
 }
 
 // WithDeviations overrides the paper's ±10%…±40% fault grid with an
@@ -88,6 +90,31 @@ func WithComponents(components ...string) Option {
 // CPU; negative values are rejected by NewSession.
 func WithWorkers(n int) Option {
 	return func(o *sessionOptions) { o.workers = n }
+}
+
+// WithDoubleFaults extends the modeled fault universe to simultaneous
+// double faults: every unordered component pair of the universe, each
+// part swept over the universe's deviation grid, capped at maxSets
+// generated pairs (≤ 0 → no cap; the systematic generation order is
+// documented on Universe.Pairs). Trajectory maps built by the session
+// then carry one sweep-line family per (pair, frozen deviation), and
+// Diagnoser/DiagnoseFaultSets name double faults instead of rejecting
+// them — Rejected comes to mean "not in the modeled universe".
+//
+// The GA's fitness (trajectory intersections) intentionally stays on
+// the single-fault map, per the paper; double-fault families only join
+// at diagnosis time. Note the modeled pair count grows quadratically in
+// components times quadratically in deviations — the paper CUT's 7
+// components × 8 deviations already yield 1344 pairs — so serving-grade
+// sessions on larger universes should set a cap. Artifacts saved from a
+// double-fault session carry a different checksum than single-fault
+// ones: the two model different universes and must not warm-start each
+// other.
+func WithDoubleFaults(maxSets int) Option {
+	return func(o *sessionOptions) {
+		o.doubleFaults = true
+		o.maxDoubles = maxSets
+	}
 }
 
 // WithProgress subscribes a callback to the session's progress stream.
@@ -136,6 +163,7 @@ type Session struct {
 	atpg     *core.ATPG
 	workers  int
 	checksum string
+	pairs    []fault.Multi    // modeled double-fault universe; nil without WithDoubleFaults
 	progress []func(Progress) // immutable after NewSession
 }
 
@@ -178,6 +206,12 @@ func NewSession(cut CUT, opts ...Option) (*Session, error) {
 	// always names the universe the session diagnoses over.
 	cut.Passives = append([]string(nil), u.Components...)
 	s := &Session{cut: cut, workers: o.workers, progress: o.progress}
+	if o.doubleFaults {
+		s.pairs, err = u.Pairs(nil, o.maxDoubles)
+		if err != nil {
+			return nil, fmt.Errorf("repro: %w: %v", ErrBadConfig, err)
+		}
+	}
 	s.emit(Progress{Stage: StageDictionary, Completed: 0, Total: 1})
 	atpg, err := core.New(cut.Circuit, cut.Source, cut.Output, u)
 	if err != nil {
@@ -190,10 +224,17 @@ func NewSession(cut CUT, opts ...Option) (*Session, error) {
 	}
 	// The staleness fingerprint covers the whole measurement setup, not
 	// just the topology: the same circuit observed at a different node or
-	// over a different fault universe yields different artifacts.
-	s.checksum = artifact.Checksum(fmt.Sprintf(
+	// over a different fault universe yields different artifacts. A
+	// double-fault session appends its pair-universe size, so
+	// single-fault artifacts keep their historical checksums and the two
+	// universes never warm-start each other.
+	fingerprint := fmt.Sprintf(
 		"%s\nsource=%s\noutput=%s\ncomponents=%v\ndeviations=%v\n",
-		text, cut.Source, cut.Output, u.Components, u.Deviations))
+		text, cut.Source, cut.Output, u.Components, u.Deviations)
+	if s.pairs != nil {
+		fingerprint += fmt.Sprintf("doublefaults=%d\n", len(s.pairs))
+	}
+	s.checksum = artifact.Checksum(fingerprint)
 	s.emit(Progress{Stage: StageDictionary, Completed: 1, Total: 1})
 	return s, nil
 }
@@ -294,11 +335,23 @@ func (s *Session) Fitness(ctx context.Context, omegas []float64) (float64, error
 	return s.atpg.Fitness(ctx, omegas, core.PaperFitness)
 }
 
-// Trajectories builds the trajectory map for a test vector. A canceled
-// context returns an error wrapping ErrCanceled within one frequency.
+// buildMap constructs the session's trajectory map for a test vector:
+// the single-fault map, extended with one sweep-line family per modeled
+// double fault when WithDoubleFaults is set.
+func (s *Session) buildMap(ctx context.Context, omegas []float64) (*TrajectoryMap, error) {
+	if s.pairs != nil {
+		return trajectory.BuildPairs(ctx, s.atpg.Dictionary(), omegas, s.pairs)
+	}
+	return trajectory.Build(ctx, s.atpg.Dictionary(), omegas)
+}
+
+// Trajectories builds the trajectory map for a test vector — including
+// the double-fault sweep families when the session was opened
+// WithDoubleFaults. A canceled context returns an error wrapping
+// ErrCanceled within one frequency.
 func (s *Session) Trajectories(ctx context.Context, omegas []float64) (*TrajectoryMap, error) {
 	s.emit(Progress{Stage: StageTrajectories, Completed: 0, Total: 1})
-	m, err := trajectory.Build(ctx, s.atpg.Dictionary(), omegas)
+	m, err := s.buildMap(ctx, omegas)
 	if err != nil {
 		return nil, err
 	}
@@ -306,14 +359,20 @@ func (s *Session) Trajectories(ctx context.Context, omegas []float64) (*Trajecto
 	return m, nil
 }
 
-// Diagnoser builds the diagnosis stage for a test vector.
+// Diagnoser builds the diagnosis stage for a test vector, over the same
+// map Trajectories returns (double-fault families included when the
+// session models them).
 //
 // A built Diagnoser is immutable and safe for concurrent read-only use:
-// Diagnose, DiagnoseFault, DiagnoseFaults, Extent and Map only read the
-// trajectory map they were built over. Build one Diagnoser per test
-// vector and share it across request-serving goroutines.
+// Diagnose, DiagnoseFault, DiagnoseFaults, DiagnoseSets, Extent and Map
+// only read the trajectory map they were built over. Build one Diagnoser
+// per test vector and share it across request-serving goroutines.
 func (s *Session) Diagnoser(ctx context.Context, omegas []float64) (*Diagnoser, error) {
-	return s.atpg.BuildDiagnoser(ctx, omegas)
+	m, err := s.buildMap(ctx, omegas)
+	if err != nil {
+		return nil, err
+	}
+	return diagnosis.New(m)
 }
 
 // DiagnoseFaults computes the signatures of every given fault in one
@@ -328,21 +387,74 @@ func (s *Session) DiagnoseFaults(ctx context.Context, dg *Diagnoser, faults []Fa
 	return dg.DiagnoseFaults(ctx, s.Dictionary(), faults)
 }
 
+// DiagnoseFaultSets is DiagnoseFaults over arbitrary fault sets —
+// golden, single, and multiple faults freely mixed in one batched rank-k
+// solve. The concurrency and batched-equals-serial contracts of
+// DiagnoseFaults apply unchanged; this is the entry point the serving
+// layer routes {"faults": [...]} injections through.
+func (s *Session) DiagnoseFaultSets(ctx context.Context, dg *Diagnoser, sets []FaultSet) ([]*DiagnosisResult, error) {
+	return dg.DiagnoseSets(ctx, s.Dictionary(), sets)
+}
+
 // Evaluate runs the hold-out evaluation: off-grid deviations (nil → the
-// default ±15/25/35% set) on every universe component. A canceled
-// context returns an error wrapping ErrCanceled within one frequency
-// batch.
+// default ±15/25/35% set) on every universe component, diagnosed
+// against the session's map (double-fault families included when
+// modeled). A canceled context returns an error wrapping ErrCanceled
+// within one frequency batch.
 func (s *Session) Evaluate(ctx context.Context, omegas []float64, holdOut []float64) (*Evaluation, error) {
 	if holdOut == nil {
 		holdOut = diagnosis.DefaultHoldOutDeviations()
 	}
 	s.emit(Progress{Stage: StageEvaluate, Completed: 0, Total: 1})
-	ev, err := s.atpg.EvaluateVector(ctx, omegas, holdOut)
+	var ev *Evaluation
+	var err error
+	if s.pairs == nil {
+		ev, err = s.atpg.EvaluateVector(ctx, omegas, holdOut)
+	} else {
+		var dg *Diagnoser
+		dg, err = s.Diagnoser(ctx, omegas)
+		if err != nil {
+			return nil, err
+		}
+		ev, err = dg.Evaluate(ctx, s.Dictionary(), diagnosis.HoldOutTrials(s.Universe(), holdOut))
+	}
 	if err != nil {
 		return nil, err
 	}
 	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1})
 	return ev, nil
+}
+
+// EvaluateSets runs a hold-out evaluation over explicit fault-set
+// trials (see Diagnoser.EvaluateSets for the scoring contract) against
+// an already-built Diagnoser — build one with Diagnoser and share it
+// across evaluations and serving, so the trajectory map (expensive for
+// double-fault sessions) is constructed once. Combined with
+// HoldOutDoubleFaults it measures how well a double-fault session names
+// injected double faults.
+func (s *Session) EvaluateSets(ctx context.Context, dg *Diagnoser, trials []FaultSet) (*Evaluation, error) {
+	s.emit(Progress{Stage: StageEvaluate, Completed: 0, Total: 1})
+	ev, err := dg.EvaluateSets(ctx, s.Dictionary(), trials)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1})
+	return ev, nil
+}
+
+// DoubleFaults returns the session's modeled double-fault universe (nil
+// unless WithDoubleFaults was set). The slice is shared; treat it as
+// read-only.
+func (s *Session) DoubleFaults() []MultiFault { return s.pairs }
+
+// Universe returns the session's single-fault universe.
+func (s *Session) Universe() *Universe { return s.atpg.Dictionary().Universe() }
+
+// HoldOutDoubleFaults builds double-fault trials off the modeled grid:
+// every component pair swept over the hold-out deviations (nil → the
+// default ±15/25/35% set), capped at max sets (≤ 0 → no cap).
+func (s *Session) HoldOutDoubleFaults(holdOut []float64, max int) ([]FaultSet, error) {
+	return diagnosis.HoldOutPairTrials(s.Universe(), holdOut, max)
 }
 
 // Precompute fills the dictionary's response memo on a frequency grid
