@@ -20,8 +20,11 @@ type runner struct {
 	seed          int64
 	full          bool
 	out           io.Writer
-	hotpathOut    string // destination of the HOTPATH report
-	multifaultOut string // destination of the MULTIFAULT report
+	hotpathOut    string  // destination of the HOTPATH report
+	multifaultOut string  // destination of the MULTIFAULT report
+	date          string  // report date stamp; empty = today (UTC)
+	gate          string  // baseline report to gate HOTPATH against ("" = off)
+	gateTol       float64 // allowed fractional ns/op regression before the gate fails
 
 	session  *repro.Session // lazily built paper-CUT session
 	gaVector *repro.TestVector

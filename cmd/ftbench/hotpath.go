@@ -4,7 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
+	"strings"
 	"testing"
 
 	"repro"
@@ -29,12 +29,17 @@ type hotpathEntry struct {
 // hotpathReport is the BENCH_hotpath.json schema: the performance record
 // of the GA fitness hot path, regenerated per change so the perf
 // trajectory of the repository is tracked in-tree alongside the code.
+// The envelope fields identify the machine and configuration the numbers
+// were measured on — see newBenchReport.
 type hotpathReport struct {
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
-	Entries   []hotpathEntry `json:"entries"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	CPUModel   string         `json:"cpu_model,omitempty"`
+	Date       string         `json:"date"`
+	Entries    []hotpathEntry `json:"entries"`
 }
 
 // hotpath measures the GA fitness hot path with the testing.Benchmark
@@ -55,12 +60,7 @@ func (r *runner) hotpath() error {
 	}
 	d := s.Dictionary()
 
-	rep := &hotpathReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-	}
+	rep := newBenchReport(r.date)
 	record := func(name string, res testing.BenchmarkResult) error {
 		// testing.Benchmark reports a zero result when the body aborts
 		// (b.Fatal, or a Ctrl-C canceling r.ctx mid-run); 0/0 ns/op is
@@ -146,5 +146,61 @@ func (r *runner) hotpath() error {
 		return fmt.Errorf("hotpath: %w", err)
 	}
 	r.printf("  wrote %s\n", r.hotpathOut)
+
+	if r.gate != "" {
+		if err := r.gateHotpath(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gateHotpath compares the freshly measured report against the baseline
+// named by -gate and fails on regressions: fitness_eval or
+// trajectory_build slower than baseline by more than -gate-tol
+// (fractional, default 0.10), or the fitness path allocating at all.
+// ga_paper_params is informational only — the full GA's variance across
+// machines is too high to gate on.
+func (r *runner) gateHotpath(rep *hotpathReport) error {
+	data, err := os.ReadFile(r.gate)
+	if err != nil {
+		return fmt.Errorf("hotpath gate: %w", err)
+	}
+	var base hotpathReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("hotpath gate: %s: %w", r.gate, err)
+	}
+	find := func(rep *hotpathReport, name string) *hotpathEntry {
+		for i := range rep.Entries {
+			if rep.Entries[i].Name == name {
+				return &rep.Entries[i]
+			}
+		}
+		return nil
+	}
+	tol := r.gateTol
+	var failures []string
+	for _, name := range []string{"fitness_eval", "trajectory_build"} {
+		b, n := find(&base, name), find(rep, name)
+		if b == nil || n == nil {
+			return fmt.Errorf("hotpath gate: entry %q missing (baseline %v, new %v)", name, b != nil, n != nil)
+		}
+		ratio := n.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > 1+tol {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%.0f → %.0f ns/op, tol %.0f%%)",
+				name, (ratio-1)*100, b.NsPerOp, n.NsPerOp, tol*100))
+		}
+		r.printf("  gate %-18s %8.0f → %8.0f ns/op  (%+.1f%%, tol %.0f%%)  %s\n",
+			name, b.NsPerOp, n.NsPerOp, (ratio-1)*100, tol*100, status)
+	}
+	if fe := find(rep, "fitness_eval"); fe != nil && fe.AllocsPerOp > 0 {
+		failures = append(failures, fmt.Sprintf("fitness_eval allocates (%d allocs/op, want 0)", fe.AllocsPerOp))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("hotpath gate: %s", strings.Join(failures, "; "))
+	}
+	r.printf("  gate passed against %s\n", r.gate)
 	return nil
 }

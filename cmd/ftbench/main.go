@@ -25,6 +25,9 @@ func main() {
 		full          = flag.Bool("full", false, "use the paper's full GA (128x15) everywhere (slower)")
 		hotpathOut    = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the HOTPATH benchmark report")
 		multifaultOut = flag.String("multifault-out", "BENCH_multifault.json", "output path for the MULTIFAULT benchmark report")
+		date          = flag.String("date", "", "date stamp for benchmark reports (YYYY-MM-DD; empty = today UTC)")
+		gate          = flag.String("gate", "", "baseline BENCH_hotpath.json to gate the HOTPATH run against (empty = no gate)")
+		gateTol       = flag.Float64("gate-tol", 0.10, "fractional ns/op regression the HOTPATH gate tolerates")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -38,7 +41,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	runner := &runner{ctx: ctx, seed: *seed, full: *full, out: os.Stdout, hotpathOut: *hotpathOut, multifaultOut: *multifaultOut}
+	runner := &runner{ctx: ctx, seed: *seed, full: *full, out: os.Stdout, hotpathOut: *hotpathOut, multifaultOut: *multifaultOut,
+		date: *date, gate: *gate, gateTol: *gateTol}
 	experiments := map[string]func() error{
 		// HOTPATH and MULTIFAULT are opt-in (not part of 'all'): they run
 		// Go benchmarks and write BENCH_hotpath.json /

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// newBenchReport builds the shared metadata envelope of every benchmark
+// report (BENCH_hotpath.json, BENCH_multifault.json): toolchain and
+// platform identity plus the knobs that change what a ns/op number
+// means — GOMAXPROCS, the CPU model, and the measurement date. The date
+// comes from the -date flag so regenerated reports can be reproduced
+// byte-for-byte in CI; an empty flag stamps the current UTC day.
+func newBenchReport(date string) *hotpathReport {
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+	return &hotpathReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		Date:       date,
+	}
+}
+
+// cpuModel names the CPU the benchmarks ran on, best-effort: on Linux
+// the first "model name" line of /proc/cpuinfo, empty elsewhere (the
+// field is omitted from the JSON when unknown).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(value)
+		}
+	}
+	return ""
+}

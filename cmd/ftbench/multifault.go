@@ -6,7 +6,6 @@ import (
 	"math"
 	"math/cmplx"
 	"os"
-	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -103,12 +102,7 @@ func (r *runner) multifault() error {
 	}
 	r.printf("  cross-check: batched == clones to 1e-9 on all %d×%d responses\n", len(pairs), len(omegas))
 
-	rep := &hotpathReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-	}
+	rep := newBenchReport(r.date)
 	record := func(name string, res testing.BenchmarkResult) error {
 		if err := r.ctx.Err(); err != nil {
 			return fmt.Errorf("multifault: %s: %w", name, err)

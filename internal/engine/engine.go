@@ -30,12 +30,83 @@ const cancelGuard = 1e-6
 // Engine evaluates |H(jω)| for batches of parametric faults against one
 // compiled circuit template.
 type Engine struct {
-	tmpl   *Template
-	source string
-	output string
-	outIdx int // -1 when the output is ground (H ≡ 0)
-	amp    complex128
-	pool   sync.Pool // *workspace, shared across BatchResponses calls
+	tmpl      *Template
+	source    string
+	output    string
+	outIdx    int // -1 when the output is ground (H ≡ 0)
+	amp       complex128
+	ampAbs    float64   // |amp|, precomputed for the blocked path's magnitudes
+	invAmpAbs float64   // 1/|amp|: the per-item divide becomes a multiply
+	pool      sync.Pool // *workspace, shared across BatchResponses calls
+
+	// scalarKernels switches the per-frequency column solver from the
+	// blocked SoA kernels (the default) to the scalar complex128
+	// reference path. See UseScalarKernels.
+	scalarKernels bool
+
+	// memo caches the flattened resolution of the last single-fault list
+	// batched through this engine. Batch callers in tight loops (the GA
+	// fitness path, per-candidate trajectory builds) pass the identical
+	// fault universe on every call; a hit replaces the per-fault map
+	// lookups and append churn with a handful of struct compares and flat
+	// copies. Guarded by its own mutex — batches may run concurrently.
+	memo resolutionMemo
+}
+
+// resolutionMemo is the engine's cached fault resolution: the key is the
+// fault list itself (value compare — fault.Fault is two words), the
+// payload the flattened part groups batchInto would recompute.
+type resolutionMemo struct {
+	mu       sync.Mutex
+	valid    bool
+	faults   []fault.Fault
+	off      []int
+	partSlot []int
+	partVal  []float64
+	distinct []int
+	zSlot    []int
+}
+
+// lookup copies the cached resolution into out if faults matches the
+// cached list element-for-element. Equal component names are usually
+// pointer-equal strings (the same universe slice every call), so the
+// compare is two word compares per fault — far cheaper than the map
+// lookups it replaces.
+func (m *resolutionMemo) lookup(faults []fault.Fault, out *Batch) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.valid || len(m.faults) != len(faults) {
+		return false
+	}
+	for i := range faults {
+		if faults[i] != m.faults[i] {
+			return false
+		}
+	}
+	out.off = sliceutil.Grow(out.off, len(m.off))
+	copy(out.off, m.off)
+	out.partSlot = sliceutil.Grow(out.partSlot, len(m.partSlot))
+	copy(out.partSlot, m.partSlot)
+	out.partVal = sliceutil.Grow(out.partVal, len(m.partVal))
+	copy(out.partVal, m.partVal)
+	out.distinct = sliceutil.Grow(out.distinct, len(m.distinct))
+	copy(out.distinct, m.distinct)
+	out.zSlot = sliceutil.Grow(out.zSlot, len(m.zSlot))
+	copy(out.zSlot, m.zSlot)
+	return true
+}
+
+// store records out's freshly computed resolution under the faults key.
+func (m *resolutionMemo) store(faults []fault.Fault, out *Batch) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faults = append(m.faults[:0], faults...)
+	m.off = append(m.off[:0], out.off...)
+	m.partSlot = append(m.partSlot[:0], out.partSlot...)
+	m.partVal = append(m.partVal[:0], out.partVal...)
+	m.distinct = append(m.distinct[:0], out.distinct...)
+	m.zSlot = append(m.zSlot[:0], out.zSlot...)
+	m.valid = true
 }
 
 // New compiles the circuit and binds the measurement: the named driving
@@ -60,7 +131,8 @@ func New(c *circuit.Circuit, source, output string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := &Engine{tmpl: tmpl, source: source, output: output, outIdx: outIdx, amp: vs.Amplitude}
+	ampAbs := cmplx.Abs(vs.Amplitude)
+	eng := &Engine{tmpl: tmpl, source: source, output: output, outIdx: outIdx, amp: vs.Amplitude, ampAbs: ampAbs, invAmpAbs: 1 / ampAbs}
 	// Workspaces are sized for the worst case (every slot distinct) so one
 	// pool serves every batch shape; callers in tight loops (the GA's
 	// fitness evaluations) then reuse scratch instead of reallocating
@@ -68,6 +140,15 @@ func New(c *circuit.Circuit, source, output string) (*Engine, error) {
 	eng.pool.New = func() any { return newWorkspace(tmpl.n, len(tmpl.slots)) }
 	return eng, nil
 }
+
+// UseScalarKernels selects between the blocked SoA kernel path (false,
+// the default) and the scalar complex128 reference path (true) for all
+// subsequent batch calls. The scalar path is the original one-RHS-at-a-
+// time implementation, kept as the reference the blocked path is pinned
+// against (≤ 1e-9 relative on every built-in CUT); production callers
+// never need this. Must not be toggled concurrently with a running
+// batch.
+func (e *Engine) UseScalarKernels(on bool) { e.scalarKernels = on }
 
 // Template exposes the compiled stamp program.
 func (e *Engine) Template() *Template { return e.tmpl }
@@ -241,20 +322,49 @@ type workspace struct {
 	delta []complex128    // per-part coefficient deltas of one item
 	cmat  []complex128    // k×k capacitance matrix (row-major)
 	wvec  []complex128    // capacitance RHS, overwritten with the solution
+
+	// Blocked SoA kernel scratch (the default path): the golden matrix
+	// and both factorization targets as split re/im planes, their LU
+	// headers, and the multi-RHS block holding the golden solve plus one
+	// z-solve per distinct slot — filled and swept once per frequency.
+	ms   *numeric.SoAMatrix // golden A(s) planes, kept unfactored for fallbacks
+	fs   *numeric.SoAMatrix // golden factorization storage
+	f2s  *numeric.SoAMatrix // fallback factorization storage
+	slu  numeric.SoALU      // golden SoA LU header, refactored in place
+	slu2 numeric.SoALU      // fallback SoA LU header
+	blk  *numeric.Block     // col 0 = x0, col 1+zi = z of distinct slot zi
+
+	// Per-column per-distinct-slot precomputes (indexed by z position):
+	// every deviation of a component shares its slot, so the slot-only
+	// factors of the Sherman–Morrison correction are hoisted out of the
+	// per-item loop — computed once per frequency, reused ~|deviations|
+	// times.
+	vtz    []complex128 // vᵀz for the slot's own z column
+	vtx0   []complex128 // vᵀx0
+	zoutc  []complex128 // z[outIdx]
+	gcoeff []complex128 // golden coefficient sl.coeff(sl.value, s)
 }
 
 func newWorkspace(n, nslots int) *workspace {
 	ws := &workspace{
-		m:     numeric.NewMatrix(n, n),
-		f:     numeric.NewMatrix(n, n),
-		f2:    numeric.NewMatrix(n, n),
-		x0:    make([]complex128, n),
-		xf:    make([]complex128, n),
-		rhs:   make([]complex128, n),
-		z:     make([][]complex128, nslots),
-		delta: make([]complex128, nslots),
-		cmat:  make([]complex128, nslots*nslots),
-		wvec:  make([]complex128, nslots),
+		m:      numeric.NewMatrix(n, n),
+		f:      numeric.NewMatrix(n, n),
+		f2:     numeric.NewMatrix(n, n),
+		x0:     make([]complex128, n),
+		xf:     make([]complex128, n),
+		rhs:    make([]complex128, n),
+		z:      make([][]complex128, nslots),
+		delta:  make([]complex128, nslots),
+		cmat:   make([]complex128, nslots*nslots),
+		wvec:   make([]complex128, nslots),
+		ms:     numeric.NewSoAMatrix(n, n),
+		fs:     numeric.NewSoAMatrix(n, n),
+		f2s:    numeric.NewSoAMatrix(n, n),
+		blk:    numeric.NewBlock(n, 1+nslots),
+		vtz:    make([]complex128, nslots),
+		vtx0:   make([]complex128, nslots),
+		zoutc:  make([]complex128, nslots),
+		gcoeff: make([]complex128, nslots),
 	}
 	for i := range ws.z {
 		ws.z[i] = make([]complex128, n)
@@ -341,33 +451,21 @@ func itemID(faults []fault.Fault, sets []fault.Set, i int) string {
 	return faults[i].ID()
 }
 
-// batchInto fills out with the dense response table, reusing its
-// storage. Exactly one of faults and sets is non-nil; the single-fault
-// form resolves without touching the Set interface (no boxing), which
-// keeps the GA fitness path allocation-free.
-func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fault.Set, omegas []float64, workers int, progress func(done, total int), out *Batch) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if len(omegas) == 0 {
-		return fmt.Errorf("engine: empty frequency list")
-	}
-	for _, w := range omegas {
-		if err := checkOmega(w); err != nil {
-			return err
-		}
-	}
+// resolveBatch fills out's flattened fault-resolution scratch for the
+// batch items: part groups (off/partSlot/partVal) and the distinct-slot
+// index (distinct/zSlot). The single-fault form presizes its append
+// targets so a cold Batch takes one allocation per array instead of
+// doubling growth churn.
+func (e *Engine) resolveBatch(faults []fault.Fault, sets []fault.Set, out *Batch) error {
 	nitems := len(faults)
 	if sets != nil {
 		nitems = len(sets)
 	}
-	// Resolve every item up front into flattened (slot, value) part
-	// groups: item i owns parts off[i]..off[i+1].
 	out.off = sliceutil.Grow(out.off, nitems+1)
-	out.partSlot = out.partSlot[:0]
-	out.partVal = out.partVal[:0]
 	out.off[0] = 0
 	if sets == nil {
+		out.partSlot = sliceutil.Grow(out.partSlot, len(faults))[:0]
+		out.partVal = sliceutil.Grow(out.partVal, len(faults))[:0]
 		for i, f := range faults {
 			si, fv, err := e.resolve(f)
 			if err != nil {
@@ -380,6 +478,8 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fau
 			out.off[i+1] = len(out.partSlot)
 		}
 	} else {
+		out.partSlot = out.partSlot[:0]
+		out.partVal = out.partVal[:0]
 		for i, set := range sets {
 			parts := set.Parts()
 			if err := checkDistinct(parts); err != nil {
@@ -403,11 +503,47 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fau
 	for i := range out.zSlot {
 		out.zSlot[i] = -1
 	}
-	out.distinct = out.distinct[:0]
+	out.distinct = sliceutil.Grow(out.distinct, len(e.tmpl.slots))[:0]
 	for _, si := range out.partSlot {
 		if out.zSlot[si] < 0 {
 			out.zSlot[si] = len(out.distinct)
 			out.distinct = append(out.distinct, si)
+		}
+	}
+	return nil
+}
+
+// batchInto fills out with the dense response table, reusing its
+// storage. Exactly one of faults and sets is non-nil; the single-fault
+// form resolves without touching the Set interface (no boxing), which
+// keeps the GA fitness path allocation-free.
+func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fault.Set, omegas []float64, workers int, progress func(done, total int), out *Batch) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(omegas) == 0 {
+		return fmt.Errorf("engine: empty frequency list")
+	}
+	for _, w := range omegas {
+		if err := checkOmega(w); err != nil {
+			return err
+		}
+	}
+	nitems := len(faults)
+	if sets != nil {
+		nitems = len(sets)
+	}
+	// Resolve every item up front into flattened (slot, value) part
+	// groups: item i owns parts off[i]..off[i+1]. Single-fault lists hit
+	// the engine's resolution memo when they repeat — the GA fitness loop
+	// and per-candidate trajectory builds pass the identical universe on
+	// every call.
+	if sets != nil || !e.memo.lookup(faults, out) {
+		if err := e.resolveBatch(faults, sets, out); err != nil {
+			return err
+		}
+		if sets == nil {
+			e.memo.store(faults, out)
 		}
 	}
 
@@ -521,8 +657,20 @@ feed:
 // factorization, one z-solve per distinct slot, then O(k²·n_sparse + k³)
 // work per k-part item (O(1) for the dominant rank-1 case). The
 // item-resolution scratch (off, partSlot, partVal, distinct, zSlot) is
-// read from out, where batchInto prepared it.
+// read from out, where batchInto prepared it. The work runs on the
+// blocked SoA kernels by default; UseScalarKernels(true) routes it
+// through the original scalar complex128 reference implementation.
 func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, j int) error {
+	if e.scalarKernels {
+		return e.solveColumnScalar(ws, omega, faults, sets, out, j)
+	}
+	return e.solveColumnBlocked(ws, omega, faults, sets, out, j)
+}
+
+// solveColumnScalar is the scalar complex128 reference implementation
+// of solveColumn: one golden factorization and k+1 sequential one-RHS
+// triangular solves per frequency.
+func (e *Engine) solveColumnScalar(ws *workspace, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, j int) error {
 	s := complex(0, omega)
 	t := e.tmpl
 	t.stampGolden(ws.m, s)

@@ -308,6 +308,33 @@ func (t *Template) addRank1(dst *numeric.Matrix, sl *slot, theta complex128) {
 	}
 }
 
+// stampGoldenSoA is stampGolden writing into split re/im planes — the
+// blocked kernel path's matrix source. Stamp order matches stampGolden
+// exactly, so the two layouts hold bitwise-identical values.
+func (t *Template) stampGoldenSoA(dst *numeric.SoAMatrix, s complex128) {
+	dst.Zero()
+	for _, e := range t.static {
+		dst.Add(e.i, e.j, e.v)
+	}
+	for i := range t.slots {
+		sl := &t.slots[i]
+		t.addRank1SoA(dst, sl, sl.coeff(sl.value, s))
+	}
+}
+
+// addRank1SoA accumulates θ · u vᵀ for one slot into SoA planes.
+func (t *Template) addRank1SoA(dst *numeric.SoAMatrix, sl *slot, theta complex128) {
+	if theta == 0 {
+		return
+	}
+	for _, ue := range sl.u {
+		w := theta * ue.w
+		for _, ve := range sl.v {
+			dst.Add(ue.idx, ve.idx, w*ve.w)
+		}
+	}
+}
+
 // RHS returns the template's constant source vector (not a copy).
 func (t *Template) RHS() []complex128 { return t.b }
 

@@ -15,6 +15,7 @@ import (
 type LU struct {
 	lu    *Matrix
 	piv   []int // row i of the factored matrix came from row piv[i] of A
+	swp   []int // swap sequence: step k exchanged rows k and swp[k]
 	sign  int   // parity of the permutation, ±1
 	n     int
 	normA float64 // infinity norm of A, kept for condition estimation
@@ -66,8 +67,9 @@ func (f *LU) factorStorage(a *Matrix) error {
 	n := a.rows
 	if cap(f.piv) < n {
 		f.piv = make([]int, n)
+		f.swp = make([]int, n)
 	}
-	*f = LU{lu: a, piv: f.piv[:n], sign: 1, n: n, normA: a.NormInf()}
+	*f = LU{lu: a, piv: f.piv[:n], swp: f.swp[:n], sign: 1, n: n, normA: a.NormInf()}
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -85,6 +87,7 @@ func (f *LU) factorStorage(a *Matrix) error {
 		if mx == 0 {
 			return fmt.Errorf("numeric: zero pivot at column %d: %w", k, ErrSingular)
 		}
+		f.swp[k] = p
 		if p != k {
 			for j := 0; j < n; j++ {
 				d[k*n+j], d[p*n+j] = d[p*n+j], d[k*n+j]
@@ -158,26 +161,110 @@ func (f *LU) solveInPlace(x []complex128) {
 	}
 }
 
-// SolveMatrix solves A*X = B column by column.
-func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
-	if b.rows != f.n {
-		return nil, fmt.Errorf("numeric: solve-matrix with %d rows, want %d: %w", b.rows, f.n, ErrDimension)
+// SolveBlock solves A·X = B for every column of the SoA block in place:
+// the block's columns are overwritten with the corresponding solutions.
+// The permutation and both triangular sweeps run once across all
+// right-hand sides — the factored matrix is walked once per block, not
+// once per column — with the per-row axpys touching contiguous float64
+// plane runs. Allocation-free.
+func (f *LU) SolveBlock(blk *Block) error {
+	if blk.rows != f.n {
+		return fmt.Errorf("numeric: solve-block with %d rows, want %d: %w", blk.rows, f.n, ErrDimension)
 	}
+	n, nc := f.n, blk.cols
+	if nc == 0 {
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		if p := f.swp[k]; p != k {
+			blk.swapRows(k, p)
+		}
+	}
+	d := f.lu.data
+	bre, bim := blk.re, blk.im
+	// L·Y = P·B (L unit lower triangular).
+	for i := 1; i < n; i++ {
+		xr := bre[i*nc : i*nc+nc]
+		xi := bim[i*nc : i*nc+nc]
+		for j := 0; j < i; j++ {
+			m := d[i*n+j]
+			if m == 0 {
+				continue
+			}
+			mr, mi := real(m), imag(m)
+			yr := bre[j*nc : j*nc+nc]
+			yi := bim[j*nc : j*nc+nc]
+			for c := range xr {
+				r, im := yr[c], yi[c]
+				xr[c] -= mr*r - mi*im
+				xi[c] -= mr*im + mi*r
+			}
+		}
+	}
+	// U·X = Y.
+	for i := n - 1; i >= 0; i-- {
+		xr := bre[i*nc : i*nc+nc]
+		xi := bim[i*nc : i*nc+nc]
+		for j := i + 1; j < n; j++ {
+			m := d[i*n+j]
+			if m == 0 {
+				continue
+			}
+			mr, mi := real(m), imag(m)
+			yr := bre[j*nc : j*nc+nc]
+			yi := bim[j*nc : j*nc+nc]
+			for c := range xr {
+				r, im := yr[c], yi[c]
+				xr[c] -= mr*r - mi*im
+				xi[c] -= mr*im + mi*r
+			}
+		}
+		dr, di := recip(real(d[i*n+i]), imag(d[i*n+i]))
+		for c := range xr {
+			r, im := xr[c], xi[c]
+			xr[c] = dr*r - di*im
+			xi[c] = dr*im + di*r
+		}
+	}
+	return nil
+}
+
+// SolveBlockInto is SolveBlock writing the solutions into dst, leaving
+// rhs untouched. dst is reshaped to rhs's shape, reusing its planes, so
+// a dst held across calls makes the steady state allocation-free.
+func (f *LU) SolveBlockInto(dst, rhs *Block) error {
+	if dst == rhs {
+		return f.SolveBlock(dst)
+	}
+	dst.CopyFrom(rhs)
+	return f.SolveBlock(dst)
+}
+
+// SolveMatrix solves A*X = B via one blocked multi-RHS solve.
+func (f *LU) SolveMatrix(b *Matrix) (*Matrix, error) {
 	out := NewMatrix(f.n, b.cols)
-	col := make([]complex128, f.n)
-	dst := make([]complex128, f.n)
-	for j := 0; j < b.cols; j++ {
-		for i := 0; i < f.n; i++ {
-			col[i] = b.data[i*b.cols+j]
-		}
-		if err := f.SolveInto(dst, col); err != nil {
-			return nil, err
-		}
-		for i := 0; i < f.n; i++ {
-			out.data[i*out.cols+j] = dst[i]
-		}
+	if err := f.SolveMatrixInto(out, b, &Block{}); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SolveMatrixInto is SolveMatrix writing into the caller-owned dst
+// (shape n×B.cols) using the caller-owned scratch block for the solve —
+// allocation-free in steady state once scratch has warmed to the
+// largest shape it has seen.
+func (f *LU) SolveMatrixInto(dst, b *Matrix, scratch *Block) error {
+	if b.rows != f.n {
+		return fmt.Errorf("numeric: solve-matrix with %d rows, want %d: %w", b.rows, f.n, ErrDimension)
+	}
+	if dst.rows != f.n || dst.cols != b.cols {
+		return fmt.Errorf("numeric: solve-matrix into %dx%d, want %dx%d: %w", dst.rows, dst.cols, f.n, b.cols, ErrDimension)
+	}
+	scratch.CopyFromMatrix(b)
+	if err := f.SolveBlock(scratch); err != nil {
+		return err
+	}
+	return scratch.ToMatrix(dst)
 }
 
 // Det returns the determinant of the factored matrix.
@@ -189,9 +276,30 @@ func (f *LU) Det() complex128 {
 	return det
 }
 
-// Inverse returns A^-1 via n solves against the identity.
+// Inverse returns A^-1 via one blocked solve against the identity.
 func (f *LU) Inverse() (*Matrix, error) {
-	return f.SolveMatrix(Identity(f.n))
+	out := NewMatrix(f.n, f.n)
+	if err := f.InverseInto(out, &Block{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// InverseInto writes A^-1 into the caller-owned n×n dst using the
+// caller-owned scratch block — allocation-free in steady state.
+func (f *LU) InverseInto(dst *Matrix, scratch *Block) error {
+	if dst.rows != f.n || dst.cols != f.n {
+		return fmt.Errorf("numeric: inverse into %dx%d, want %dx%d: %w", dst.rows, dst.cols, f.n, f.n, ErrDimension)
+	}
+	scratch.Reset(f.n, f.n)
+	scratch.Zero()
+	for i := 0; i < f.n; i++ {
+		scratch.re[i*f.n+i] = 1
+	}
+	if err := f.SolveBlock(scratch); err != nil {
+		return err
+	}
+	return scratch.ToMatrix(dst)
 }
 
 // ConditionEstimate returns a cheap lower-bound estimate of the infinity-

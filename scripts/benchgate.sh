@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# benchgate.sh — regression gate over the tracked hot-path benchmarks.
+#
+# Usage:
+#   scripts/benchgate.sh [BASELINE_JSON] [TOLERANCE]
+#
+# Defaults: BASELINE_JSON=BENCH_hotpath.json (the checked-in record),
+# TOLERANCE=0.10 (10% slower than baseline fails).
+#
+# Runs `ftbench -e hotpath` on the working tree, writes the fresh report
+# to bench-out/hotpath-gate.json, and fails when fitness_eval or
+# trajectory_build regress past the tolerance or the fitness path
+# allocates. The checked-in baseline and a CI runner are different
+# machines, so the tolerance compares like-for-like only when the
+# baseline was produced on the same runner class — for cross-machine
+# runs, pass a baseline produced with `ftbench -e hotpath` on the same
+# host (see .github/workflows/ci.yml, which measures its own baseline
+# from the merge base).
+set -euo pipefail
+
+baseline=${1:-BENCH_hotpath.json}
+tol=${2:-0.10}
+
+root=$(git rev-parse --show-toplevel)
+out_dir=$root/bench-out
+mkdir -p "$out_dir"
+
+cd "$root"
+go run ./cmd/ftbench -e hotpath \
+    -hotpath-out "$out_dir/hotpath-gate.json" \
+    -gate "$baseline" -gate-tol "$tol"
