@@ -21,6 +21,7 @@ const (
 	kindDictionary   = artifact.KindDictionary
 	kindTestVector   = artifact.KindTestVector
 	kindTrajectories = artifact.KindTrajectories
+	kindClouds       = artifact.KindClouds
 
 	// KindDiagnosisReport tags the machine-readable report ftdiag -json
 	// emits. Exported so downstream consumers can dispatch on it.
@@ -148,6 +149,55 @@ func (s *Session) SaveTrajectories(path string, m *TrajectoryMap) error {
 // results.
 func (s *Session) LoadTrajectories(path string) (*TrajectoryMap, error) {
 	return loadTrajectoryMap(path, s.checksum)
+}
+
+// SaveClouds persists a Monte-Carlo signature-cloud set as a versioned,
+// checksummed artifact, so the expensive tolerance sweep behind a
+// probabilistic diagnosis model is paid once per board revision.
+func (s *Session) SaveClouds(path string, cs *SignatureClouds) error {
+	if cs == nil {
+		return fmt.Errorf("repro: %w: nil signature clouds", ErrBadConfig)
+	}
+	if err := cs.Validate(); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	data, err := artifact.Encode(kindClouds, s.checksum, cs)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadClouds reads a signature-cloud artifact saved by SaveClouds, with
+// the same kind/version/checksum verification as LoadDictionary plus a
+// structural validation of the cloud set itself. The loaded set scores
+// identically to the saved one: JSON float64 encoding is round-trip
+// lossless.
+func (s *Session) LoadClouds(path string) (*SignatureClouds, error) {
+	return loadClouds(path, s.checksum)
+}
+
+// LoadSignatureClouds reads a signature-cloud artifact without a session
+// — the tester-side path, where no circuit model exists to verify the
+// checksum against. The envelope's kind and schema version are still
+// enforced.
+func LoadSignatureClouds(path string) (*SignatureClouds, error) {
+	return loadClouds(path, "")
+}
+
+func loadClouds(path, wantChecksum string) (*SignatureClouds, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cs SignatureClouds
+	if err := artifact.DecodeInto(data, kindClouds, wantChecksum, &cs); err != nil {
+		return nil, err
+	}
+	if err := cs.Validate(); err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &cs, nil
 }
 
 // LoadTrajectoryMap reads a trajectory-map artifact without a session —

@@ -22,6 +22,7 @@ type runner struct {
 	out           io.Writer
 	hotpathOut    string  // destination of the HOTPATH report
 	multifaultOut string  // destination of the MULTIFAULT report
+	toleranceOut  string  // destination of the TOLERANCE report
 	date          string  // report date stamp; empty = today (UTC)
 	gate          string  // baseline report to gate HOTPATH against ("" = off)
 	gateTol       float64 // allowed fractional ns/op regression before the gate fails

@@ -7,6 +7,7 @@
 //	ftdiag -cut nf-lowpass-7
 //	ftdiag -cut nf-lowpass-7 -inject R3@+25%
 //	ftdiag -cut nf-lowpass-7 -inject R3@+25% -json
+//	ftdiag -cut nf-lowpass-7 -inject R3@+25% -tolerance 0.05 -mc-samples 200
 //	ftdiag -cut nf-lowpass-7 -double-faults -inject R1@+30%+C2@-20%
 //	ftdiag -netlist rc.cir -source V1 -output out -inject R1@-30%
 //	ftdiag -cut sallen-key-lp -freqs 0.5,2.0
@@ -47,6 +48,8 @@ func main() {
 		doubles  = flag.Bool("double-faults", false, "model double faults: the trajectory map gains pair families and multi-fault injections are named, not rejected")
 		maxDbl   = flag.Int("max-double-faults", 0, "cap the modeled double-fault universe (0 = no cap)")
 		reject   = flag.Float64("reject", 0, "rejection ratio for out-of-model faults (0 disables; try 0.02)")
+		tolSigma = flag.Float64("tolerance", 0, "component tolerance sigma for probabilistic diagnosis (requires -mc-samples)")
+		mcSamp   = flag.Int("mc-samples", 0, "Monte-Carlo samples per fault cloud; > 0 adds a likelihood-ranked probabilistic diagnosis with confidence and ambiguity groups")
 		export   = flag.String("export", "", "write the fault dictionary grid as a versioned artifact to this file and exit")
 		saveTraj = flag.String("save-trajectories", "", "write the trajectory map as a versioned artifact to this file and exit")
 		loadDict = flag.String("load-dictionary", "", "diagnose against a saved dictionary-grid artifact (requires -freqs; skips grid re-simulation)")
@@ -81,6 +84,11 @@ func main() {
 	}
 	if *doubles {
 		opts = append(opts, repro.WithDoubleFaults(*maxDbl))
+	}
+	if *mcSamp > 0 {
+		opts = append(opts,
+			repro.WithTolerance(repro.Tolerance{Sigma: *tolSigma}, *mcSamp),
+			repro.WithToleranceSeed(*seed))
 	}
 	s, err := buildSession(*cutName, *nlPath, *source, *output, opts...)
 	if err != nil {
@@ -169,7 +177,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := printInjected(s, dg, set, *reject); err != nil {
+		if err := printInjected(ctx, s, dg, omegas, set, *reject); err != nil {
 			fail(err)
 		}
 		return
@@ -227,8 +235,9 @@ func evaluateDoubles(ctx context.Context, s *repro.Session, dg *repro.Diagnoser)
 }
 
 // printInjected diagnoses one injected fault set against dg and prints
-// the human-readable verdict.
-func printInjected(s *repro.Session, dg *repro.Diagnoser, set repro.FaultSet, reject float64) error {
+// the human-readable verdict, followed by the probabilistic ranking
+// when the session carries a tolerance model.
+func printInjected(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, set repro.FaultSet, reject float64) error {
 	res, err := dg.DiagnoseSet(s.Dictionary(), set)
 	if err != nil {
 		return err
@@ -252,7 +261,44 @@ func printInjected(s *repro.Session, dg *repro.Diagnoser, set repro.FaultSet, re
 		return nil
 	}
 	fmt.Printf("=> %s as %s (estimated deviation %+.0f%%)\n", status, best.Component, best.Deviation*100)
+	return printProb(ctx, s, dg, omegas, res)
+}
+
+// printProb renders the probabilistic ranking of an already-diagnosed
+// point — a no-op for sessions without a tolerance model.
+func printProb(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, res *repro.DiagnosisResult) error {
+	prob, err := probScore(ctx, s, dg, omegas, res)
+	if err != nil || prob == nil {
+		return err
+	}
+	tol, samples := s.Tolerance()
+	fmt.Printf("probabilistic diagnosis (sigma %.3g, %d samples): confidence %.1f%%\n",
+		tol.Sigma, samples, 100*prob.Confidence)
+	top := prob.Candidates
+	if len(top) > 3 {
+		top = top[:3]
+	}
+	for i, c := range top {
+		fmt.Printf("  %d. %-12s p = %.3f  (log-likelihood %.2f)\n", i+1, c.Key, c.Probability, c.LogLikelihood)
+	}
+	if len(prob.AmbiguityGroup) > 0 {
+		fmt.Printf("  ambiguity group: %s\n", strings.Join(prob.AmbiguityGroup, ", "))
+	}
 	return nil
+}
+
+// probScore builds the session's signature-cloud model and scores the
+// diagnosed point against it. Sessions without WithTolerance (no
+// -mc-samples) return nil without work.
+func probScore(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, omegas []float64, res *repro.DiagnosisResult) (*repro.ProbabilisticResult, error) {
+	if _, samples := s.Tolerance(); samples == 0 {
+		return nil, nil
+	}
+	cs, err := s.Clouds(ctx, omegas)
+	if err != nil {
+		return nil, err
+	}
+	return s.DiagnoseProbabilistic(dg, cs, []float64(res.Point))
 }
 
 func printEvaluation(ev *repro.Evaluation) {
@@ -301,7 +347,7 @@ func runFromArtifact(ctx context.Context, s *repro.Session, path string, omegas 
 			fmt.Println()
 			return nil
 		}
-		return printInjected(s, dg, set, reject)
+		return printInjected(ctx, s, dg, omegas, set, reject)
 	}
 	if jsonOut {
 		data, err := evaluateJSON(ctx, s, dg, omegas, fit, doubles)
@@ -365,14 +411,19 @@ func chooseFrequencies(ctx context.Context, s *repro.Session, freqsArg string, s
 // diagReport is the machine-readable payload ftdiag -json wraps in the
 // versioned artifact envelope.
 type diagReport struct {
-	Circuit    string                 `json:"circuit"`
-	Omegas     []float64              `json:"omegas"`
-	Fitness    float64                `json:"fitness"`
-	Injected   string                 `json:"injected,omitempty"`
-	Rejected   *bool                  `json:"rejected,omitempty"`
-	Result     *repro.DiagnosisResult `json:"result,omitempty"`
-	Eval       *repro.Evaluation      `json:"evaluation,omitempty"`
-	DoubleEval *repro.Evaluation      `json:"double_evaluation,omitempty"`
+	Circuit  string                 `json:"circuit"`
+	Omegas   []float64              `json:"omegas"`
+	Fitness  float64                `json:"fitness"`
+	Injected string                 `json:"injected,omitempty"`
+	Rejected *bool                  `json:"rejected,omitempty"`
+	Result   *repro.DiagnosisResult `json:"result,omitempty"`
+	// Probabilistic fields, present when the session carries a
+	// tolerance model (-tolerance/-mc-samples).
+	Confidence     *float64                       `json:"confidence,omitempty"`
+	Likelihoods    []repro.ProbabilisticCandidate `json:"likelihoods,omitempty"`
+	AmbiguityGroup []string                       `json:"ambiguity_group,omitempty"`
+	Eval           *repro.Evaluation              `json:"evaluation,omitempty"`
+	DoubleEval     *repro.Evaluation              `json:"double_evaluation,omitempty"`
 }
 
 // diagnoseJSON runs the injected-fault diagnosis (single or multiple)
@@ -400,6 +451,16 @@ func diagnoseJSON(ctx context.Context, s *repro.Session, dg *repro.Diagnoser, om
 	if rejectRatio > 0 {
 		rejected := res.Rejected(dg.Extent(), rejectRatio)
 		rep.Rejected = &rejected
+	}
+	prob, err := probScore(ctx, s, dg, omegas, res)
+	if err != nil {
+		return nil, err
+	}
+	if prob != nil {
+		conf := prob.Confidence
+		rep.Confidence = &conf
+		rep.Likelihoods = prob.Candidates
+		rep.AmbiguityGroup = prob.AmbiguityGroup
 	}
 	return s.EncodeArtifact(repro.KindDiagnosisReport, rep)
 }

@@ -326,3 +326,65 @@ func TestEvaluateJSONShape(t *testing.T) {
 		t.Fatalf("accuracy = %g, want >= 0.9 on the known-good vector", rep.Eval.Accuracy())
 	}
 }
+
+// TestDiagnoseProbJSONGolden pins the -json envelope of a
+// tolerance-aware run: the probabilistic fields (confidence,
+// likelihoods, ambiguity_group) ride inside the same artifact payload
+// as the classic diagnosis. Regenerate with -update.
+func TestDiagnoseProbJSONGolden(t *testing.T) {
+	s, err := repro.NewSession(repro.PaperCUT(),
+		repro.WithTolerance(repro.Tolerance{Sigma: 0.05}, 64),
+		repro.WithToleranceSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	omegas := []float64{0.56, 4.55}
+	fit, err := s.Fitness(ctx, omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := diagnoseJSON(ctx, s, nil, omegas, fit, repro.Fault{Component: "R3", Deviation: 0.25}, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+
+	golden := filepath.Join("testdata", "diagnose_r3p25_prob.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	var gotV, wantV any
+	if err := json.Unmarshal(data, &gotV); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatal(err)
+	}
+	if diff := jsonDiff("$", gotV, wantV); diff != "" {
+		t.Fatalf("probabilistic -json output drifted from golden file at %s\n got: %s\nwant: %s", diff, data, want)
+	}
+
+	var env struct {
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	var rep diagReport
+	if err := json.Unmarshal(env.Payload, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Confidence == nil || *rep.Confidence <= 0 || *rep.Confidence > 1 {
+		t.Fatalf("confidence = %v", rep.Confidence)
+	}
+	if len(rep.Likelihoods) == 0 || rep.Likelihoods[0].Key != "R3" {
+		t.Fatalf("likelihoods = %+v, want R3 on top", rep.Likelihoods)
+	}
+}

@@ -47,6 +47,8 @@ type options struct {
 	full       bool
 	doubles    bool
 	maxDoubles int
+	tolSigma   float64
+	mcSamples  int
 	workers    int
 	lru        int
 	flush      time.Duration
@@ -65,6 +67,8 @@ func main() {
 	flag.BoolVar(&o.full, "full", false, "use the paper's full 128x15 GA for optimized test vectors")
 	flag.BoolVar(&o.doubles, "double-faults", false, "model double faults: maps gain pair trajectories and {\"faults\":[...]} injections are named")
 	flag.IntVar(&o.maxDoubles, "max-double-faults", 0, "cap the modeled double-fault universe per CUT (0 = no cap)")
+	flag.Float64Var(&o.tolSigma, "tolerance", 0, "component tolerance sigma for probabilistic diagnosis (requires -mc-samples)")
+	flag.IntVar(&o.mcSamples, "mc-samples", 0, "Monte-Carlo samples per fault cloud; > 0 enables probabilistic diagnosis (confidence, likelihoods, ambiguity groups)")
 	flag.IntVar(&o.workers, "workers", 0, "worker bound per session (0 = one per CPU)")
 	flag.IntVar(&o.lru, "lru", serve.DefaultCapacity, "max CUTs resident in the registry")
 	flag.DurationVar(&o.flush, "flush", 2*time.Millisecond, "micro-batch flush window")
@@ -99,6 +103,8 @@ func run(o options, ready chan<- string) error {
 			FullGA:          o.full,
 			DoubleFaults:    o.doubles,
 			MaxDoubleFaults: o.maxDoubles,
+			ToleranceSigma:  o.tolSigma,
+			MCSamples:       o.mcSamples,
 			ArtifactDir:     o.arts,
 			Scheduler: serve.SchedulerConfig{
 				FlushWindow: o.flush,
@@ -128,8 +134,8 @@ func run(o options, ready chan<- string) error {
 		return err
 	}
 	log.Printf("%s", cfg.Version)
-	log.Printf("serving on %s (flush %s, max batch %d, queue %d, lru %d, double faults %v)",
-		ln.Addr(), o.flush, o.maxBatch, o.queue, o.lru, o.doubles)
+	log.Printf("serving on %s (flush %s, max batch %d, queue %d, lru %d, double faults %v, mc samples %d)",
+		ln.Addr(), o.flush, o.maxBatch, o.queue, o.lru, o.doubles, o.mcSamples)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

@@ -28,6 +28,9 @@ const (
 	KindTestVector = "repro.test-vector"
 	// KindTrajectories tags a trajectory map.
 	KindTrajectories = "repro.trajectory-map"
+	// KindClouds tags a Monte-Carlo signature-cloud set (probabilistic
+	// diagnosis model).
+	KindClouds = "repro.signature-clouds"
 )
 
 // Envelope is the on-disk frame around every persisted artifact.

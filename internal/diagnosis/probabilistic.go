@@ -1,0 +1,92 @@
+package diagnosis
+
+import (
+	"fmt"
+
+	"repro/internal/geometry"
+	"repro/internal/rerr"
+)
+
+// ProbCandidate is one ranked hypothesis from a probabilistic
+// (signature-cloud) diagnosis: a component set with the fault set that
+// maximizes the likelihood within it, its log-likelihood, and its
+// posterior probability under equal priors.
+type ProbCandidate struct {
+	// Key identifies the component set ("R3", "C1+R3", "golden").
+	Key string `json:"key"`
+	// Components are the faulted component names (nil for golden).
+	Components []string `json:"components,omitempty"`
+	// ID is the most likely fault set of the component set, e.g.
+	// "R3@+25%" or "C1@-20%+R3@+30%".
+	ID string `json:"id"`
+	// Deviations are ID's per-component deviations, aligned with
+	// Components.
+	Deviations []float64 `json:"deviations,omitempty"`
+	// LogLikelihood is ID's Gaussian log-likelihood of the observed
+	// point (cloud variance + measurement noise).
+	LogLikelihood float64 `json:"log_likelihood"`
+	// Probability is the posterior probability of the component set:
+	// the softmax of the log-likelihoods over every cloud, summed over
+	// the set's deviations. Probabilities over all candidates sum to 1.
+	Probability float64 `json:"probability"`
+}
+
+// ProbResult is a full probabilistic diagnosis: every component set
+// ranked by posterior probability, the confidence in the winner, and
+// the precomputed ambiguity group the winning fault set belongs to.
+type ProbResult struct {
+	// Candidates are ranked by descending posterior probability
+	// (log-likelihood breaks ties).
+	Candidates []ProbCandidate `json:"candidates"`
+	// Confidence is the winner's posterior probability — 1/len(clouds)
+	// means "no idea", near 1 means the clouds separate cleanly at this
+	// point.
+	Confidence float64 `json:"confidence"`
+	// AmbiguityGroup lists the fault-set IDs whose signature clouds
+	// overlap the winner's beyond the build-time threshold (including
+	// the winner itself); empty when the winner's cloud is isolated.
+	AmbiguityGroup []string `json:"ambiguity_group,omitempty"`
+	// Point is the observed fault-space point that was scored.
+	Point geometry.VecN `json:"point"`
+}
+
+// Best returns the top-ranked candidate (the zero value if the result
+// is empty).
+func (r *ProbResult) Best() ProbCandidate {
+	if len(r.Candidates) == 0 {
+		return ProbCandidate{}
+	}
+	return r.Candidates[0]
+}
+
+// CloudModel scores observed fault-space points against a set of
+// per-fault signature distributions. The concrete implementation lives
+// in internal/probdiag (built from Monte-Carlo tolerance sampling);
+// diagnosis only needs the scoring contract, which keeps the dependency
+// arrow pointing from probdiag to diagnosis.
+type CloudModel interface {
+	// Dim returns the signature dimensionality (frequency count).
+	Dim() int
+	// Score ranks every cloud against the point and assembles the
+	// probabilistic result.
+	Score(point []float64) (*ProbResult, error)
+}
+
+// DiagnoseProbabilistic scores an observed point against a tolerance
+// cloud model instead of the nearest-signature trajectories. The model
+// must share the diagnoser's frequency grid (dimensionalities are
+// checked); the point-signature Diagnose path is untouched.
+func (d *Diagnoser) DiagnoseProbabilistic(model CloudModel, point geometry.VecN) (*ProbResult, error) {
+	if model == nil {
+		return nil, fmt.Errorf("%w: diagnosis: nil cloud model", rerr.ErrBadConfig)
+	}
+	if len(point) != len(d.m.Omegas) {
+		return nil, fmt.Errorf("%w: diagnosis: point has %d dims, map has %d frequencies",
+			rerr.ErrBadConfig, len(point), len(d.m.Omegas))
+	}
+	if model.Dim() != len(d.m.Omegas) {
+		return nil, fmt.Errorf("%w: diagnosis: cloud model has %d dims, map has %d frequencies",
+			rerr.ErrBadConfig, model.Dim(), len(d.m.Omegas))
+	}
+	return model.Score(point)
+}

@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/numeric"
+	"repro/internal/rerr"
+)
+
+// boltzmann is k_B in J/K (mirrors analysis.Boltzmann; the engine stays
+// below the analysis layer, so the constant is restated rather than
+// imported — the noise tests pin the two paths against each other).
+const boltzmann = 1.380649e-23
+
+// SourceAmplitude returns |amplitude| of the driving source — the
+// normalization the engine applies to every response magnitude. Noise
+// voltages must be divided by it before they are compared against
+// signature-space quantities.
+func (e *Engine) SourceAmplitude() float64 { return e.ampAbs }
+
+// OutputNoisePSD evaluates the thermal (Johnson) output-noise power
+// spectral density at each angular frequency directly on the compiled
+// stamp template: every resistor is exactly one conductance slot whose
+// sparse u-pattern is the ±1 current-injection pattern between its
+// nodes, so the noise transfer from that resistor is the same
+// z = A(jω)⁻¹u solve the Sherman–Morrison fast path already performs.
+// With h = z[out], the contribution is 4·k_B·T·|h|²/R (V²/Hz) — the
+// current-noise form i_n² = 4kT/R through the transimpedance |h|.
+//
+// The result matches analysis.OutputNoise's clone-based evaluation
+// (silence sources, inject a unit AC current across each resistor,
+// re-solve) because stamping is linear: the template matrix equals the
+// silenced clone's matrix, and the injection RHS equals −u.
+func (e *Engine) OutputNoisePSD(ctx context.Context, omegas []float64, tempK float64) ([]float64, error) {
+	if tempK <= 0 {
+		return nil, fmt.Errorf("%w: engine: temperature %g K must be positive", rerr.ErrBadConfig, tempK)
+	}
+	if len(omegas) == 0 {
+		return nil, fmt.Errorf("%w: engine: no frequencies", rerr.ErrBadConfig)
+	}
+	resistors := 0
+	for i := range e.tmpl.slots {
+		if e.tmpl.slots[i].kind == coeffConductance {
+			resistors++
+		}
+	}
+	if resistors == 0 {
+		return nil, fmt.Errorf("%w: engine: circuit has no resistors to generate thermal noise", rerr.ErrBadConfig)
+	}
+	n := e.tmpl.n
+	m := numeric.NewMatrix(n, n)
+	f := numeric.NewMatrix(n, n)
+	var lu numeric.LU
+	rhs := make([]complex128, n)
+	z := make([]complex128, n)
+	out := make([]float64, len(omegas))
+	for j, omega := range omegas {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, rerr.Canceled(err)
+			}
+		}
+		s := complex(0, omega)
+		e.tmpl.stampGolden(m, s)
+		if err := f.CopyFrom(m); err != nil {
+			return nil, err
+		}
+		if err := numeric.FactorReuse(&lu, f); err != nil {
+			return nil, fmt.Errorf("engine: noise factorization at ω=%g: %w", omega, err)
+		}
+		var total float64
+		for i := range e.tmpl.slots {
+			sl := &e.tmpl.slots[i]
+			if sl.kind != coeffConductance {
+				continue
+			}
+			for k := range rhs {
+				rhs[k] = 0
+			}
+			for _, ent := range sl.u {
+				rhs[ent.idx] = ent.w
+			}
+			if err := lu.SolveInto(z, rhs); err != nil {
+				return nil, fmt.Errorf("engine: noise z-solve (%s) at ω=%g: %w", sl.elem, omega, err)
+			}
+			var h complex128
+			if e.outIdx >= 0 {
+				h = z[e.outIdx]
+			}
+			habs := cmplx.Abs(h)
+			total += 4 * boltzmann * tempK * habs * habs / sl.value
+		}
+		out[j] = total
+	}
+	return out, nil
+}

@@ -6,15 +6,20 @@
 package montecarlo
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/diagnosis"
 	"repro/internal/dictionary"
 	"repro/internal/fault"
 	"repro/internal/geometry"
+	"repro/internal/rerr"
 )
 
 // Stats summarizes the outcomes of a Monte-Carlo run.
@@ -50,8 +55,12 @@ func Run(trials int, f func(trial int) (float64, error)) (*Stats, error) {
 // N returns the number of collected outcomes.
 func (s *Stats) N() int { return len(s.values) }
 
-// Mean returns the sample mean.
+// Mean returns the sample mean, or NaN when no outcomes were collected
+// (an empty Stats from RunCollect where every trial failed).
 func (s *Stats) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
 	var sum float64
 	for _, v := range s.values {
 		sum += v
@@ -60,9 +69,12 @@ func (s *Stats) Mean() float64 {
 }
 
 // Std returns the sample standard deviation (n−1 denominator; 0 for a
-// single sample).
+// single sample, NaN when empty).
 func (s *Stats) Std() float64 {
 	n := len(s.values)
+	if n == 0 {
+		return math.NaN()
+	}
 	if n < 2 {
 		return 0
 	}
@@ -75,8 +87,12 @@ func (s *Stats) Std() float64 {
 	return math.Sqrt(acc / float64(n-1))
 }
 
-// Min returns the smallest outcome.
+// Min returns the smallest outcome, or NaN when no outcomes were
+// collected (previously this silently returned +Inf).
 func (s *Stats) Min() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
 	mn := math.Inf(1)
 	for _, v := range s.values {
 		mn = math.Min(mn, v)
@@ -84,8 +100,12 @@ func (s *Stats) Min() float64 {
 	return mn
 }
 
-// Max returns the largest outcome.
+// Max returns the largest outcome, or NaN when no outcomes were
+// collected (previously this silently returned −Inf).
 func (s *Stats) Max() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
 	mx := math.Inf(-1)
 	for _, v := range s.values {
 		mx = math.Max(mx, v)
@@ -120,10 +140,161 @@ func (s *Stats) Quantile(q float64) float64 {
 
 // MeanCI95 returns the mean and its ±1.96·σ/√n half-width — the normal
 // 95% confidence interval, adequate for the repository's trial counts.
+// Both are NaN when no outcomes were collected.
 func (s *Stats) MeanCI95() (mean, halfWidth float64) {
+	if len(s.values) == 0 {
+		return math.NaN(), math.NaN()
+	}
 	mean = s.Mean()
 	halfWidth = 1.96 * s.Std() / math.Sqrt(float64(len(s.values)))
 	return mean, halfWidth
+}
+
+// Failure records one failed trial from RunCollect.
+type Failure struct {
+	// Trial is the zero-based trial index that failed.
+	Trial int
+	// Err is the trial's error (a synthesized one for non-finite
+	// outcomes).
+	Err error
+}
+
+// RunCollect executes trials sequentially like Run, but a failed trial
+// (error or non-finite outcome) is recorded instead of aborting the
+// whole run — one singular perturbed matrix no longer kills a
+// 10k-sample build. The returned Stats holds the successful outcomes
+// only; callers deciding whether enough trials survived should inspect
+// len(failures) (an all-failed run returns an empty Stats whose
+// accessors report documented NaN, not an error).
+func RunCollect(trials int, f func(trial int) (float64, error)) (*Stats, []Failure, error) {
+	if trials < 1 {
+		return nil, nil, fmt.Errorf("montecarlo: trials %d < 1", trials)
+	}
+	if f == nil {
+		return nil, nil, fmt.Errorf("montecarlo: nil trial function")
+	}
+	s := &Stats{values: make([]float64, 0, trials)}
+	var failures []Failure
+	for i := 0; i < trials; i++ {
+		v, err := f(i)
+		if err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+			err = fmt.Errorf("montecarlo: trial %d produced non-finite value", i)
+		}
+		if err != nil {
+			failures = append(failures, Failure{Trial: i, Err: err})
+			continue
+		}
+		s.values = append(s.values, v)
+	}
+	return s, failures, nil
+}
+
+// ForEach runs f(trial) for every trial ∈ [0, trials) on a pool of
+// context-aware workers (workers ≤ 0 means NumCPU; the pool never
+// exceeds the trial count). Trials are dispatched in index order but
+// complete in any order — f must be safe for concurrent calls and
+// should write results into per-trial slots so the overall outcome is
+// deterministic at every worker count. The first trial error stops
+// dispatch and is returned; a canceled context returns an error
+// wrapping rerr.ErrCanceled.
+func ForEach(ctx context.Context, trials, workers int, f func(trial int) error) error {
+	if trials < 1 {
+		return fmt.Errorf("montecarlo: trials %d < 1", trials)
+	}
+	if f == nil {
+		return fmt.Errorf("montecarlo: nil trial function")
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > trials {
+		workers = trials
+	}
+	if workers == 1 {
+		for i := 0; i < trials; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return rerr.Canceled(err)
+				}
+			}
+			if err := f(i); err != nil {
+				return fmt.Errorf("montecarlo: trial %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						fail(rerr.Canceled(err))
+						return
+					}
+				}
+				if err := f(i); err != nil {
+					fail(fmt.Errorf("montecarlo: trial %d: %w", i, err))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// RunParallel is Run with context-aware parallel workers: outcomes land
+// in per-trial slots and are folded into the Stats in trial order, so
+// the result is bit-identical at every worker count. Like Run, the
+// whole run fails on the first trial error or non-finite outcome (the
+// lowest-index offender is reported, independent of scheduling).
+func RunParallel(ctx context.Context, trials, workers int, f func(trial int) (float64, error)) (*Stats, error) {
+	if f == nil {
+		return nil, fmt.Errorf("montecarlo: nil trial function")
+	}
+	vals := make([]float64, trials)
+	errs := make([]error, trials)
+	if err := ForEach(ctx, trials, workers, func(i int) error {
+		vals[i], errs[i] = f(i)
+		return nil // per-trial errors are ranked by index below
+	}); err != nil {
+		return nil, err
+	}
+	s := &Stats{values: make([]float64, 0, trials)}
+	for i, v := range vals {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("montecarlo: trial %d: %w", i, errs[i])
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("montecarlo: trial %d produced non-finite value", i)
+		}
+		s.values = append(s.values, v)
+	}
+	return s, nil
 }
 
 // DiagnosisYield estimates the probability that a single hard fault is

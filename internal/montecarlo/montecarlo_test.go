@@ -1,9 +1,13 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -11,6 +15,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/dictionary"
 	"repro/internal/fault"
+	"repro/internal/rerr"
 	"repro/internal/trajectory"
 )
 
@@ -70,6 +75,139 @@ func TestStatsKnownValues(t *testing.T) {
 	mean, hw := s.MeanCI95()
 	if mean != 3 || hw <= 0 {
 		t.Fatalf("CI = %g ± %g", mean, hw)
+	}
+}
+
+// Empty Stats (every trial failed under RunCollect) must report the
+// documented NaN everywhere instead of the old silent NaN/±Inf mix.
+func TestEmptyStatsDocumentedNaN(t *testing.T) {
+	boom := errors.New("boom")
+	s, failures, err := RunCollect(3, func(int) (float64, error) { return 0, boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 3 {
+		t.Fatalf("failures = %d, want 3", len(failures))
+	}
+	if s.N() != 0 {
+		t.Fatalf("N = %d, want 0", s.N())
+	}
+	for name, v := range map[string]float64{
+		"Mean": s.Mean(), "Std": s.Std(), "Min": s.Min(),
+		"Max": s.Max(), "Quantile": s.Quantile(0.5),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("empty %s = %g, want NaN", name, v)
+		}
+	}
+	mean, hw := s.MeanCI95()
+	if !math.IsNaN(mean) || !math.IsNaN(hw) {
+		t.Errorf("empty MeanCI95 = %g ± %g, want NaN ± NaN", mean, hw)
+	}
+}
+
+func TestRunCollect(t *testing.T) {
+	boom := errors.New("singular")
+	s, failures, err := RunCollect(5, func(i int) (float64, error) {
+		switch i {
+		case 1:
+			return 0, boom
+		case 3:
+			return math.Inf(1), nil
+		}
+		return float64(i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 3 {
+		t.Fatalf("N = %d, want 3", s.N())
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want 2", failures)
+	}
+	if failures[0].Trial != 1 || !errors.Is(failures[0].Err, boom) {
+		t.Fatalf("failure[0] = %+v", failures[0])
+	}
+	if failures[1].Trial != 3 || failures[1].Err == nil {
+		t.Fatalf("failure[1] = %+v", failures[1])
+	}
+	if got := s.Mean(); got != 2 { // (0+2+4)/3
+		t.Fatalf("Mean = %g, want 2", got)
+	}
+	if _, _, err := RunCollect(0, func(int) (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if _, _, err := RunCollect(1, nil); err == nil {
+		t.Fatal("nil trial function accepted")
+	}
+}
+
+// RunParallel must produce bit-identical Stats at every worker count,
+// and must report the lowest-index trial error regardless of
+// scheduling.
+func TestRunParallelDeterministic(t *testing.T) {
+	trial := func(i int) (float64, error) {
+		rng := rand.New(rand.NewSource(42 + int64(i)))
+		return rng.NormFloat64(), nil
+	}
+	ref, err := Run(100, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU(), 0} {
+		s, err := RunParallel(context.Background(), 100, workers, trial)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if s.N() != ref.N() || s.Mean() != ref.Mean() || s.Std() != ref.Std() {
+			t.Fatalf("workers=%d: stats differ from sequential Run", workers)
+		}
+	}
+	boom := errors.New("boom")
+	_, err = RunParallel(context.Background(), 64, 8, func(i int) (float64, error) {
+		if i == 7 || i == 50 {
+			return 0, boom
+		}
+		return 1, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Lowest-index offender is reported deterministically.
+	if want := "trial 7"; err != nil && !strings.Contains(err.Error(), want) {
+		t.Fatalf("err = %v, want mention of %s", err, want)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(ctx, 10000, 4, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, rerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not stop dispatch (ran %d)", n)
+	}
+	if err := ForEach(context.Background(), 0, 1, func(int) error { return nil }); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	if err := ForEach(context.Background(), 1, 1, nil); err == nil {
+		t.Fatal("nil function accepted")
+	}
+	// nil context is allowed (background semantics).
+	var hits atomic.Int64
+	if err := ForEach(nil, 8, 3, func(int) error { hits.Add(1); return nil }); err != nil { //nolint:staticcheck
+		t.Fatal(err)
+	}
+	if hits.Load() != 8 {
+		t.Fatalf("ran %d trials, want 8", hits.Load())
 	}
 }
 

@@ -24,6 +24,11 @@ type Entry struct {
 	// Diagnoser is the shared read-only diagnosis stage (its Map method
 	// exposes the trajectory map diagnoses project onto).
 	Diagnoser *repro.Diagnoser
+	// Clouds is the probabilistic diagnosis model, present when the
+	// server runs with a tolerance model (BuildConfig.MCSamples > 0).
+	// Safe for concurrent reads; every diagnosis through the batcher is
+	// additionally scored against it.
+	Clouds *repro.SignatureClouds
 	// Origin records how the entry was produced: "optimized" (GA),
 	// "configured" (fixed frequencies), or "artifact" (warm start).
 	Origin string
@@ -62,6 +67,14 @@ type BuildConfig struct {
 	// MaxDoubleFaults caps the modeled pair universe per CUT (≤ 0 → no
 	// cap); only meaningful with DoubleFaults.
 	MaxDoubleFaults int
+	// ToleranceSigma is the component tolerance (relative σ) of the
+	// probabilistic diagnosis model; only meaningful with MCSamples > 0.
+	ToleranceSigma float64
+	// MCSamples, when > 0, builds a Monte-Carlo signature-cloud model
+	// per entry (ToleranceSigma, MCSamples samples, seeded by Seed) and
+	// scores every diagnosis against it — /v1/diagnose replies gain
+	// confidence, likelihoods, and ambiguity_group.
+	MCSamples int
 	// ArtifactDir, when non-empty, is scanned once for saved artifacts;
 	// a CUT whose checksum matches a saved trajectory map, test vector,
 	// or dictionary grid warm-starts from it instead of re-simulating.
@@ -100,6 +113,11 @@ func NewEntryBuilder(cfg BuildConfig, m *Metrics) BuildFunc {
 		if cfg.DoubleFaults {
 			opts = append(opts, repro.WithDoubleFaults(cfg.MaxDoubleFaults))
 		}
+		if cfg.MCSamples > 0 {
+			opts = append(opts,
+				repro.WithTolerance(repro.Tolerance{Sigma: cfg.ToleranceSigma}, cfg.MCSamples),
+				repro.WithToleranceSeed(cfg.Seed))
+		}
 		s, err := repro.NewSession(cut, opts...)
 		if err != nil {
 			return nil, err
@@ -112,6 +130,11 @@ func NewEntryBuilder(cfg BuildConfig, m *Metrics) BuildFunc {
 		e := &Entry{Name: name, Session: s}
 		if err := buildServingState(ctx, e, man, cfg); err != nil {
 			return nil, err
+		}
+		if cfg.MCSamples > 0 {
+			if err := buildClouds(ctx, e, man, cfg); err != nil {
+				return nil, err
+			}
 		}
 		if e.Origin == "artifact" {
 			m.WarmStarts.Add(1)
@@ -186,6 +209,36 @@ func buildServingState(ctx context.Context, e *Entry, man *artifact.Manifest, cf
 		return err
 	}
 	return e.finish(omegas, tm, origin)
+}
+
+// buildClouds attaches the probabilistic diagnosis model: a saved
+// signature-cloud artifact warm-starts the entry when it matches the
+// serving configuration (checksum via the manifest, plus test vector,
+// tolerance σ, and sample count); anything else rebuilds live through
+// the session's Monte-Carlo sweep.
+func buildClouds(ctx context.Context, e *Entry, man *artifact.Manifest, cfg BuildConfig) error {
+	s := e.Session
+	if man != nil {
+		if path, ok := man.Find(artifact.KindClouds, s.Checksum()); ok {
+			cs, err := s.LoadClouds(path)
+			if err != nil {
+				return err
+			}
+			tol, samples := s.Tolerance()
+			if cs.MatchesOmegas(e.Omegas) && cs.Sigma == tol.Sigma && cs.Samples == samples {
+				e.Clouds = cs
+				return nil
+			}
+			// The artifact was built for a different test vector or
+			// tolerance setup — fall through to a live build.
+		}
+	}
+	cs, err := s.Clouds(ctx, e.Omegas)
+	if err != nil {
+		return err
+	}
+	e.Clouds = cs
+	return nil
 }
 
 // finish installs the map and builds the shared diagnoser.
@@ -273,6 +326,14 @@ type CatalogEntry struct {
 	// DoubleFaults counts the modeled double-fault universe of a loaded
 	// entry (0 ⇒ single-fault serving).
 	DoubleFaults int `json:"double_faults,omitempty"`
+	// ToleranceSigma and MCSamples describe a loaded entry's
+	// probabilistic diagnosis model (MCSamples == 0 ⇒ point-signature
+	// serving only).
+	ToleranceSigma float64 `json:"tolerance_sigma,omitempty"`
+	MCSamples      int     `json:"mc_samples,omitempty"`
+	// AmbiguityGroups counts the precomputed cloud-overlap groups of a
+	// loaded probabilistic entry.
+	AmbiguityGroups int `json:"ambiguity_groups,omitempty"`
 }
 
 // Catalog lists every built-in benchmark, annotating the ones resident in
@@ -300,6 +361,12 @@ func Catalog(r *Registry) []CatalogEntry {
 			ce.Warning = e.Warning
 			ce.Components = e.Session.CUT().Passives
 			ce.DoubleFaults = len(e.Session.DoubleFaults())
+			if e.Clouds != nil {
+				tol, samples := e.Session.Tolerance()
+				ce.ToleranceSigma = tol.Sigma
+				ce.MCSamples = samples
+				ce.AmbiguityGroups = len(e.Clouds.Groups)
+			}
 		}
 		out = append(out, ce)
 	}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+// TestServerProbabilisticDiagnose runs the tolerance-aware serving
+// path end to end over HTTP: fault and point diagnoses gain
+// confidence, likelihoods, and ambiguity_group, and the catalog
+// advertises the probabilistic model.
+func TestServerProbabilisticDiagnose(t *testing.T) {
+	cfg := Config{}
+	cfg.Build = BuildConfig{
+		Workers: 1, Freqs: []float64{0.56, 4.55},
+		ToleranceSigma: 0.05, MCSamples: 16, Seed: 9,
+	}
+	_, ts := testServer(t, cfg)
+
+	var rep diagnoseReply
+	status, body := postJSON(t, ts.URL+"/v1/diagnose", map[string]any{
+		"cut":   "nf-lowpass-7",
+		"fault": map[string]any{"component": "R3", "deviation": 0.25},
+	})
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Confidence == nil || *rep.Confidence <= 0 || *rep.Confidence > 1 {
+		t.Fatalf("confidence = %v", rep.Confidence)
+	}
+	if len(rep.Likelihoods) == 0 {
+		t.Fatal("no likelihoods in probabilistic reply")
+	}
+	if rep.Likelihoods[0].Key != "R3" {
+		t.Fatalf("likelihood best = %q, want R3", rep.Likelihoods[0].Key)
+	}
+	var total float64
+	for i, c := range rep.Likelihoods {
+		total += c.Probability
+		if i > 0 && c.Probability > rep.Likelihoods[i-1].Probability {
+			t.Fatal("likelihoods not sorted by probability")
+		}
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("posterior sums to %g", total)
+	}
+
+	// A point request takes the same scoring path.
+	status, body = postJSON(t, ts.URL+"/v1/diagnose", map[string]any{
+		"cut":   "nf-lowpass-7",
+		"point": rep.Result.Point,
+	})
+	if status != 200 {
+		t.Fatalf("point status = %d: %s", status, body)
+	}
+	var prep diagnoseReply
+	if err := json.Unmarshal(body, &prep); err != nil {
+		t.Fatal(err)
+	}
+	if prep.Confidence == nil || len(prep.Likelihoods) == 0 {
+		t.Fatal("point diagnosis missing probabilistic fields")
+	}
+	if !reflect.DeepEqual(prep.Likelihoods, rep.Likelihoods) {
+		t.Fatal("point and fault scoring of the same signature differ")
+	}
+
+	// The catalog advertises the model.
+	var cat struct {
+		Cuts []CatalogEntry `json:"cuts"`
+	}
+	resp, err := httpGet(ts.URL + "/v1/cuts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(resp, &cat); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ce := range cat.Cuts {
+		if ce.Name == "nf-lowpass-7" {
+			found = true
+			if !ce.Loaded || ce.MCSamples != 16 || ce.ToleranceSigma != 0.05 {
+				t.Fatalf("catalog entry %+v missing probabilistic annotation", ce)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("nf-lowpass-7 missing from catalog")
+	}
+}
+
+// TestServerCloudArtifactWarmStart warm-starts the probabilistic model
+// from a saved signature-cloud artifact and pins that its replies are
+// bit-identical to a live build's.
+func TestServerCloudArtifactWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	omegas := []float64{0.56, 4.55}
+	cut, err := repro.BenchmarkByName("nf-lowpass-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := repro.NewSession(cut, repro.WithWorkers(1),
+		repro.WithTolerance(repro.Tolerance{Sigma: 0.05}, 16),
+		repro.WithToleranceSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := sess.Trajectories(context.Background(), omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SaveTrajectories(filepath.Join(dir, "map.json"), tm); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := sess.Clouds(context.Background(), omegas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SaveClouds(filepath.Join(dir, "clouds.json"), cs); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{}
+	cfg.Build = BuildConfig{
+		Workers: 1, ArtifactDir: dir,
+		ToleranceSigma: 0.05, MCSamples: 16, Seed: 9,
+	}
+	s := New(cfg)
+	defer s.Close()
+	entry, err := s.Registry().Get(context.Background(), "nf-lowpass-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.Origin != "artifact" {
+		t.Fatalf("origin = %q, want artifact", entry.Origin)
+	}
+	if entry.Clouds == nil {
+		t.Fatal("warm-started entry has no cloud model")
+	}
+	if !reflect.DeepEqual(entry.Clouds, cs) {
+		t.Fatal("warm-started cloud model differs from the saved one")
+	}
+}
+
+func httpGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}

@@ -89,6 +89,12 @@ type Response struct {
 	// Rejected reports the out-of-model decision when the request set a
 	// rejection ratio.
 	Rejected *bool
+	// Prob is the probabilistic diagnosis of the same observed point —
+	// likelihood-ranked hypotheses, confidence, ambiguity group — filled
+	// when the entry serves a cloud model (nil otherwise). Scored after
+	// the shared batched solve, outside it, so the micro-batching path
+	// is unchanged.
+	Prob *repro.ProbabilisticResult
 	// BatchSize is the number of requests in the flush that served this
 	// one — observability for the coalescing behavior.
 	BatchSize int
@@ -421,12 +427,21 @@ func (b *batcher) diagnosePoint(req *Request) Response {
 }
 
 // respond finalizes one response: stamps the batch size, applies the
-// rejection decision, and delivers.
+// rejection decision, scores the cloud model when the entry serves one,
+// and delivers.
 func (b *batcher) respond(req *Request, resp Response, batchSize int) {
 	resp.BatchSize = batchSize
 	if resp.Err == nil && req.RejectRatio > 0 {
 		rej := resp.Result.Rejected(b.entry.Diagnoser.Extent(), req.RejectRatio)
 		resp.Rejected = &rej
+	}
+	if resp.Err == nil && b.entry.Clouds != nil {
+		prob, err := b.entry.Diagnoser.DiagnoseProbabilistic(b.entry.Clouds, resp.Result.Point)
+		if err == nil {
+			resp.Prob = prob
+		}
+		// A scoring failure (dimension drift) degrades to the classic
+		// reply rather than failing a diagnosis that already succeeded.
 	}
 	req.resp <- resp
 }

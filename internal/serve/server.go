@@ -118,8 +118,26 @@ type diagnoseReply struct {
 	BatchSize int                    `json:"batch_size"`
 	Rejected  *bool                  `json:"rejected,omitempty"`
 	Result    *repro.DiagnosisResult `json:"result,omitempty"`
-	Error     string                 `json:"error,omitempty"`
-	Status    int                    `json:"status,omitempty"`
+	// Probabilistic fields, present when the server runs with a
+	// tolerance model (-tolerance/-mc-samples): posterior confidence in
+	// the top hypothesis, the likelihood-ranked hypothesis list, and the
+	// winner's precomputed ambiguity group.
+	Confidence     *float64                       `json:"confidence,omitempty"`
+	Likelihoods    []repro.ProbabilisticCandidate `json:"likelihoods,omitempty"`
+	AmbiguityGroup []string                       `json:"ambiguity_group,omitempty"`
+	Error          string                         `json:"error,omitempty"`
+	Status         int                            `json:"status,omitempty"`
+}
+
+// withProb folds a probabilistic diagnosis into the wire reply.
+func (d *diagnoseReply) withProb(prob *repro.ProbabilisticResult) {
+	if prob == nil {
+		return
+	}
+	conf := prob.Confidence
+	d.Confidence = &conf
+	d.Likelihoods = prob.Candidates
+	d.AmbiguityGroup = prob.AmbiguityGroup
 }
 
 // toRequest converts the wire form to a scheduler request.
@@ -175,13 +193,15 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusOf(resp.Err), resp.Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, diagnoseReply{
+	rep := diagnoseReply{
 		CUT:       entry.Name,
 		Omegas:    entry.Omegas,
 		BatchSize: resp.BatchSize,
 		Rejected:  resp.Rejected,
 		Result:    resp.Result,
-	})
+	}
+	rep.withProb(resp.Prob)
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // batchRequest is the wire form of a multi-diagnose call: one CUT, many
@@ -231,6 +251,7 @@ func (s *Server) handleDiagnoseBatch(w http.ResponseWriter, r *http.Request) {
 			defer wg.Done()
 			_, resp := s.diagnose(r.Context(), br.CUT, &br.Requests[i])
 			rep := diagnoseReply{CUT: entry.Name, BatchSize: resp.BatchSize, Rejected: resp.Rejected, Result: resp.Result}
+			rep.withProb(resp.Prob)
 			if resp.Err != nil {
 				rep.Error = resp.Err.Error()
 				rep.Status = statusOf(resp.Err)

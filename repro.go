@@ -53,6 +53,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/numeric"
 	"repro/internal/opamp"
+	"repro/internal/probdiag"
 	"repro/internal/trajectory"
 )
 
@@ -95,6 +96,20 @@ type (
 	DiagnosisCandidate = diagnosis.Candidate
 	// Tolerance models manufacturing spread on every component.
 	Tolerance = fault.Tolerance
+	// SignatureClouds is the Monte-Carlo probabilistic diagnosis model:
+	// one signature distribution (mean + variance per frequency) per
+	// fault hypothesis, with precomputed ambiguity groups. Built by
+	// Session.Clouds, persisted by SaveClouds/LoadClouds, scored by
+	// DiagnoseProbabilistic.
+	SignatureClouds = probdiag.CloudSet
+	// SignatureCloud is one fault set's signature distribution.
+	SignatureCloud = probdiag.Cloud
+	// ProbabilisticResult is a likelihood-ranked diagnosis with
+	// posterior probabilities, confidence, and ambiguity group.
+	ProbabilisticResult = diagnosis.ProbResult
+	// ProbabilisticCandidate is one ranked hypothesis of a
+	// ProbabilisticResult.
+	ProbabilisticCandidate = diagnosis.ProbCandidate
 	// Rational is a fitted transfer function N(s)/D(s).
 	Rational = numeric.Rational
 )

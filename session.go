@@ -3,6 +3,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/analysis"
 	"repro/internal/artifact"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/geometry"
 	"repro/internal/netlist"
+	"repro/internal/probdiag"
 	"repro/internal/trajectory"
 )
 
@@ -28,6 +30,9 @@ const (
 	StageTrajectories Stage = "trajectories"
 	// StageEvaluate is the hold-out diagnosis evaluation.
 	StageEvaluate Stage = "evaluate"
+	// StageClouds is Monte-Carlo signature-cloud construction
+	// (tolerance-aware probabilistic diagnosis model).
+	StageClouds Stage = "clouds"
 )
 
 // Progress is one event on a session's progress stream.
@@ -63,6 +68,11 @@ type sessionOptions struct {
 	progress     []func(Progress)
 	doubleFaults bool
 	maxDoubles   int
+	tolerance    Tolerance
+	tolSamples   int
+	tolSeed      int64
+	noiseTempK   float64
+	noiseENBW    float64
 }
 
 // WithDeviations overrides the paper's ±10%…±40% fault grid with an
@@ -117,6 +127,44 @@ func WithDoubleFaults(maxSets int) Option {
 	}
 }
 
+// WithTolerance attaches a manufacturing-tolerance model to the
+// session: every component carries a relative standard deviation of
+// tol.Sigma, and Clouds builds the probabilistic diagnosis model from
+// the given number of Monte-Carlo samples per fault hypothesis. The
+// tolerance configuration deliberately does not enter the artifact
+// checksum — the point-signature path (Diagnoser, DiagnoseFaultSets,
+// Evaluate, saved dictionaries/trajectories) is bit-identical with or
+// without it, and existing artifacts keep warm-starting the session.
+// Sigma outside [0, 0.3] or samples < 1 are rejected by NewSession.
+func WithTolerance(tol Tolerance, samples int) Option {
+	return func(o *sessionOptions) {
+		o.tolerance = tol
+		o.tolSamples = samples
+	}
+}
+
+// WithToleranceSeed pins the Monte-Carlo base seed of cloud builds
+// (sample i draws from seed+i). The default seed is 1; cloud builds
+// are deterministic for a fixed seed at every worker count.
+func WithToleranceSeed(seed int64) Option {
+	return func(o *sessionOptions) { o.tolSeed = seed }
+}
+
+// WithMeasurementNoise adds an explicit measurement-noise term to
+// probabilistic diagnosis: the output-referred thermal noise PSD at
+// temperature tempK (kelvin), integrated over an equivalent noise
+// bandwidth of enbwHz and normalized by the source amplitude, becomes
+// a per-frequency additive variance in every likelihood and
+// cloud-overlap computation. The PSDs are evaluated on the engine's
+// stamp template — the same values analysis.OutputNoise computes by
+// cloning and re-solving, pinned to 1e-9 by the engine's noise tests.
+func WithMeasurementNoise(tempK, enbwHz float64) Option {
+	return func(o *sessionOptions) {
+		o.noiseTempK = tempK
+		o.noiseENBW = enbwHz
+	}
+}
+
 // WithProgress subscribes a callback to the session's progress stream.
 // Events are delivered synchronously from whichever goroutine completes
 // a unit of work: within a sequential stage (GA generations) calls
@@ -165,6 +213,13 @@ type Session struct {
 	checksum string
 	pairs    []fault.Multi    // modeled double-fault universe; nil without WithDoubleFaults
 	progress []func(Progress) // immutable after NewSession
+
+	// Tolerance model (WithTolerance); tolSamples == 0 means none.
+	tolerance  Tolerance
+	tolSamples int
+	tolSeed    int64
+	noiseTempK float64
+	noiseENBW  float64
 }
 
 // NewSession builds the fault dictionary for a CUT and returns the
@@ -202,10 +257,29 @@ func NewSession(cut CUT, opts ...Option) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.tolSamples != 0 || o.tolerance.Sigma != 0 {
+		if o.tolerance.Sigma < 0 || o.tolerance.Sigma > 0.3 {
+			return nil, fmt.Errorf("repro: %w: tolerance sigma %g outside [0, 0.3]", ErrBadConfig, o.tolerance.Sigma)
+		}
+		if o.tolSamples < 1 {
+			return nil, fmt.Errorf("repro: %w: %d Monte-Carlo samples < 1", ErrBadConfig, o.tolSamples)
+		}
+	}
+	if (o.noiseTempK != 0 || o.noiseENBW != 0) && (o.noiseTempK <= 0 || o.noiseENBW <= 0) {
+		return nil, fmt.Errorf("repro: %w: measurement noise needs positive temperature and bandwidth, got %g K / %g Hz",
+			ErrBadConfig, o.noiseTempK, o.noiseENBW)
+	}
+	if o.tolSeed == 0 {
+		o.tolSeed = 1
+	}
 	// The stored CUT reflects the actual fault targets, so CUT().Passives
 	// always names the universe the session diagnoses over.
 	cut.Passives = append([]string(nil), u.Components...)
-	s := &Session{cut: cut, workers: o.workers, progress: o.progress}
+	s := &Session{
+		cut: cut, workers: o.workers, progress: o.progress,
+		tolerance: o.tolerance, tolSamples: o.tolSamples, tolSeed: o.tolSeed,
+		noiseTempK: o.noiseTempK, noiseENBW: o.noiseENBW,
+	}
 	if o.doubleFaults {
 		s.pairs, err = u.Pairs(nil, o.maxDoubles)
 		if err != nil {
@@ -502,6 +576,82 @@ func (s *Session) FitTransfer(numDeg, denDeg int, omegas []float64) (Rational, e
 		return Rational{}, err
 	}
 	return ac.FitRational(s.cut.Source, s.cut.Output, numDeg, denDeg, omegas)
+}
+
+// Tolerance returns the session's tolerance model and Monte-Carlo
+// sample count; samples is 0 when the session has none (no
+// WithTolerance).
+func (s *Session) Tolerance() (tol Tolerance, samples int) {
+	return s.tolerance, s.tolSamples
+}
+
+// Clouds builds the Monte-Carlo signature-cloud model for the given
+// test vector: one cloud per fault set in the modeled universe
+// (double-fault pairs included when WithDoubleFaults is set), each
+// sampled tolSamples times with every component perturbed at the
+// session's tolerance σ — one rank-k batched engine pass per sample,
+// fanned out over the session's worker pool. When WithMeasurementNoise
+// is set, the output-referred noise σ per frequency is derived from
+// the engine's thermal-noise PSDs and folded into the model.
+//
+// Requires WithTolerance; deterministic for a fixed WithToleranceSeed
+// at every worker count. Streams StageClouds progress events.
+func (s *Session) Clouds(ctx context.Context, omegas []float64) (*SignatureClouds, error) {
+	if s.tolSamples == 0 {
+		return nil, fmt.Errorf("repro: %w: session has no tolerance model (use WithTolerance)", ErrBadConfig)
+	}
+	s.emit(Progress{Stage: StageClouds, Completed: 0, Total: 1})
+	cfg := probdiag.Config{
+		Sigma:   s.tolerance.Sigma,
+		Samples: s.tolSamples,
+		Seed:    s.tolSeed,
+		Workers: s.workers,
+	}
+	if s.noiseTempK > 0 {
+		sigmas, err := s.measurementNoiseSigmas(ctx, omegas)
+		if err != nil {
+			return nil, err
+		}
+		cfg.NoiseSigma = sigmas
+	}
+	var extra []fault.Set
+	for _, p := range s.pairs {
+		extra = append(extra, p)
+	}
+	cs, err := probdiag.Build(ctx, s.Dictionary(), omegas, extra, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.emit(Progress{Stage: StageClouds, Completed: 1, Total: 1})
+	return cs, nil
+}
+
+// measurementNoiseSigmas converts the engine's thermal output-noise
+// PSDs into signature-space standard deviations: σ_j =
+// √(PSD_j·ENBW)/|amp| — an RMS noise voltage normalized the same way
+// the engine normalizes every response magnitude.
+func (s *Session) measurementNoiseSigmas(ctx context.Context, omegas []float64) ([]float64, error) {
+	eng := s.Dictionary().Engine()
+	psd, err := eng.OutputNoisePSD(ctx, omegas, s.noiseTempK)
+	if err != nil {
+		return nil, err
+	}
+	amp := eng.SourceAmplitude()
+	sigmas := make([]float64, len(psd))
+	for j, p := range psd {
+		sigmas[j] = math.Sqrt(p*s.noiseENBW) / amp
+	}
+	return sigmas, nil
+}
+
+// DiagnoseProbabilistic scores an observed fault-space point against a
+// cloud model built by Clouds (or loaded by LoadClouds): Gaussian
+// log-likelihood per fault hypothesis, posterior probabilities,
+// confidence, and the winner's ambiguity group. The diagnoser only
+// contributes its frequency grid for dimensional checks — the
+// nearest-signature Diagnose path is untouched.
+func (s *Session) DiagnoseProbabilistic(dg *Diagnoser, clouds *SignatureClouds, point []float64) (*ProbabilisticResult, error) {
+	return dg.DiagnoseProbabilistic(clouds, geometry.VecN(point))
 }
 
 // NewDiagnoser builds a Diagnoser directly from a trajectory map — the
