@@ -5,6 +5,7 @@
 // Example:
 //
 //	acsim -source V1 -output out -lo 1 -hi 1e6 -points 31 filter.cir
+//	acsim -cut rc-ladder-128 -points 31
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	var (
 		source  = flag.String("source", "V1", "driving voltage source")
 		output  = flag.String("output", "out", "observed node")
+		cutName = flag.String("cut", "", "simulate a built-in CUT by name instead of a netlist (fixed names or parameterized, e.g. rc-ladder-128)")
 		lo      = flag.Float64("lo", 0.01, "sweep start (rad/s)")
 		hi      = flag.Float64("hi", 100, "sweep end (rad/s)")
 		points  = flag.Int("points", 25, "number of log-spaced points")
@@ -33,13 +35,29 @@ func main() {
 		return
 	}
 
-	text, err := readInput(flag.Arg(0))
-	if err != nil {
-		fail(err)
-	}
-	c, err := repro.ParseNetlist(text)
-	if err != nil {
-		fail(err)
+	var c *repro.Circuit
+	if *cutName != "" {
+		cut, err := repro.BenchmarkByName(*cutName)
+		if err != nil {
+			fail(err)
+		}
+		c = cut.Circuit
+		// The CUT carries its own measurement; explicit flags still win.
+		if *source == "V1" {
+			*source = cut.Source
+		}
+		if *output == "out" {
+			*output = cut.Output
+		}
+	} else {
+		text, err := readInput(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		c, err = repro.ParseNetlist(text)
+		if err != nil {
+			fail(err)
+		}
 	}
 	ac, err := analysis.NewAC(c)
 	if err != nil {

@@ -23,8 +23,10 @@ type runner struct {
 	hotpathOut    string  // destination of the HOTPATH report
 	multifaultOut string  // destination of the MULTIFAULT report
 	toleranceOut  string  // destination of the TOLERANCE report
+	sparseOut     string  // destination of the SPARSE report
 	date          string  // report date stamp; empty = today (UTC)
 	gate          string  // baseline report to gate HOTPATH against ("" = off)
+	sparseGate    string  // baseline report to gate SPARSE against ("" = off)
 	gateTol       float64 // allowed fractional ns/op regression before the gate fails
 
 	session  *repro.Session // lazily built paper-CUT session

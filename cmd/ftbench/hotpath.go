@@ -32,14 +32,8 @@ type hotpathEntry struct {
 // The envelope fields identify the machine and configuration the numbers
 // were measured on — see newBenchReport.
 type hotpathReport struct {
-	GoVersion  string         `json:"go_version"`
-	GOOS       string         `json:"goos"`
-	GOARCH     string         `json:"goarch"`
-	NumCPU     int            `json:"num_cpu"`
-	GOMAXPROCS int            `json:"gomaxprocs"`
-	CPUModel   string         `json:"cpu_model,omitempty"`
-	Date       string         `json:"date"`
-	Entries    []hotpathEntry `json:"entries"`
+	benchEnvelope
+	Entries []hotpathEntry `json:"entries"`
 }
 
 // hotpath measures the GA fitness hot path with the testing.Benchmark

@@ -20,15 +20,17 @@ import (
 
 func main() {
 	var (
-		exp           = flag.String("e", "all", "experiment to run: E1..E15, HOTPATH, MULTIFAULT, TOLERANCE, or 'all'")
+		exp           = flag.String("e", "all", "experiment to run: E1..E15, HOTPATH, MULTIFAULT, TOLERANCE, SPARSE, or 'all'")
 		seed          = flag.Int64("seed", 1, "random seed for GA and noise draws")
 		full          = flag.Bool("full", false, "use the paper's full GA (128x15) everywhere (slower)")
 		hotpathOut    = flag.String("hotpath-out", "BENCH_hotpath.json", "output path for the HOTPATH benchmark report")
 		multifaultOut = flag.String("multifault-out", "BENCH_multifault.json", "output path for the MULTIFAULT benchmark report")
 		toleranceOut  = flag.String("tolerance-out", "BENCH_tolerance.json", "output path for the TOLERANCE experiment report")
+		sparseOut     = flag.String("sparse-out", "BENCH_sparse.json", "output path for the SPARSE benchmark report")
 		date          = flag.String("date", "", "date stamp for benchmark reports (YYYY-MM-DD; empty = today UTC)")
 		gate          = flag.String("gate", "", "baseline BENCH_hotpath.json to gate the HOTPATH run against (empty = no gate)")
-		gateTol       = flag.Float64("gate-tol", 0.10, "fractional ns/op regression the HOTPATH gate tolerates")
+		sparseGate    = flag.String("sparse-gate", "", "baseline BENCH_sparse.json to gate the SPARSE run against (empty = no gate)")
+		gateTol       = flag.Float64("gate-tol", 0.10, "fractional ns/op regression the HOTPATH and SPARSE gates tolerate")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -43,14 +45,15 @@ func main() {
 	defer stop()
 
 	runner := &runner{ctx: ctx, seed: *seed, full: *full, out: os.Stdout, hotpathOut: *hotpathOut, multifaultOut: *multifaultOut,
-		toleranceOut: *toleranceOut, date: *date, gate: *gate, gateTol: *gateTol}
+		toleranceOut: *toleranceOut, sparseOut: *sparseOut, date: *date, gate: *gate, sparseGate: *sparseGate, gateTol: *gateTol}
 	experiments := map[string]func() error{
-		// HOTPATH, MULTIFAULT, and TOLERANCE are opt-in (not part of
-		// 'all'): they write BENCH_hotpath.json / BENCH_multifault.json
-		// / BENCH_tolerance.json respectively.
+		// HOTPATH, MULTIFAULT, TOLERANCE, and SPARSE are opt-in (not part
+		// of 'all'): they write BENCH_hotpath.json / BENCH_multifault.json
+		// / BENCH_tolerance.json / BENCH_sparse.json respectively.
 		"HOTPATH":    runner.hotpath,
 		"MULTIFAULT": runner.multifault,
 		"TOLERANCE":  runner.tolerance,
+		"SPARSE":     runner.sparse,
 		"E1":         runner.e1Dictionary,
 		"E2":         runner.e2Transform,
 		"E3":         runner.e3Trajectory,
@@ -81,7 +84,7 @@ func main() {
 	}
 	f, ok := experiments[which]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (want E1..E15, HOTPATH, MULTIFAULT, TOLERANCE, or all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (want E1..E15, HOTPATH, MULTIFAULT, TOLERANCE, SPARSE, or all)\n", *exp)
 		os.Exit(2)
 	}
 	if err := f(); err != nil {

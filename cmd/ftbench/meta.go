@@ -7,17 +7,30 @@ import (
 	"time"
 )
 
-// newBenchReport builds the shared metadata envelope of every benchmark
-// report (BENCH_hotpath.json, BENCH_multifault.json): toolchain and
-// platform identity plus the knobs that change what a ns/op number
-// means — GOMAXPROCS, the CPU model, and the measurement date. The date
-// comes from the -date flag so regenerated reports can be reproduced
-// byte-for-byte in CI; an empty flag stamps the current UTC day.
-func newBenchReport(date string) *hotpathReport {
+// benchEnvelope is the shared metadata envelope of every benchmark
+// report (BENCH_hotpath.json, BENCH_multifault.json, BENCH_sparse.json):
+// toolchain and platform identity plus the knobs that change what a
+// ns/op number means — GOMAXPROCS, the CPU model, and the measurement
+// date. Embedded in each report type so the fields stay flattened in
+// the JSON.
+type benchEnvelope struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+	Date       string `json:"date"`
+}
+
+// newBenchEnvelope fills the envelope. The date comes from the -date
+// flag so regenerated reports can be reproduced byte-for-byte in CI; an
+// empty flag stamps the current UTC day.
+func newBenchEnvelope(date string) benchEnvelope {
 	if date == "" {
 		date = time.Now().UTC().Format("2006-01-02")
 	}
-	return &hotpathReport{
+	return benchEnvelope{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
@@ -26,6 +39,12 @@ func newBenchReport(date string) *hotpathReport {
 		CPUModel:   cpuModel(),
 		Date:       date,
 	}
+}
+
+// newBenchReport builds an empty hot-path-shaped report with the
+// envelope filled in.
+func newBenchReport(date string) *hotpathReport {
+	return &hotpathReport{benchEnvelope: newBenchEnvelope(date)}
 }
 
 // cpuModel names the CPU the benchmarks ran on, best-effort: on Linux

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/numeric"
+)
+
+// sparseSizes is the measured scaling ladder: RC ladders across the
+// dense→sparse crossover plus two op-amp-macro cascades for a CUT whose
+// pattern is not banded.
+var sparseSizes = []string{
+	"rc-ladder-16", "rc-ladder-32", "rc-ladder-64", "rc-ladder-128",
+	"rc-ladder-256", "rc-ladder-512",
+	"opamp-cascade-8", "opamp-cascade-32",
+}
+
+// sparseEntry is one CUT's dense-vs-sparse grid-build measurement.
+type sparseEntry struct {
+	// CUT names the circuit under test ("rc-ladder-256").
+	CUT string `json:"cut"`
+	// Nodes is the MNA system size (unknowns).
+	Nodes int `json:"nodes"`
+	// NNZ is the structural nonzero count of the golden pattern.
+	NNZ int `json:"nnz"`
+	// FactorPath is what the engine's auto heuristic picks for this CUT
+	// ("dense" or "sparse") — the crossover is where this flips.
+	FactorPath string `json:"factor_path"`
+	// Faults and Omegas describe the timed grid.
+	Faults int `json:"faults"`
+	Omegas int `json:"omegas"`
+	// DenseNsPerOp / SparseNsPerOp time one full grid build
+	// (BatchResponsesSetsInto over the fault × frequency grid) with the
+	// factor path forced each way.
+	DenseNsPerOp  float64 `json:"dense_ns_per_op"`
+	SparseNsPerOp float64 `json:"sparse_ns_per_op"`
+	// DenseAllocsPerOp / SparseAllocsPerOp are heap allocations per grid
+	// build in steady state.
+	DenseAllocsPerOp  int64 `json:"dense_allocs_per_op"`
+	SparseAllocsPerOp int64 `json:"sparse_allocs_per_op"`
+	// Speedup is dense/sparse wall time (>1 = sparse wins).
+	Speedup float64 `json:"speedup"`
+}
+
+// sparseReport is the BENCH_sparse.json schema.
+type sparseReport struct {
+	benchEnvelope
+	// CrossoverNodes is the system size of the smallest measured CUT
+	// where the sparse path beat the dense path (0 if none did).
+	CrossoverNodes int           `json:"crossover_nodes"`
+	Entries        []sparseEntry `json:"entries"`
+}
+
+// sparse measures golden grid builds dense vs sparse over the scaling
+// CUT tier and writes BENCH_sparse.json. For each CUT the two paths are
+// cross-checked to 1e-9 relative agreement before anything is timed, so
+// the recorded speedups are between verified-equal answers.
+func (r *runner) sparse() error {
+	r.header("SPARSE", "dense vs sparse-pattern-reuse golden grid builds → "+r.sparseOut)
+	rep := &sparseReport{benchEnvelope: newBenchEnvelope(r.date)}
+	r.printf("  %-16s %6s %7s %7s %14s %14s %9s\n",
+		"cut", "nodes", "nnz", "path", "dense ns/op", "sparse ns/op", "speedup")
+
+	for _, name := range sparseSizes {
+		e, err := r.sparseOne(name)
+		if err != nil {
+			return fmt.Errorf("sparse: %s: %w", name, err)
+		}
+		rep.Entries = append(rep.Entries, *e)
+		r.printf("  %-16s %6d %7d %7s %14.0f %14.0f %8.1f×\n",
+			e.CUT, e.Nodes, e.NNZ, e.FactorPath, e.DenseNsPerOp, e.SparseNsPerOp, e.Speedup)
+	}
+
+	for _, e := range rep.Entries {
+		if e.Speedup > 1 && (rep.CrossoverNodes == 0 || e.Nodes < rep.CrossoverNodes) {
+			rep.CrossoverNodes = e.Nodes
+		}
+	}
+	if rep.CrossoverNodes > 0 {
+		r.printf("  crossover: sparse wins from %d unknowns\n", rep.CrossoverNodes)
+	} else {
+		r.printf("  crossover: sparse never won on this machine\n")
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(r.sparseOut, data, 0o644); err != nil {
+		return fmt.Errorf("sparse: %w", err)
+	}
+	r.printf("  wrote %s\n", r.sparseOut)
+
+	if r.sparseGate != "" {
+		return r.gateSparse(rep)
+	}
+	return nil
+}
+
+// sparseOne cross-checks and times one CUT's grid build both ways.
+func (r *runner) sparseOne(name string) (*sparseEntry, error) {
+	cut, err := circuits.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(cut.Circuit, cut.Source, cut.Output)
+	if err != nil {
+		return nil, err
+	}
+	if eng.Template().SparsePattern() == nil {
+		return nil, fmt.Errorf("no sparse pattern compiled")
+	}
+
+	// The timed grid: a bounded single-fault slice (every k-th passive at
+	// ±30%) over three frequencies around ω₀ — large enough that the
+	// block solve matters, small enough that the n=512 dense build stays
+	// benchmarkable.
+	stride := 1
+	if len(cut.Passives) > 32 {
+		stride = len(cut.Passives) / 32
+	}
+	var sets []fault.Set
+	for i := 0; i < len(cut.Passives); i += stride {
+		for _, dev := range []float64{-0.3, 0.3} {
+			sets = append(sets, fault.Fault{Component: cut.Passives[i], Deviation: dev})
+		}
+	}
+	// Enough frequencies that the per-frequency factor+solve dominates
+	// the batch's fixed scheduling overhead — the quantity the sparse
+	// path actually changes.
+	omegas := numeric.Logspace(cut.Omega0/10, cut.Omega0*10, 9)
+
+	// Cross-check before timing.
+	eng.SetFactorPath(engine.FactorDense)
+	ref, err := eng.BatchResponsesSets(r.ctx, sets, omegas, 1)
+	if err != nil {
+		return nil, err
+	}
+	eng.SetFactorPath(engine.FactorSparse)
+	got, err := eng.BatchResponsesSets(r.ctx, sets, omegas, 1)
+	if err != nil {
+		return nil, err
+	}
+	var peak float64
+	for _, g := range ref.Golden {
+		peak = math.Max(peak, g)
+	}
+	for i := range sets {
+		for j := range omegas {
+			a, b := got.Mags[i][j], ref.Mags[i][j]
+			scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-3*peak)
+			if math.Abs(a-b)/scale > 1e-9 {
+				return nil, fmt.Errorf("%s at ω=%g: sparse %.15g vs dense %.15g",
+					sets[i].ID(), omegas[j], a, b)
+			}
+		}
+	}
+
+	// Best of three rounds per path: min ns/op is the standard estimator
+	// for the noise floor of a loaded runner, and these grid builds are
+	// too short-lived for one testing.Benchmark round to settle.
+	time := func(p engine.FactorPath) (ns float64, allocs int64, err error) {
+		eng.SetFactorPath(p)
+		var out engine.Batch
+		for round := 0; round < 3; round++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := eng.BatchResponsesSetsInto(r.ctx, sets, omegas, 1, &out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if err := r.ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+			if res.N == 0 {
+				return 0, 0, fmt.Errorf("benchmark failed (see log above)")
+			}
+			n := float64(res.T.Nanoseconds()) / float64(res.N)
+			if round == 0 || n < ns {
+				ns, allocs = n, res.AllocsPerOp()
+			}
+		}
+		return ns, allocs, nil
+	}
+	denseNs, denseAllocs, err := time(engine.FactorDense)
+	if err != nil {
+		return nil, err
+	}
+	sparseNs, sparseAllocs, err := time(engine.FactorSparse)
+	if err != nil {
+		return nil, err
+	}
+
+	eng.SetFactorPath(engine.FactorAuto)
+	e := &sparseEntry{
+		CUT:               name,
+		Nodes:             eng.Nodes(),
+		NNZ:               eng.NNZ(),
+		FactorPath:        eng.FactorPathName(),
+		Faults:            len(sets),
+		Omegas:            len(omegas),
+		DenseNsPerOp:      denseNs,
+		SparseNsPerOp:     sparseNs,
+		DenseAllocsPerOp:  denseAllocs,
+		SparseAllocsPerOp: sparseAllocs,
+	}
+	if e.SparseNsPerOp > 0 {
+		e.Speedup = e.DenseNsPerOp / e.SparseNsPerOp
+	}
+	return e, nil
+}
+
+// gateSparse compares the fresh sparse report against the baseline named
+// by -sparse-gate and fails when:
+//
+//   - the baseline is malformed or a measured CUT disappeared (schema
+//     drift);
+//   - a 256+-unknown CUT's dense/sparse speedup fell more than
+//     -gate-tol below its baseline speedup — the ratio is what the
+//     sparse engine buys, and unlike absolute ns/op it carries across
+//     runner classes, so the checked-in report works as a cross-machine
+//     baseline. Smaller CUTs are informational only: their sub-ms grid
+//     builds are dominated by fixed batch overhead and runner noise,
+//     and the engine's auto heuristic is what protects them;
+//   - sparse stopped winning ≥5× at 256+ unknowns, the acceptance floor
+//     of the sparse engine.
+func (r *runner) gateSparse(rep *sparseReport) error {
+	data, err := os.ReadFile(r.sparseGate)
+	if err != nil {
+		return fmt.Errorf("sparse gate: %w", err)
+	}
+	var base sparseReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("sparse gate: %s: %w", r.sparseGate, err)
+	}
+	find := func(rep *sparseReport, cut string) *sparseEntry {
+		for i := range rep.Entries {
+			if rep.Entries[i].CUT == cut {
+				return &rep.Entries[i]
+			}
+		}
+		return nil
+	}
+	var failures []string
+	for i := range base.Entries {
+		b := &base.Entries[i]
+		n := find(rep, b.CUT)
+		if n == nil {
+			failures = append(failures, fmt.Sprintf("%s missing from new report", b.CUT))
+			continue
+		}
+		status := "info"
+		if b.Nodes >= 256 {
+			status = "ok"
+			if n.Speedup < (1-r.gateTol)*b.Speedup {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s speedup collapsed %.1f× → %.1f× (tol %.0f%%)",
+					b.CUT, b.Speedup, n.Speedup, r.gateTol*100))
+			}
+		}
+		r.printf("  gate %-16s speedup %5.1f× → %5.1f×  (tol %.0f%%)  %s\n",
+			b.CUT, b.Speedup, n.Speedup, r.gateTol*100, status)
+	}
+	for _, e := range rep.Entries {
+		if e.Nodes >= 256 && e.Speedup < 5 {
+			failures = append(failures, fmt.Sprintf("%s (%d unknowns): sparse speedup %.1f×, want ≥5×",
+				e.CUT, e.Nodes, e.Speedup))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("sparse gate: %s", strings.Join(failures, "; "))
+	}
+	r.printf("  gate passed against %s\n", r.sparseGate)
+	return nil
+}

@@ -67,6 +67,10 @@ func main() {
 		for _, c := range repro.Benchmarks() {
 			fmt.Printf("%-18s %s\n", c.Circuit.Name(), c.Description)
 		}
+		fmt.Println("\nparameterized families (any size n, e.g. -cut rc-ladder-128):")
+		for _, f := range repro.BenchmarkFamilies() {
+			fmt.Printf("  %s\n", f)
+		}
 		return
 	}
 

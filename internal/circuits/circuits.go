@@ -10,6 +10,7 @@ package circuits
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/circuit"
 	"repro/internal/opamp"
@@ -345,14 +346,23 @@ func All() []CUT {
 	}
 }
 
-// ByName returns the CUT with the given circuit name.
+// ByName returns the CUT with the given circuit name. Beyond the fixed
+// All() set it resolves the parameterized scaling families by suffix —
+// e.g. "rc-ladder-128" or "opamp-cascade-16" (see Families).
 func ByName(name string) (CUT, error) {
 	for _, c := range All() {
 		if c.Circuit.Name() == name {
 			return c, nil
 		}
 	}
-	return CUT{}, fmt.Errorf("circuits: no benchmark named %q", name)
+	if cut, ok, err := parameterized(name); ok {
+		if err != nil {
+			return CUT{}, err
+		}
+		return cut, nil
+	}
+	return CUT{}, fmt.Errorf("circuits: no benchmark named %q (fixed: %s; families: %s)",
+		name, strings.Join(Names(), ", "), strings.Join(Families(), ", "))
 }
 
 // Names lists the available benchmark names.

@@ -1,0 +1,139 @@
+package circuits
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// This file is the parameterized scaling tier of the benchmark library:
+// CUT families whose size is a constructor argument, reaching hundreds
+// of MNA unknowns — the workload the sparse golden engine exists for.
+// Two families are registered:
+//
+//   - rc-ladder-<n>     — RCLadder(n), the pure-passive stress ladder
+//     (~n+2 unknowns);
+//   - opamp-cascade-<n> — OpampCascade(n), an active n-stage MFB
+//     low-pass chain built through the netlist .subckt expansion with a
+//     single-pole opamp macromodel per stage (~6n unknowns).
+//
+// Both are reachable by name from every binary through ByName, which
+// recognizes the parameterized suffix.
+
+// OpampCascade returns an n-stage active filter cascade: n MFB low-pass
+// subcircuit instances X1..Xn in series, each expanded into passives
+// plus a VCVS-based opamp macromodel by the netlist .subckt machinery.
+//
+// Each stage is a normalized multiple-feedback (MFB) low-pass (ω0 = 1
+// rad/s, Q ≈ 0.67; R1 = R2 = R3 = 1, C1 = 2, C2 = 0.5 — the NFLowpass7
+// core values) around an inline single-pole opamp macromodel with the
+// opamp.Expand topology (Rin, VCVS gain stage, Rp–Cp dominant pole,
+// Rout): A0 = 1e5, pole ω_p = 1e3 rad/s (Rp = 1 kΩ → Cp = 1 µF).
+// Stage i's fault targets are its five filter passives X<i>.R1, X<i>.R2,
+// X<i>.R3, X<i>.C1, X<i>.C2 (the macromodel primitives stay golden).
+// With ~6 unknowns per stage the cascade reaches hundreds of MNA
+// unknowns by n ≈ 40.
+func OpampCascade(n int) (CUT, error) {
+	if n < 1 {
+		return CUT{}, fmt.Errorf("circuits: OpampCascade needs n >= 1, got %d", n)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "opamp-cascade-%d\n", n)
+	b.WriteString(`.subckt mfblp in out
+R1 in x 1
+R2 x out 1
+R3 x vg 1
+C1 x 0 2
+C2 vg out 0.5
+RIN 0 vg 1meg
+E1 g 0 0 vg 100k
+RP g p 1k
+CP p 0 1u
+RO p out 75
+.ends
+`)
+	b.WriteString("Vin n0 0 1\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "X%d n%d n%d mfblp\n", i, i-1, i)
+	}
+	fmt.Fprintf(&b, "RL n%d 0 1\n", n)
+	c, err := netlist.Parse(b.String())
+	if err != nil {
+		return CUT{}, fmt.Errorf("circuits: OpampCascade(%d): %w", n, err)
+	}
+	passives := make([]string, 0, 5*n)
+	for i := 1; i <= n; i++ {
+		for _, p := range []string{"R1", "R2", "R3", "C1", "C2"} {
+			passives = append(passives, fmt.Sprintf("X%d.%s", i, p))
+		}
+	}
+	return CUT{
+		Circuit:  c,
+		Source:   "Vin",
+		Output:   fmt.Sprintf("n%d", n),
+		Passives: passives,
+		// Each stage is a unity-DC-gain low-pass at ω0 = 1; the cascade's
+		// usable band shrinks with n, so center searches well inside it.
+		Omega0:      0.5,
+		Description: fmt.Sprintf("active %d-stage MFB low-pass cascade with opamp macromodels (%d fault targets)", n, 5*n),
+	}, nil
+}
+
+// Scaling returns the parameterized scaling families at representative
+// sizes, alongside All(): the CUT tier that exercises the sparse golden
+// engine (see BENCH_sparse.json for the dense/sparse crossover these
+// sizes straddle). Every entry is also reachable via ByName.
+func Scaling() []CUT {
+	out := make([]CUT, 0, 7)
+	for _, n := range []int{16, 64, 128, 256} {
+		cut, err := RCLadder(n)
+		if err != nil {
+			panic(err) // fixed n >= 1; cannot fail
+		}
+		out = append(out, cut)
+	}
+	for _, n := range []int{4, 16, 32} {
+		cut, err := OpampCascade(n)
+		if err != nil {
+			panic(err) // fixed n >= 1; cannot fail
+		}
+		out = append(out, cut)
+	}
+	return out
+}
+
+// Families lists the parameterized CUT name patterns ByName recognizes,
+// for CLI help and listings.
+func Families() []string {
+	return []string{"rc-ladder-<n>", "opamp-cascade-<n>"}
+}
+
+// parameterized resolves a parameterized family name like "rc-ladder-128"
+// or "opamp-cascade-16". The second return is false when the name does
+// not belong to a family (the caller falls through to its own error);
+// a family name with a bad size returns the constructor's error.
+func parameterized(name string) (CUT, bool, error) {
+	for _, fam := range []struct {
+		prefix string
+		make   func(int) (CUT, error)
+	}{
+		{"rc-ladder-", RCLadder},
+		{"opamp-cascade-", OpampCascade},
+	} {
+		if !strings.HasPrefix(name, fam.prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(name[len(fam.prefix):])
+		if err != nil {
+			return CUT{}, false, nil
+		}
+		cut, err := fam.make(n)
+		if err != nil {
+			return CUT{}, true, err
+		}
+		return cut, true, nil
+	}
+	return CUT{}, false, nil
+}

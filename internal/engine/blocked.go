@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -128,12 +129,32 @@ func solveSmallFast(k int, m, r []complex128) bool {
 func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, j int) error {
 	s := complex(0, omega)
 	t := e.tmpl
-	t.stampGoldenSoA(ws.ms, s)
-	if err := ws.fs.CopyFrom(ws.ms); err != nil {
-		return err
+	// Golden factorization: the sparse path stamps coefficient values into
+	// the compiled pattern's planes and refactors numerically on the
+	// pattern's static elimination schedule — O(fill) instead of O(n³).
+	// An ill-conditioned sparse pivot (the sparse factorization does no
+	// numerical pivoting) falls through to the dense partial-pivoting
+	// factorization below, so sparse never changes what is computable.
+	ws.colSparse = false
+	ws.denseStamped = false
+	if e.sparseColumn() {
+		t.stampGoldenSparse(ws.spre, ws.spim, s)
+		err := ws.slus.RefactorReuse(t.sparse.sym, ws.spre, ws.spim)
+		if err == nil {
+			ws.colSparse = true
+		} else if !errors.Is(err, numeric.ErrSingular) {
+			return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
+		}
 	}
-	if err := numeric.FactorSoAReuse(&ws.slu, ws.fs); err != nil {
-		return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
+	if !ws.colSparse {
+		t.stampGoldenSoA(ws.ms, s)
+		ws.denseStamped = true
+		if err := ws.fs.CopyFrom(ws.ms); err != nil {
+			return err
+		}
+		if err := numeric.FactorSoAReuse(&ws.slu, ws.fs); err != nil {
+			return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
+		}
 	}
 
 	// One multi-RHS block per frequency: column 0 carries the source
@@ -145,7 +166,10 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 	blk := ws.blk
 	blk.Reset(t.n, nc)
 	blk.Zero()
-	bre, bim := blk.Planes()
+	bre, bim, err := blk.PlanesFor(t.n, nc)
+	if err != nil {
+		return err
+	}
 	for i, v := range t.b {
 		if v != 0 {
 			bre[i*nc], bim[i*nc] = real(v), imag(v)
@@ -157,7 +181,11 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 			bre[at], bim[at] = real(ue.w), imag(ue.w)
 		}
 	}
-	if err := ws.slu.SolveBlock(blk); err != nil {
+	if ws.colSparse {
+		if err := ws.slus.SolveBlock(blk); err != nil {
+			return err
+		}
+	} else if err := ws.slu.SolveBlock(blk); err != nil {
 		return err
 	}
 
@@ -218,18 +246,13 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 		if math.Sqrt(den2) < denGuard*(1+absC(dv)) ||
 			ax < cancelGuard*x0outAbs {
 			// Ill-conditioned update or catastrophic cancellation: solve
-			// the faulted system exactly on the SoA planes.
-			if err := ws.f2s.CopyFrom(ws.ms); err != nil {
+			// the faulted system exactly.
+			ws.delta[0] = delta
+			xf, err := e.exactFallback(ws, s, omega, faults, sets, fi, out.partSlot[lo:hi], ws.delta[:1])
+			if err != nil {
 				return err
 			}
-			t.addRank1SoA(ws.f2s, sl, delta)
-			if err := numeric.FactorSoAReuse(&ws.slu2, ws.f2s); err != nil {
-				return fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
-			}
-			if err := ws.slu2.SolveInto(ws.xf, t.b); err != nil {
-				return err
-			}
-			ax = absC(e.out(ws.xf))
+			ax = absC(xf)
 		}
 		out.Mags[fi][j] = ax * e.invAmpAbs
 	}
@@ -289,20 +312,60 @@ func (e *Engine) solveItemKBlocked(ws *workspace, s complex128, omega float64, f
 		}
 	}
 	if !ok || absC(xout) < cancelGuard*x0outAbs {
-		if err := ws.f2s.CopyFrom(ws.ms); err != nil {
+		xf, err := e.exactFallback(ws, s, omega, faults, sets, fi, out.partSlot[lo:hi], ws.delta[:k])
+		if err != nil {
 			return err
 		}
-		for a := 0; a < k; a++ {
-			t.addRank1SoA(ws.f2s, &t.slots[out.partSlot[lo+a]], ws.delta[a])
-		}
-		if err := numeric.FactorSoAReuse(&ws.slu2, ws.f2s); err != nil {
-			return fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
-		}
-		if err := ws.slu2.SolveInto(ws.xf, t.b); err != nil {
-			return err
-		}
-		xout = e.out(ws.xf)
+		xout = xf
 	}
 	out.Mags[fi][j] = absC(xout) * e.invAmpAbs
 	return nil
+}
+
+// exactFallback solves one item's patched system A(s) + Σ δ_a u_a v_aᵀ
+// exactly into ws.xf and returns its output component — the escape hatch
+// both blocked per-item paths take on an ill-conditioned update or
+// catastrophic cancellation. On a sparse golden column the patched
+// refactorization reuses the compiled pattern (the slot deltas land on
+// already-structural positions, so no new symbolic work); an
+// ill-conditioned sparse pivot then falls back to the dense
+// partial-pivoting factorization, stamping the dense golden planes on
+// demand. On a dense column this is the original dense fallback
+// unchanged.
+func (e *Engine) exactFallback(ws *workspace, s complex128, omega float64, faults []fault.Fault, sets []fault.Set, fi int, slots []int, deltas []complex128) (complex128, error) {
+	t := e.tmpl
+	if ws.colSparse {
+		copy(ws.spre2, ws.spre)
+		copy(ws.spim2, ws.spim)
+		for a, si := range slots {
+			t.addRank1Sparse(ws.spre2, ws.spim2, si, deltas[a])
+		}
+		err := ws.slus2.RefactorReuse(t.sparse.sym, ws.spre2, ws.spim2)
+		if err == nil {
+			if err := ws.slus2.SolveInto(ws.xf, t.b); err != nil {
+				return 0, err
+			}
+			return e.out(ws.xf), nil
+		}
+		if !errors.Is(err, numeric.ErrSingular) {
+			return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
+		}
+	}
+	if !ws.denseStamped {
+		t.stampGoldenSoA(ws.ms, s)
+		ws.denseStamped = true
+	}
+	if err := ws.f2s.CopyFrom(ws.ms); err != nil {
+		return 0, err
+	}
+	for a, si := range slots {
+		t.addRank1SoA(ws.f2s, &t.slots[si], deltas[a])
+	}
+	if err := numeric.FactorSoAReuse(&ws.slu2, ws.f2s); err != nil {
+		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
+	}
+	if err := ws.slu2.SolveInto(ws.xf, t.b); err != nil {
+		return 0, err
+	}
+	return e.out(ws.xf), nil
 }

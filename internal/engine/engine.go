@@ -27,6 +27,31 @@ const denGuard = 1e-3
 // re-solved exactly.
 const cancelGuard = 1e-6
 
+// FactorPath selects which factorization the blocked path's per-frequency
+// golden solve runs on.
+type FactorPath int
+
+const (
+	// FactorAuto applies the size/fill heuristic decided at New (the
+	// default): sparse for large, sparse circuits; dense otherwise.
+	FactorAuto FactorPath = iota
+	// FactorDense forces the dense SoA factorization.
+	FactorDense
+	// FactorSparse forces the sparse factorization on circuits whose
+	// pattern compiled; circuits without a sparse pattern stay dense.
+	FactorSparse
+)
+
+// sparseMinN / sparseMaxFill are the FactorAuto heuristic: below a few
+// dozen unknowns the dense SoA kernel's tight loops win, and a pattern
+// whose L+U fills in past a quarter of n² has lost the sparsity the
+// ordering was meant to preserve. BENCH_sparse.json records the measured
+// dense/sparse crossover these thresholds are set from.
+const (
+	sparseMinN    = 64
+	sparseMaxFill = 0.25
+)
+
 // Engine evaluates |H(jω)| for batches of parametric faults against one
 // compiled circuit template.
 type Engine struct {
@@ -43,6 +68,12 @@ type Engine struct {
 	// blocked SoA kernels (the default) to the scalar complex128
 	// reference path. See UseScalarKernels.
 	scalarKernels bool
+
+	// factorPath is the golden-factorization override (FactorAuto by
+	// default); sparseAuto is the heuristic verdict computed once at New.
+	// See SetFactorPath.
+	factorPath FactorPath
+	sparseAuto bool
 
 	// memo caches the flattened resolution of the last single-fault list
 	// batched through this engine. Batch callers in tight loops (the GA
@@ -133,12 +164,53 @@ func New(c *circuit.Circuit, source, output string) (*Engine, error) {
 	}
 	ampAbs := cmplx.Abs(vs.Amplitude)
 	eng := &Engine{tmpl: tmpl, source: source, output: output, outIdx: outIdx, amp: vs.Amplitude, ampAbs: ampAbs, invAmpAbs: 1 / ampAbs}
+	eng.sparseAuto = tmpl.sparse != nil && tmpl.n >= sparseMinN && tmpl.sparse.sym.FillRatio() <= sparseMaxFill
 	// Workspaces are sized for the worst case (every slot distinct) so one
 	// pool serves every batch shape; callers in tight loops (the GA's
 	// fitness evaluations) then reuse scratch instead of reallocating
 	// three n×n matrices per call.
-	eng.pool.New = func() any { return newWorkspace(tmpl.n, len(tmpl.slots)) }
+	eng.pool.New = func() any { return newWorkspace(tmpl) }
 	return eng, nil
+}
+
+// SetFactorPath overrides the FactorAuto heuristic that picks between
+// the dense and sparse golden factorization — for tests and benchmarks
+// that pin one path. Must not be toggled concurrently with a running
+// batch.
+func (e *Engine) SetFactorPath(p FactorPath) { e.factorPath = p }
+
+// sparseColumn reports whether the blocked column solver factors this
+// engine's golden systems on the sparse path.
+func (e *Engine) sparseColumn() bool {
+	switch e.factorPath {
+	case FactorDense:
+		return false
+	case FactorSparse:
+		return e.tmpl.sparse != nil
+	}
+	return e.sparseAuto
+}
+
+// FactorPathName reports which golden factorization batch solves run on:
+// "sparse" or "dense". Serving and benchmark envelopes record it so
+// results say which path produced them.
+func (e *Engine) FactorPathName() string {
+	if e.sparseColumn() && !e.scalarKernels {
+		return "sparse"
+	}
+	return "dense"
+}
+
+// Nodes returns the MNA system order (node voltages + branch currents).
+func (e *Engine) Nodes() int { return e.tmpl.n }
+
+// NNZ returns the structural nonzero count of the MNA pattern, or 0 when
+// no sparse pattern compiled.
+func (e *Engine) NNZ() int {
+	if e.tmpl.sparse == nil {
+		return 0
+	}
+	return e.tmpl.sparse.sym.NNZ()
 }
 
 // UseScalarKernels selects between the blocked SoA kernel path (false,
@@ -334,6 +406,20 @@ type workspace struct {
 	slu2 numeric.SoALU      // fallback SoA LU header
 	blk  *numeric.Block     // col 0 = x0, col 1+zi = z of distinct slot zi
 
+	// Sparse golden path scratch (sized only when the template compiled a
+	// sparse pattern): the pristine stamped golden value planes, a second
+	// pair for patched fallback refactorizations, and the two sparse LU
+	// headers mirroring slu/slu2. colSparse records whether the current
+	// column's golden factorization is sparse; denseStamped whether ws.ms
+	// holds this column's dense golden stamp (filled lazily on sparse
+	// columns, only if a dense fallback needs it).
+	spre, spim   []float64
+	spre2, spim2 []float64
+	slus         numeric.SparseLU
+	slus2        numeric.SparseLU
+	colSparse    bool
+	denseStamped bool
+
 	// Per-column per-distinct-slot precomputes (indexed by z position):
 	// every deviation of a component shares its slot, so the slot-only
 	// factors of the Sherman–Morrison correction are hoisted out of the
@@ -345,7 +431,8 @@ type workspace struct {
 	gcoeff []complex128 // golden coefficient sl.coeff(sl.value, s)
 }
 
-func newWorkspace(n, nslots int) *workspace {
+func newWorkspace(t *Template) *workspace {
+	n, nslots := t.n, len(t.slots)
 	ws := &workspace{
 		m:      numeric.NewMatrix(n, n),
 		f:      numeric.NewMatrix(n, n),
@@ -368,6 +455,13 @@ func newWorkspace(n, nslots int) *workspace {
 	}
 	for i := range ws.z {
 		ws.z[i] = make([]complex128, n)
+	}
+	if t.sparse != nil {
+		lnnz := t.sparse.sym.LUNNZ()
+		ws.spre = make([]float64, lnnz)
+		ws.spim = make([]float64, lnnz)
+		ws.spre2 = make([]float64, lnnz)
+		ws.spim2 = make([]float64, lnnz)
 	}
 	return ws
 }

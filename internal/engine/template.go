@@ -85,6 +85,14 @@ type Template struct {
 	b      []complex128
 	slots  []slot
 	byName map[string]int // element name → slot index
+
+	// sparse is the compiled sparse golden stamp program (see sparse.go):
+	// the one-time symbolic analysis of the frequency-independent MNA
+	// pattern plus the index maps that scatter static entries and slot
+	// rank-1 products into value planes. Nil when the pattern does not
+	// analyze (degenerate circuits), in which case only the dense paths
+	// run.
+	sparse *sparseProgram
 }
 
 // Compile builds the template for a circuit. It fails on circuits that do
@@ -112,6 +120,7 @@ func Compile(c *circuit.Circuit) (*Template, error) {
 			return nil, err
 		}
 	}
+	t.sparse = compileSparse(t)
 	return t, nil
 }
 

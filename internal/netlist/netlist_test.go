@@ -1,4 +1,4 @@
-package netlist
+package netlist_test
 
 import (
 	"errors"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/circuit"
 	"repro/internal/circuits"
+	"repro/internal/netlist"
 )
 
 func TestParseValue(t *testing.T) {
@@ -29,28 +30,28 @@ func TestParseValue(t *testing.T) {
 		"-3.3k": -3300,
 	}
 	for in, want := range cases {
-		got, err := ParseValue(in)
+		got, err := netlist.ParseValue(in)
 		if err != nil {
-			t.Errorf("ParseValue(%q): %v", in, err)
+			t.Errorf("netlist.ParseValue(%q): %v", in, err)
 			continue
 		}
 		if math.Abs(got-want) > 1e-9*math.Abs(want) {
-			t.Errorf("ParseValue(%q) = %g, want %g", in, got, want)
+			t.Errorf("netlist.ParseValue(%q) = %g, want %g", in, got, want)
 		}
 	}
 	for _, bad := range []string{"", "abc", "1.2.3", "k"} {
-		if _, err := ParseValue(bad); err == nil {
-			t.Errorf("ParseValue(%q) accepted", bad)
+		if _, err := netlist.ParseValue(bad); err == nil {
+			t.Errorf("netlist.ParseValue(%q) accepted", bad)
 		}
 	}
 }
 
 func TestFormatValueRoundTrip(t *testing.T) {
 	for _, v := range []float64{4700, 1e-7, 2e6, 0.5, 75, 1e-3, 3e-12, 0, 1.5e15} {
-		s := FormatValue(v)
-		got, err := ParseValue(s)
+		s := netlist.FormatValue(v)
+		got, err := netlist.ParseValue(s)
 		if err != nil {
-			t.Fatalf("FormatValue(%g) = %q does not parse: %v", v, s, err)
+			t.Fatalf("netlist.FormatValue(%g) = %q does not parse: %v", v, s, err)
 		}
 		if math.Abs(got-v) > 1e-12*math.Abs(v) {
 			t.Fatalf("round trip %g -> %q -> %g", v, s, got)
@@ -68,7 +69,7 @@ C1 out 0 1u ; trailing comment
 `
 
 func TestParseRC(t *testing.T) {
-	c, err := Parse(rcNetlist)
+	c, err := netlist.Parse(rcNetlist)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestParseRC(t *testing.T) {
 }
 
 func TestParseNoTitle(t *testing.T) {
-	c, err := Parse("V1 in 0 1\nR1 in 0 1k\n")
+	c, err := netlist.Parse("V1 in 0 1\nR1 in 0 1k\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestParseNoTitle(t *testing.T) {
 }
 
 func TestParseContinuation(t *testing.T) {
-	c, err := Parse("t\nE1 out 0\n+ in 0\n+ 5\nR1 out 0 1\nV1 in 0 1\nRi in 0 1meg\n")
+	c, err := netlist.Parse("t\nE1 out 0\n+ in 0\n+ 5\nR1 out 0 1\nV1 in 0 1\nRi in 0 1meg\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,10 +118,10 @@ func TestParseContinuation(t *testing.T) {
 }
 
 func TestParseContinuationFirstLine(t *testing.T) {
-	_, err := Parse("+ R1 a 0 1\n")
-	var pe *ParseError
+	_, err := netlist.Parse("+ R1 a 0 1\n")
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 1 {
 		t.Fatalf("line = %d, want 1", pe.Line)
@@ -128,7 +129,7 @@ func TestParseContinuationFirstLine(t *testing.T) {
 }
 
 func TestParseVSourcePhase(t *testing.T) {
-	c, err := Parse("t\nV1 in 0 2 90\nR1 in 0 1\n")
+	c, err := netlist.Parse("t\nV1 in 0 2 90\nR1 in 0 1\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ U1 a 0 g
 Rg g a 1k
 .end
 `
-	c, err := Parse(nl)
+	c, err := netlist.Parse(nl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,17 +194,17 @@ func TestParseErrors(t *testing.T) {
 		"t\nR1 a 0 1\nR1 b 0 1", // duplicate
 	}
 	for i, in := range cases {
-		if _, err := Parse(in); err == nil {
+		if _, err := netlist.Parse(in); err == nil {
 			t.Errorf("case %d: bad netlist accepted", i)
 		}
 	}
 }
 
 func TestParseErrorLineNumbers(t *testing.T) {
-	_, err := Parse("title\nV1 in 0 1\nR1 in 0 badvalue\n")
-	var pe *ParseError
+	_, err := netlist.Parse("title\nV1 in 0 1\nR1 in 0 badvalue\n")
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 3 {
 		t.Fatalf("line = %d, want 3", pe.Line)
@@ -217,11 +218,11 @@ func TestSerializeRoundTripBenchmarks(t *testing.T) {
 	// Every built-in benchmark must round-trip: serialize, reparse, and
 	// produce the same transfer function.
 	for _, cut := range circuits.All() {
-		text, err := Serialize(cut.Circuit)
+		text, err := netlist.Serialize(cut.Circuit)
 		if err != nil {
 			t.Fatalf("%s: %v", cut.Circuit.Name(), err)
 		}
-		back, err := Parse(text)
+		back, err := netlist.Parse(text)
 		if err != nil {
 			t.Fatalf("%s: reparse: %v\n%s", cut.Circuit.Name(), err, text)
 		}
@@ -250,7 +251,7 @@ func TestSerializeRoundTripBenchmarks(t *testing.T) {
 }
 
 func TestDotEndStopsParsing(t *testing.T) {
-	c, err := Parse("t\nR1 a 0 1\nV1 a 0 1\n.end\nR2 b 0 1\n")
+	c, err := netlist.Parse("t\nR1 a 0 1\nV1 a 0 1\n.end\nR2 b 0 1\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,10 +261,10 @@ func TestDotEndStopsParsing(t *testing.T) {
 }
 
 func TestBadNumberErrorCarriesLineAndCard(t *testing.T) {
-	_, err := Parse("title\nR1 in out 4k7\nC1 out 0 100n\n")
-	var pe *ParseError
+	_, err := netlist.Parse("title\nR1 in out 4k7\nC1 out 0 100n\n")
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 2 {
 		t.Fatalf("line = %d, want 2", pe.Line)
@@ -277,10 +278,10 @@ func TestBadNumberErrorCarriesLineAndCard(t *testing.T) {
 }
 
 func TestNoElementsErrorCarriesLine(t *testing.T) {
-	_, err := Parse("just a title\n* a comment\n.op\n")
-	var pe *ParseError
+	_, err := netlist.Parse("just a title\n* a comment\n.op\n")
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 1 {
 		t.Fatalf("line = %d, want 1 (the title line)", pe.Line)
@@ -291,10 +292,10 @@ func TestNoElementsErrorCarriesLine(t *testing.T) {
 }
 
 func TestEmptyInputIsParseError(t *testing.T) {
-	_, err := Parse("  \n* nothing here\n")
-	var pe *ParseError
+	_, err := netlist.Parse("  \n* nothing here\n")
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 1 || !strings.Contains(pe.Msg, "empty") {
 		t.Fatalf("pe = %+v", pe)
@@ -310,10 +311,10 @@ R2 out 0 bogus
 X1 a b div
 V1 a 0 1
 `
-	_, err := Parse(nl)
-	var pe *ParseError
+	_, err := netlist.Parse(nl)
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 4 {
 		t.Fatalf("line = %d, want 4 (inside the .subckt body)", pe.Line)
@@ -322,10 +323,10 @@ V1 a 0 1
 
 func TestContinuationErrorPointsAtCardStart(t *testing.T) {
 	nl := "title\nR1 in out\n+ nonsense\n"
-	_, err := Parse(nl)
-	var pe *ParseError
+	_, err := netlist.Parse(nl)
+	var pe *netlist.ParseError
 	if !errors.As(err, &pe) {
-		t.Fatalf("err = %v, want ParseError", err)
+		t.Fatalf("err = %v, want netlist.ParseError", err)
 	}
 	if pe.Line != 2 {
 		t.Fatalf("line = %d, want 2 (the card's first physical line)", pe.Line)

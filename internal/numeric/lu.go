@@ -231,8 +231,13 @@ func (f *LU) SolveBlock(blk *Block) error {
 
 // SolveBlockInto is SolveBlock writing the solutions into dst, leaving
 // rhs untouched. dst is reshaped to rhs's shape, reusing its planes, so
-// a dst held across calls makes the steady state allocation-free.
+// a dst held across calls makes the steady state allocation-free. The
+// shape check runs before dst is touched, so a mismatched rhs reports
+// ErrDimension with dst intact.
 func (f *LU) SolveBlockInto(dst, rhs *Block) error {
+	if rhs.rows != f.n {
+		return fmt.Errorf("numeric: solve-block-into with %d rows, want %d: %w", rhs.rows, f.n, ErrDimension)
+	}
 	if dst == rhs {
 		return f.SolveBlock(dst)
 	}

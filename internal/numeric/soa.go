@@ -172,6 +172,22 @@ func (b *Block) Cols() int { return b.cols }
 // and Reset invalidates them.
 func (b *Block) Planes() (re, im []float64) { return b.re, b.im }
 
+// PlanesFor is Planes with the caller's assumed shape verified first:
+// a raw-plane consumer states the (rows, cols) its index arithmetic was
+// written for, and a disagreement with the block's actual shape comes
+// back as an ErrDimension error at the boundary instead of silently
+// misindexed rows deep inside a sweep. The stride of the returned
+// planes is cols, exactly as assumed.
+func (b *Block) PlanesFor(rows, cols int) (re, im []float64, err error) {
+	if rows != b.rows || cols != b.cols {
+		return nil, nil, fmt.Errorf("numeric: planes assumed %dx%d, block is %dx%d: %w", rows, cols, b.rows, b.cols, ErrDimension)
+	}
+	if len(b.re) != rows*cols || len(b.im) != rows*cols {
+		return nil, nil, fmt.Errorf("numeric: block planes hold %d/%d values, want %d: %w", len(b.re), len(b.im), rows*cols, ErrDimension)
+	}
+	return b.re, b.im, nil
+}
+
 // At returns the element at row i, column j.
 func (b *Block) At(i, j int) complex128 {
 	b.check(i, j)
@@ -461,7 +477,12 @@ func (f *SoALU) SolveBlock(blk *Block) error {
 
 // SolveBlockInto is SolveBlock writing the solutions into dst, leaving
 // rhs untouched. dst is reshaped to rhs's shape, reusing its planes.
+// The shape check runs before dst is touched, so a mismatched rhs
+// reports ErrDimension with dst intact.
 func (f *SoALU) SolveBlockInto(dst, rhs *Block) error {
+	if rhs.rows != f.n {
+		return fmt.Errorf("numeric: solve-block-into with %d rows, want %d: %w", rhs.rows, f.n, ErrDimension)
+	}
 	if dst == rhs {
 		return f.SolveBlock(dst)
 	}

@@ -1,0 +1,292 @@
+package numeric
+
+import (
+	"errors"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randSparseSystem builds a random structurally nonsingular n×n sparse
+// complex matrix: a diagonally dominant band plus random off-band
+// entries, then a random row permutation (so the transversal phase has
+// real work to do). Returns the dense matrix and its pattern rows.
+func randSparseSystem(rng *rand.Rand, n int) (*Matrix, [][]int) {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, complex(4+rng.Float64(), rng.Float64()))
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				a.Set(i, j, complex(rng.Float64()-0.5, rng.Float64()-0.5))
+			}
+		}
+	}
+	perm := rng.Perm(n)
+	p := NewMatrix(n, n)
+	rows := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a.At(perm[i], j)
+			if v != 0 {
+				p.Set(i, j, v)
+				rows[i] = append(rows[i], j)
+			}
+		}
+	}
+	return p, rows
+}
+
+// planesFor scatters the dense matrix m into value planes aligned with
+// the symbolic pattern (the way an engine stamp program would).
+func planesFor(t *testing.T, sym *SparseSymbolic, m *Matrix) (re, im []float64) {
+	t.Helper()
+	re = make([]float64, sym.LUNNZ())
+	im = make([]float64, sym.LUNNZ())
+	n := m.Rows()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.At(i, j)
+			if v == 0 {
+				continue
+			}
+			t2 := sym.ValueIndex(i, j)
+			if t2 < 0 {
+				t.Fatalf("pattern entry (%d,%d) missing from symbolic pattern", i, j)
+			}
+			re[t2] += real(v)
+			im[t2] += imag(v)
+		}
+	}
+	return re, im
+}
+
+func TestSparseSolveMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(24)
+		m, rows := randSparseSystem(rng, n)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			t.Fatalf("n=%d: analyze: %v", n, err)
+		}
+		re, im := planesFor(t, sym, m)
+		var f SparseLU
+		if err := f.RefactorReuse(sym, re, im); err != nil {
+			t.Fatalf("n=%d: refactor: %v", n, err)
+		}
+		dense, err := Factor(m)
+		if err != nil {
+			t.Fatalf("n=%d: dense factor: %v", n, err)
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+		want, err := dense.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: dense solve: %v", n, err)
+		}
+		got := make([]complex128, n)
+		if err := f.SolveInto(got, b); err != nil {
+			t.Fatalf("n=%d: sparse solve: %v", n, err)
+		}
+		for i := range want {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("trial %d n=%d x[%d]: sparse %v vs dense %v (|Δ|=%g)", trial, n, i, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+func TestSparseSolveBlockMatchesColumnSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(16)
+		nc := 1 + rng.Intn(6)
+		m, rows := randSparseSystem(rng, n)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		re, im := planesFor(t, sym, m)
+		var f SparseLU
+		if err := f.RefactorReuse(sym, re, im); err != nil {
+			t.Fatalf("refactor: %v", err)
+		}
+		blk := NewBlock(n, nc)
+		cols := make([][]complex128, nc)
+		for c := 0; c < nc; c++ {
+			cols[c] = make([]complex128, n)
+			for i := 0; i < n; i++ {
+				v := complex(rng.Float64()-0.5, rng.Float64()-0.5)
+				cols[c][i] = v
+				blk.Set(i, c, v)
+			}
+		}
+		dst := &Block{}
+		if err := f.SolveBlockInto(dst, blk); err != nil {
+			t.Fatalf("solve block: %v", err)
+		}
+		x := make([]complex128, n)
+		for c := 0; c < nc; c++ {
+			if err := f.SolveInto(x, cols[c]); err != nil {
+				t.Fatalf("column solve: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				if d := cmplx.Abs(dst.At(i, c) - x[i]); d > 1e-12*(1+cmplx.Abs(x[i])) {
+					t.Fatalf("trial %d (%d,%d): block %v vs column %v", trial, i, c, dst.At(i, c), x[i])
+				}
+			}
+		}
+		// In-place form agrees and leaves the panel with the solution.
+		if err := f.SolveBlock(blk); err != nil {
+			t.Fatalf("in-place solve block: %v", err)
+		}
+		for c := 0; c < nc; c++ {
+			for i := 0; i < n; i++ {
+				if blk.At(i, c) != dst.At(i, c) {
+					t.Fatalf("in-place differs at (%d,%d)", i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzeSparseErrors(t *testing.T) {
+	if _, err := AnalyzeSparse(0, nil); !errors.Is(err, ErrDimension) {
+		t.Fatalf("n=0: got %v, want ErrDimension", err)
+	}
+	if _, err := AnalyzeSparse(2, [][]int{{0}}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short rows: got %v, want ErrDimension", err)
+	}
+	if _, err := AnalyzeSparse(2, [][]int{{0, 2}, {1}}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("out-of-range column: got %v, want ErrDimension", err)
+	}
+	// Column 1 is structurally empty: no transversal exists.
+	if _, err := AnalyzeSparse(2, [][]int{{0}, {0}}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("structurally singular: got %v, want ErrSingular", err)
+	}
+}
+
+func TestSparseRefactorGuards(t *testing.T) {
+	sym, err := AnalyzeSparse(2, [][]int{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var f SparseLU
+	if err := f.RefactorReuse(sym, []float64{1}, []float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("short planes: got %v, want ErrDimension", err)
+	}
+	zero := make([]float64, sym.LUNNZ())
+	if err := f.RefactorReuse(sym, zero, zero); !errors.Is(err, ErrSingular) {
+		t.Fatalf("all-zero matrix: got %v, want ErrSingular", err)
+	}
+	// Numerically singular on the static pivot: [[1,1],[1,1]].
+	re := make([]float64, sym.LUNNZ())
+	im := make([]float64, sym.LUNNZ())
+	for i := range re {
+		re[i] = 1
+	}
+	if err := f.RefactorReuse(sym, re, im); !errors.Is(err, ErrSingular) {
+		t.Fatalf("rank-deficient matrix: got %v, want ErrSingular", err)
+	}
+
+	// Solve APIs reject use before a successful refactorization and
+	// shape mismatches, without clobbering dst.
+	var cold SparseLU
+	if err := cold.SolveBlock(NewBlock(2, 1)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("cold solve-block: got %v, want ErrDimension", err)
+	}
+	if err := cold.SolveInto(make([]complex128, 2), make([]complex128, 2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("cold solve-into: got %v, want ErrDimension", err)
+	}
+	good, _ := AnalyzeSparse(2, [][]int{{0, 1}, {0, 1}})
+	re2 := []float64{4, 1, 1, 4}
+	im2 := []float64{0, 0, 0, 0}
+	if err := f.RefactorReuse(good, re2, im2); err != nil {
+		t.Fatalf("refactor: %v", err)
+	}
+	wrong := NewBlock(3, 2)
+	if err := f.SolveBlock(wrong); !errors.Is(err, ErrDimension) {
+		t.Fatalf("wrong rows: got %v, want ErrDimension", err)
+	}
+	dst := NewBlock(1, 1)
+	dst.Set(0, 0, 42)
+	if err := f.SolveBlockInto(dst, wrong); !errors.Is(err, ErrDimension) {
+		t.Fatalf("solve-block-into wrong rows: got %v, want ErrDimension", err)
+	}
+	if dst.Rows() != 1 || dst.At(0, 0) != 42 {
+		t.Fatalf("dst clobbered by failed SolveBlockInto: %dx%d", dst.Rows(), dst.Cols())
+	}
+	if err := f.SolveInto(make([]complex128, 3), make([]complex128, 2)); !errors.Is(err, ErrDimension) {
+		t.Fatalf("solve-into wrong dst len: got %v, want ErrDimension", err)
+	}
+}
+
+func TestSparseValueIndex(t *testing.T) {
+	sym, err := AnalyzeSparse(3, [][]int{{0, 2}, {1}, {0, 2}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for i, row := range [][]int{{0, 2}, {1}, {0, 2}} {
+		for _, j := range row {
+			if sym.ValueIndex(i, j) < 0 {
+				t.Fatalf("ValueIndex(%d,%d) = -1 for a structural entry", i, j)
+			}
+		}
+	}
+	if got := sym.ValueIndex(1, 0); got != -1 {
+		// (1,0) is not structural and cannot be fill below the diagonal
+		// band here; fill entries are allowed to return valid indices,
+		// but this particular pattern has none in row 1.
+		t.Fatalf("ValueIndex(1,0) = %d, want -1", got)
+	}
+	if sym.ValueIndex(-1, 0) != -1 || sym.ValueIndex(0, 3) != -1 {
+		t.Fatal("out-of-range ValueIndex must be -1")
+	}
+	if sym.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", sym.NNZ())
+	}
+	if sym.LUNNZ() < sym.NNZ() {
+		t.Fatalf("LUNNZ %d < NNZ %d", sym.LUNNZ(), sym.NNZ())
+	}
+	if fr := sym.FillRatio(); fr <= 0 || fr > 1 {
+		t.Fatalf("FillRatio = %g out of (0,1]", fr)
+	}
+}
+
+// TestSparseRefactorSolveAllocationFree pins the steady-state contract:
+// after one warm-up, a refactor + block solve on the compiled pattern
+// performs no heap allocation.
+func TestSparseRefactorSolveAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 40
+	m, rows := randSparseSystem(rng, n)
+	sym, err := AnalyzeSparse(n, rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re, im := planesFor(t, sym, m)
+	var f SparseLU
+	blk := NewBlock(n, 4)
+	rhs := NewBlock(n, 4)
+	for c := 0; c < 4; c++ {
+		for i := 0; i < n; i++ {
+			rhs.Set(i, c, complex(rng.Float64(), rng.Float64()))
+		}
+	}
+	run := func() {
+		if err := f.RefactorReuse(sym, re, im); err != nil {
+			t.Fatalf("refactor: %v", err)
+		}
+		blk.CopyFrom(rhs)
+		if err := f.SolveBlock(blk); err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+	}
+	run() // warm-up sizes every scratch buffer
+	if avg := testing.AllocsPerRun(20, run); avg > 0 {
+		t.Fatalf("sparse refactor+solve allocates %.1f times per run after warm-up", avg)
+	}
+}

@@ -334,10 +334,18 @@ type CatalogEntry struct {
 	// AmbiguityGroups counts the precomputed cloud-overlap groups of a
 	// loaded probabilistic entry.
 	AmbiguityGroups int `json:"ambiguity_groups,omitempty"`
+	// Nodes, NNZ, and FactorPath describe a loaded entry's MNA engine:
+	// system order, structural nonzeros of the golden sparse pattern
+	// (0 when none compiled), and which golden factorization path batch
+	// solves run on ("dense" or "sparse").
+	Nodes      int    `json:"nodes,omitempty"`
+	NNZ        int    `json:"nnz,omitempty"`
+	FactorPath string `json:"factor_path,omitempty"`
 }
 
-// Catalog lists every built-in benchmark, annotating the ones resident in
-// the registry with their serving state.
+// Catalog lists every built-in benchmark plus any resident
+// parameterized CUT (rc-ladder-<n>, …), annotating loaded entries with
+// their serving state.
 func Catalog(r *Registry) []CatalogEntry {
 	resident := make(map[string]*Entry)
 	r.mu.Lock()
@@ -347,27 +355,48 @@ func Catalog(r *Registry) []CatalogEntry {
 	}
 	r.mu.Unlock()
 
+	annotate := func(ce *CatalogEntry, e *Entry) {
+		ce.Loaded = true
+		ce.Omegas = e.Omegas
+		ce.Origin = e.Origin
+		ce.Warning = e.Warning
+		ce.Components = e.Session.CUT().Passives
+		ce.DoubleFaults = len(e.Session.DoubleFaults())
+		eng := e.Session.Dictionary().Engine()
+		ce.Nodes = eng.Nodes()
+		ce.NNZ = eng.NNZ()
+		ce.FactorPath = eng.FactorPathName()
+		if e.Clouds != nil {
+			tol, samples := e.Session.Tolerance()
+			ce.ToleranceSigma = tol.Sigma
+			ce.MCSamples = samples
+			ce.AmbiguityGroups = len(e.Clouds.Groups)
+		}
+	}
+
 	var out []CatalogEntry
+	fixed := make(map[string]bool)
 	for _, cut := range repro.Benchmarks() {
 		ce := CatalogEntry{
 			Name:        cut.Circuit.Name(),
 			Description: cut.Description,
 			Components:  cut.Passives,
 		}
+		fixed[ce.Name] = true
 		if e, ok := resident[ce.Name]; ok {
-			ce.Loaded = true
-			ce.Omegas = e.Omegas
-			ce.Origin = e.Origin
-			ce.Warning = e.Warning
-			ce.Components = e.Session.CUT().Passives
-			ce.DoubleFaults = len(e.Session.DoubleFaults())
-			if e.Clouds != nil {
-				tol, samples := e.Session.Tolerance()
-				ce.ToleranceSigma = tol.Sigma
-				ce.MCSamples = samples
-				ce.AmbiguityGroups = len(e.Clouds.Groups)
-			}
+			annotate(&ce, e)
 		}
+		out = append(out, ce)
+	}
+	// Resident entries resolved through a parameterized family name are
+	// part of the serving state too, even though they are not in the
+	// fixed benchmark list.
+	for name, e := range resident {
+		if fixed[name] {
+			continue
+		}
+		ce := CatalogEntry{Name: name, Description: e.Session.CUT().Description}
+		annotate(&ce, e)
 		out = append(out, ce)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -195,6 +195,12 @@ func TestCatalogReportsDoubleFaults(t *testing.T) {
 			if !ce.Loaded || ce.DoubleFaults != 256 {
 				t.Fatalf("catalog entry: %+v", ce)
 			}
+			// A loaded entry also reports its MNA engine shape: system
+			// order, golden-pattern nonzeros, and the factorization path
+			// (dense below the sparse-auto threshold).
+			if ce.Nodes <= 0 || ce.NNZ <= 0 || ce.FactorPath != "dense" {
+				t.Fatalf("engine shape: nodes=%d nnz=%d factor_path=%q", ce.Nodes, ce.NNZ, ce.FactorPath)
+			}
 			return
 		}
 	}

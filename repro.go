@@ -136,7 +136,19 @@ func PaperCUTMacro() (CUT, error) {
 // Benchmarks returns every built-in circuit under test.
 func Benchmarks() []CUT { return circuits.All() }
 
-// BenchmarkByName returns a built-in CUT by its circuit name.
+// ScalingBenchmarks returns the parameterized scaling CUT tier at
+// representative sizes (RC ladders and op-amp-macro filter cascades up
+// to hundreds of MNA unknowns) — the workload of the sparse golden
+// engine. Arbitrary sizes are reachable through BenchmarkByName.
+func ScalingBenchmarks() []CUT { return circuits.Scaling() }
+
+// BenchmarkFamilies lists the parameterized CUT name patterns
+// BenchmarkByName accepts beyond the fixed set, e.g. "rc-ladder-<n>".
+func BenchmarkFamilies() []string { return circuits.Families() }
+
+// BenchmarkByName returns a built-in CUT by its circuit name — fixed
+// names from Benchmarks, or parameterized family names like
+// "rc-ladder-128" and "opamp-cascade-16".
 func BenchmarkByName(name string) (CUT, error) { return circuits.ByName(name) }
 
 // PaperDeviations returns the paper's fault grid: ±10%…±40% in 10%

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# benchgate.sh — regression gate over the tracked hot-path benchmarks.
+# benchgate.sh — regression gate over the tracked hot-path and sparse
+# benchmarks.
 #
 # Usage:
-#   scripts/benchgate.sh [BASELINE_JSON] [TOLERANCE]
+#   scripts/benchgate.sh [BASELINE_JSON] [TOLERANCE] [SPARSE_BASELINE] [SPARSE_TOLERANCE]
 #
 # Defaults: BASELINE_JSON=BENCH_hotpath.json (the checked-in record),
-# TOLERANCE=0.10 (10% slower than baseline fails).
+# TOLERANCE=0.10 (10% slower than baseline fails),
+# SPARSE_BASELINE=BENCH_sparse.json, SPARSE_TOLERANCE=0.30.
 #
 # Runs `ftbench -e hotpath` on the working tree, writes the fresh report
 # to bench-out/hotpath-gate.json, and fails when fitness_eval or
@@ -16,10 +18,19 @@
 # runs, pass a baseline produced with `ftbench -e hotpath` on the same
 # host (see .github/workflows/ci.yml, which measures its own baseline
 # from the merge base).
+#
+# Then runs `ftbench -e sparse` gated against the checked-in
+# BENCH_sparse.json. The sparse gate compares dense/sparse speedup
+# ratios, not ns/op, so the checked-in baseline works across machines;
+# the looser default tolerance absorbs the dense-side variance of
+# shared runners. The hard floor — sparse wins ≥5× at 256+ unknowns —
+# is enforced regardless of tolerance.
 set -euo pipefail
 
 baseline=${1:-BENCH_hotpath.json}
 tol=${2:-0.10}
+sparse_baseline=${3:-BENCH_sparse.json}
+sparse_tol=${4:-0.30}
 
 root=$(git rev-parse --show-toplevel)
 out_dir=$root/bench-out
@@ -29,3 +40,7 @@ cd "$root"
 go run ./cmd/ftbench -e hotpath \
     -hotpath-out "$out_dir/hotpath-gate.json" \
     -gate "$baseline" -gate-tol "$tol"
+
+go run ./cmd/ftbench -e sparse \
+    -sparse-out "$out_dir/sparse-gate.json" \
+    -sparse-gate "$sparse_baseline" -gate-tol "$sparse_tol"
