@@ -31,6 +31,7 @@ func main() {
 		gate          = flag.String("gate", "", "baseline BENCH_hotpath.json to gate the HOTPATH run against (empty = no gate)")
 		sparseGate    = flag.String("sparse-gate", "", "baseline BENCH_sparse.json to gate the SPARSE run against (empty = no gate)")
 		gateTol       = flag.Float64("gate-tol", 0.10, "fractional ns/op regression the HOTPATH and SPARSE gates tolerate")
+		trace         = flag.String("trace", "", "write a JSON timing trace with one span per experiment to this file on exit")
 		version       = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -72,10 +73,35 @@ func main() {
 	}
 	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
+	// -trace wraps every experiment in a span; the dump is written on
+	// successful exit (os.Exit on a failed experiment skips it).
+	var tracer *repro.Tracer
+	if *trace != "" {
+		tracer = repro.NewTracer()
+		defer func() {
+			f, err := os.Create(*trace)
+			if err == nil {
+				err = tracer.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ftbench: trace:", err)
+			}
+		}()
+	}
+	runExperiment := func(name string, f func() error) error {
+		if tracer != nil {
+			defer tracer.StartSpan("experiment." + name).End()
+		}
+		return f()
+	}
+
 	which := strings.ToUpper(*exp)
 	if which == "ALL" {
 		for _, name := range order {
-			if err := experiments[name](); err != nil {
+			if err := runExperiment(name, experiments[name]); err != nil {
 				fmt.Fprintf(os.Stderr, "ftbench: %s: %v\n", name, err)
 				os.Exit(1)
 			}
@@ -87,7 +113,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (want E1..E15, HOTPATH, MULTIFAULT, TOLERANCE, SPARSE, or all)\n", *exp)
 		os.Exit(2)
 	}
-	if err := f(); err != nil {
+	if err := runExperiment(which, f); err != nil {
 		fmt.Fprintf(os.Stderr, "ftbench: %s: %v\n", which, err)
 		os.Exit(1)
 	}

@@ -55,6 +55,7 @@ func main() {
 		loadDict = flag.String("load-dictionary", "", "diagnose against a saved dictionary-grid artifact (requires -freqs; skips grid re-simulation)")
 		jsonOut  = flag.Bool("json", false, "emit the diagnosis/evaluation as machine-readable JSON")
 		progress = flag.Bool("progress", false, "stream per-generation GA progress to stderr")
+		trace    = flag.String("trace", "", "write a JSON timing trace (session stages + per-frequency engine columns) to this file on exit")
 		version  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -93,6 +94,17 @@ func main() {
 		opts = append(opts,
 			repro.WithTolerance(repro.Tolerance{Sigma: *tolSigma}, *mcSamp),
 			repro.WithToleranceSeed(*seed))
+	}
+	if *trace != "" {
+		tracer := repro.NewTracer()
+		opts = append(opts, repro.WithTracer(tracer))
+		// Deferred so every successful exit path dumps the trace (fail()
+		// exits hard, so aborted runs leave no partial file).
+		defer func() {
+			if err := writeTrace(*trace, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "ftdiag: trace:", err)
+			}
+		}()
 	}
 	s, err := buildSession(*cutName, *nlPath, *source, *output, opts...)
 	if err != nil {
@@ -524,6 +536,19 @@ func exportDictionary(ctx context.Context, s *repro.Session, path string, extra 
 		}
 	}
 	return s.SaveDictionary(ctx, path, uniq)
+}
+
+// writeTrace dumps the collected spans as the -trace JSON file.
+func writeTrace(path string, tr *repro.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

@@ -388,3 +388,39 @@ func TestDiagnoseProbJSONGolden(t *testing.T) {
 		t.Fatalf("likelihoods = %+v, want R3 on top", rep.Likelihoods)
 	}
 }
+
+// TestWriteTrace pins the -trace dump: a traced session run writes a
+// JSON file whose spans include the session stages.
+func TestWriteTrace(t *testing.T) {
+	tr := repro.NewTracer()
+	s, err := repro.NewSession(repro.PaperCUT(), repro.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fitness(context.Background(), []float64{0.56, 4.55}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTrace(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Spans []repro.TraceSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("trace does not parse: %v", err)
+	}
+	found := false
+	for _, sp := range dump.Spans {
+		if sp.Name == "session.dictionary" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no session.dictionary span in %s", data)
+	}
+}

@@ -12,7 +12,14 @@
 //	  -d '{"cut":"nf-lowpass-7","fault":{"component":"R3","deviation":0.25}}'
 //
 // Endpoints: POST /v1/diagnose, POST /v1/diagnose/batch, GET /v1/cuts,
-// GET /healthz, GET /metrics (Prometheus text).
+// GET /v1/stats (observability JSON), GET /healthz, GET /metrics
+// (Prometheus text: counters, gauges, latency histograms, engine path
+// counters).
+//
+// Observability: -log-level/-log-format select structured slog output
+// (request, build, and eviction logs on stderr); -pprof-addr serves
+// net/http/pprof on a separate listener, opt-in and isolated from the
+// service port.
 //
 // SIGINT/SIGTERM begin a graceful shutdown: the listener closes,
 // in-flight requests drain through their batchers, then the process
@@ -25,8 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,6 +64,9 @@ type options struct {
 	maxBatch   int
 	queue      int
 	drain      time.Duration
+	pprofAddr  string
+	logLevel   string
+	logFormat  string
 }
 
 func main() {
@@ -75,6 +87,9 @@ func main() {
 	flag.IntVar(&o.maxBatch, "max-batch", 64, "max requests per micro-batch")
 	flag.IntVar(&o.queue, "queue", 256, "bounded diagnose queue size per CUT")
 	flag.DurationVar(&o.drain, "drain", 15*time.Second, "graceful shutdown drain timeout")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "structured log format: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -93,9 +108,14 @@ func run(o options, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	logger, err := buildLogger(o.logLevel, o.logFormat)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
 		Capacity: o.lru,
 		Version:  repro.VersionString("ftserve"),
+		Logger:   logger,
 		Build: serve.BuildConfig{
 			Workers:         o.workers,
 			Freqs:           freqs,
@@ -117,6 +137,17 @@ func run(o options, ready chan<- string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if o.pprofAddr != "" {
+		pln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		logger.Info("pprof enabled", "addr", pln.Addr().String())
+		go http.Serve(pln, pprofMux()) //nolint:errcheck // dies with the listener
+	}
 
 	if names := preloadNames(o.cuts); len(names) > 0 {
 		log.Printf("preloading %s", strings.Join(names, ", "))
@@ -162,6 +193,45 @@ func run(o options, ready chan<- string) error {
 	<-errc // Serve has returned http.ErrServerClosed
 	log.Printf("shutdown complete")
 	return nil
+}
+
+// buildLogger maps -log-level/-log-format onto a stderr slog.Logger.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// pprofMux registers the net/http/pprof handlers on a dedicated mux, so
+// the profiler never rides on the service listener (and the import does
+// not expose http.DefaultServeMux).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // preloadNames expands the -cuts flag.

@@ -5,11 +5,14 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"reflect"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/serve"
 )
 
 func TestPreloadNames(t *testing.T) {
@@ -35,6 +38,52 @@ func TestParseFreqs(t *testing.T) {
 	}
 	if got, err := parseFreqs(" "); got != nil || err != nil {
 		t.Fatalf("blank = %v, %v", got, err)
+	}
+}
+
+func TestBuildLogger(t *testing.T) {
+	for _, ok := range []struct{ level, format string }{
+		{"debug", "text"}, {"info", "json"}, {"warn", "text"}, {"error", "json"}, {"", ""},
+	} {
+		if _, err := buildLogger(ok.level, ok.format); err != nil {
+			t.Errorf("buildLogger(%q, %q) = %v", ok.level, ok.format, err)
+		}
+	}
+	if _, err := buildLogger("loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := buildLogger("info", "yaml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+// TestPprofMux verifies the dedicated profiler mux serves the pprof
+// index, and that the service mux never routes profiler paths — the
+// profiler is only reachable on its own -pprof-addr listener.
+func TestPprofMux(t *testing.T) {
+	ts := httptest.NewServer(pprofMux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index: %d %.120s", resp.StatusCode, body)
+	}
+
+	srv := serve.New(serve.Config{Build: serve.BuildConfig{Freqs: []float64{0.56, 4.55}}})
+	defer srv.Close()
+	svc := httptest.NewServer(srv.Handler())
+	defer svc.Close()
+	resp, err = http.Get(svc.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("service port serves /debug/pprof/ with %d, want 404", resp.StatusCode)
 	}
 }
 
@@ -95,6 +144,46 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 	if err := json.Unmarshal(body, &rep); err != nil || len(rep.Result.Candidates) == 0 || rep.Result.Candidates[0].Component != "R3" {
 		t.Fatalf("diagnosis: %s (%v)", body, err)
+	}
+
+	// Observability endpoints ride the same listener: /metrics carries
+	// the latency histograms and engine counters, /v1/stats the JSON view.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"ftserve_requests_total", "ftserve_request_seconds_bucket",
+		"ftserve_queue_wait_seconds_count", "ftserve_engine_rank1_solves_total",
+	} {
+		if !bytes.Contains(metrics, []byte(series)) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	statsBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		Metrics struct {
+			Requests       int64 `json:"requests_total"`
+			RequestSeconds struct {
+				Count int64 `json:"count"`
+			} `json:"request_seconds"`
+		} `json:"metrics"`
+		Engine struct {
+			Rank1Solves int64 `json:"rank1_solves"`
+		} `json:"engine"`
+	}
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatalf("/v1/stats does not parse: %v (%s)", err, statsBody)
+	}
+	if stats.Metrics.Requests < 1 || stats.Metrics.RequestSeconds.Count < 1 || stats.Engine.Rank1Solves < 1 {
+		t.Fatalf("/v1/stats counters empty: %s", statsBody)
 	}
 
 	// In-flight requests ride out the SIGTERM: fire a burst sitting in

@@ -142,6 +142,7 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 		err := ws.slus.RefactorReuse(t.sparse.sym, ws.spre, ws.spim)
 		if err == nil {
 			ws.colSparse = true
+			ws.cSparse++
 		} else if !errors.Is(err, numeric.ErrSingular) {
 			return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
 		}
@@ -155,6 +156,7 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 		if err := numeric.FactorSoAReuse(&ws.slu, ws.fs); err != nil {
 			return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
 		}
+		ws.cDense++
 	}
 
 	// One multi-RHS block per frequency: column 0 carries the source
@@ -233,6 +235,7 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 			out.Mags[fi][j] = out.Golden[j]
 			continue
 		}
+		ws.cRank1++
 		dv := delta * ws.vtz[zi]
 		// den = 1 + dv is O(1) by the guard below, so the naive
 		// single-divide reciprocal is safe (no overflow regime) and two
@@ -283,6 +286,7 @@ func (e *Engine) solveItemKBlocked(ws *workspace, s complex128, omega float64, f
 		out.Mags[fi][j] = out.Golden[j]
 		return nil
 	}
+	ws.cRankK++
 	cm := ws.cmat[:k*k]
 	w := ws.wvec[:k]
 	for a := 0; a < k; a++ {
@@ -334,6 +338,7 @@ func (e *Engine) solveItemKBlocked(ws *workspace, s complex128, omega float64, f
 // unchanged.
 func (e *Engine) exactFallback(ws *workspace, s complex128, omega float64, faults []fault.Fault, sets []fault.Set, fi int, slots []int, deltas []complex128) (complex128, error) {
 	t := e.tmpl
+	ws.cFallback++
 	if ws.colSparse {
 		copy(ws.spre2, ws.spre)
 		copy(ws.spim2, ws.spim)
@@ -342,6 +347,7 @@ func (e *Engine) exactFallback(ws *workspace, s complex128, omega float64, fault
 		}
 		err := ws.slus2.RefactorReuse(t.sparse.sym, ws.spre2, ws.spim2)
 		if err == nil {
+			ws.cSparse++
 			if err := ws.slus2.SolveInto(ws.xf, t.b); err != nil {
 				return 0, err
 			}
@@ -364,6 +370,7 @@ func (e *Engine) exactFallback(ws *workspace, s complex128, omega float64, fault
 	if err := numeric.FactorSoAReuse(&ws.slu2, ws.f2s); err != nil {
 		return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
 	}
+	ws.cDense++
 	if err := ws.slu2.SolveInto(ws.xf, t.b); err != nil {
 		return 0, err
 	}

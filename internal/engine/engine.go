@@ -12,6 +12,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/fault"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/rerr"
 	"repro/internal/sliceutil"
 )
@@ -82,6 +83,12 @@ type Engine struct {
 	// lookups and append churn with a handful of struct compares and flat
 	// copies. Guarded by its own mutex — batches may run concurrently.
 	memo resolutionMemo
+
+	// stats counts the numeric paths batch solves take (see stats.go);
+	// tracer, when installed via SetTracer, records per-frequency spans
+	// on the fault-set batch path.
+	stats  PathStats
+	tracer *obs.Tracer
 }
 
 // resolutionMemo is the engine's cached fault resolution: the key is the
@@ -429,6 +436,15 @@ type workspace struct {
 	vtx0   []complex128 // vᵀx0
 	zoutc  []complex128 // z[outIdx]
 	gcoeff []complex128 // golden coefficient sl.coeff(sl.value, s)
+
+	// Column-local path counters (plain ints — the per-item loops must
+	// not touch shared cache lines), flushed to Engine.stats once per
+	// column by solveColumn.
+	cDense    int64
+	cSparse   int64
+	cRank1    int64
+	cRankK    int64
+	cFallback int64
 }
 
 func newWorkspace(t *Template) *workspace {
@@ -632,7 +648,16 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fau
 	// the engine's resolution memo when they repeat — the GA fitness loop
 	// and per-candidate trajectory builds pass the identical universe on
 	// every call.
-	if sets != nil || !e.memo.lookup(faults, out) {
+	memoHit := false
+	if sets == nil {
+		memoHit = e.memo.lookup(faults, out)
+		if memoHit {
+			e.stats.MemoHits.Add(1)
+		} else {
+			e.stats.MemoMisses.Add(1)
+		}
+	}
+	if !memoHit {
 		if err := e.resolveBatch(faults, sets, out); err != nil {
 			return err
 		}
@@ -755,10 +780,23 @@ feed:
 // blocked SoA kernels by default; UseScalarKernels(true) routes it
 // through the original scalar complex128 reference implementation.
 func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, j int) error {
-	if e.scalarKernels {
-		return e.solveColumnScalar(ws, omega, faults, sets, out, j)
+	// Path counters accumulate in the workspace for the column and flush
+	// to the shared atomics once at the end — including error returns, so
+	// partially solved columns are still attributed. Spans are recorded
+	// on the fault-set path only (see SetTracer); the single-fault GA
+	// fitness path pays one nil check here and nothing else.
+	if tr := e.tracer; tr != nil && sets != nil {
+		defer tr.StartSpan("engine.column").End()
 	}
-	return e.solveColumnBlocked(ws, omega, faults, sets, out, j)
+	ws.cDense, ws.cSparse, ws.cRank1, ws.cRankK, ws.cFallback = 0, 0, 0, 0, 0
+	var err error
+	if e.scalarKernels {
+		err = e.solveColumnScalar(ws, omega, faults, sets, out, j)
+	} else {
+		err = e.solveColumnBlocked(ws, omega, faults, sets, out, j)
+	}
+	e.stats.flush(ws)
+	return err
 }
 
 // solveColumnScalar is the scalar complex128 reference implementation
@@ -774,6 +812,7 @@ func (e *Engine) solveColumnScalar(ws *workspace, omega float64, faults []fault.
 	if err := numeric.FactorReuse(&ws.lu, ws.f); err != nil {
 		return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
 	}
+	ws.cDense++
 	lu := &ws.lu
 	if err := lu.SolveInto(ws.x0, t.b); err != nil {
 		return err
@@ -813,6 +852,7 @@ func (e *Engine) solveColumnScalar(ws *workspace, omega float64, faults []fault.
 			continue
 		}
 		z := ws.z[out.zSlot[si]]
+		ws.cRank1++
 		vtz := sparseDot(sl.v, z)
 		den := 1 + delta*vtz
 		var zout complex128
@@ -824,6 +864,7 @@ func (e *Engine) solveColumnScalar(ws *workspace, omega float64, faults []fault.
 			cmplx.Abs(xout) < cancelGuard*cmplx.Abs(x0out) {
 			// Ill-conditioned update or catastrophic cancellation: solve
 			// the faulted system exactly.
+			ws.cFallback++
 			if err := ws.f2.CopyFrom(ws.m); err != nil {
 				return err
 			}
@@ -831,6 +872,7 @@ func (e *Engine) solveColumnScalar(ws *workspace, omega float64, faults []fault.
 			if err := numeric.FactorReuse(&ws.lu2, ws.f2); err != nil {
 				return fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
 			}
+			ws.cDense++
 			if err := ws.lu2.SolveInto(ws.xf, t.b); err != nil {
 				return err
 			}
@@ -870,6 +912,7 @@ func (e *Engine) solveItemK(ws *workspace, s complex128, omega float64, faults [
 		out.Mags[fi][j] = out.Golden[j]
 		return nil
 	}
+	ws.cRankK++
 	cm := ws.cmat[:k*k]
 	w := ws.wvec[:k]
 	for a := 0; a < k; a++ {
@@ -891,6 +934,7 @@ func (e *Engine) solveItemK(ws *workspace, s complex128, omega float64, faults [
 		}
 	}
 	if !ok || cmplx.Abs(xout) < cancelGuard*cmplx.Abs(x0out) {
+		ws.cFallback++
 		if err := ws.f2.CopyFrom(ws.m); err != nil {
 			return err
 		}
@@ -900,6 +944,7 @@ func (e *Engine) solveItemK(ws *workspace, s complex128, omega float64, faults [
 		if err := numeric.FactorReuse(&ws.lu2, ws.f2); err != nil {
 			return fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
 		}
+		ws.cDense++
 		if err := ws.lu2.SolveInto(ws.xf, t.b); err != nil {
 			return err
 		}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"log/slog"
 	"sort"
 	"sync"
 
 	"repro"
 	"repro/internal/artifact"
+	"repro/internal/engine"
 )
 
 // Entry is one CUT's serving state: the session (dictionary + engine),
@@ -47,6 +49,15 @@ func (e *Entry) close() {
 	}
 }
 
+// engineStats reads the entry engine's path counters. Entries without a
+// session (test stubs) report nothing.
+func (e *Entry) engineStats() (engine.PathStatsSnapshot, bool) {
+	if e.Session == nil {
+		return engine.PathStatsSnapshot{}, false
+	}
+	return e.Session.Dictionary().Engine().Stats(), true
+}
+
 // BuildConfig parameterizes the production entry builder.
 type BuildConfig struct {
 	// Workers bounds each session's worker pools (0 = one per CPU).
@@ -81,6 +92,9 @@ type BuildConfig struct {
 	ArtifactDir string
 	// Scheduler configures each entry's micro-batcher.
 	Scheduler SchedulerConfig
+	// Logger, when set, receives structured build diagnostics (degraded
+	// warm-start warnings). nil falls back to the standard log package.
+	Logger *slog.Logger
 }
 
 // NewEntryBuilder returns the production BuildFunc: resolve the built-in
@@ -140,7 +154,11 @@ func NewEntryBuilder(cfg BuildConfig, m *Metrics) BuildFunc {
 			m.WarmStarts.Add(1)
 		}
 		if e.Warning != "" {
-			log.Printf("serve: %s: %s", name, e.Warning)
+			if cfg.Logger != nil {
+				cfg.Logger.Warn("degraded entry", "cut", name, "warning", e.Warning)
+			} else {
+				log.Printf("serve: %s: %s", name, e.Warning)
+			}
 		}
 		e.batcher = newBatcher(ctx, e, cfg.Scheduler, m)
 		return e, nil

@@ -12,8 +12,11 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"log/slog"
 	"sync"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/rerr"
 )
 
@@ -42,12 +45,17 @@ type Registry struct {
 	capacity int
 	ctx      context.Context // lifetime context handed to builds
 	metrics  *Metrics
+	logger   *slog.Logger // nil = silent; set by the server from its Config
 
 	mu       sync.Mutex
 	order    *list.List               // front = most recently used; values are *Entry
 	resident map[string]*list.Element // name → order element
 	inflight map[string]*buildCall
 	closed   bool
+	// retired accumulates the engine path counters of entries that left
+	// residency (evicted, or released at shutdown), so EngineStats keeps
+	// counting monotonically across the LRU churn.
+	retired engine.PathStatsSnapshot
 }
 
 type buildCall struct {
@@ -111,9 +119,17 @@ func (r *Registry) Get(ctx context.Context, name string) (*Entry, error) {
 // runBuild executes one single-flight build and publishes its result.
 func (r *Registry) runBuild(name string, c *buildCall) {
 	r.metrics.Builds.Add(1)
+	buildStart := time.Now()
 	entry, err := r.build(r.ctx, name)
+	buildDur := time.Since(buildStart)
+	r.metrics.BuildSeconds.Observe(buildDur)
 	if err != nil {
 		r.metrics.BuildErrors.Add(1)
+		if r.logger != nil {
+			r.logger.Warn("build failed", "cut", name, "seconds", buildDur.Seconds(), "err", err)
+		}
+	} else if r.logger != nil {
+		r.logger.Info("build", "cut", name, "origin", entry.Origin, "seconds", buildDur.Seconds())
 	}
 
 	var evicted []*Entry
@@ -139,6 +155,11 @@ func (r *Registry) runBuild(name string, c *buildCall) {
 			}
 		}
 	}
+	for _, e := range evicted {
+		if s, ok := e.engineStats(); ok {
+			r.retired.Add(s)
+		}
+	}
 	c.entry, c.err = entry, err
 	r.mu.Unlock()
 	close(c.done)
@@ -146,8 +167,27 @@ func (r *Registry) runBuild(name string, c *buildCall) {
 	// Release evicted entries outside the lock: their batchers drain
 	// queued requests before stopping, which must not block Get calls.
 	for _, e := range evicted {
+		if r.logger != nil {
+			r.logger.Info("evict", "cut", e.Name)
+		}
 		e.close()
 	}
+}
+
+// EngineStats aggregates the engine path counters — factorizations,
+// SMW solves, fallbacks, memo traffic — across every resident entry
+// plus everything already retired from the LRU, giving the service-wide
+// view /metrics and /v1/stats export.
+func (r *Registry) EngineStats() engine.PathStatsSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := r.retired
+	for el := r.order.Front(); el != nil; el = el.Next() {
+		if s, ok := el.Value.(*Entry).engineStats(); ok {
+			total.Add(s)
+		}
+	}
+	return total
 }
 
 // Resident lists the loaded CUT names, most recently used first.
@@ -173,7 +213,11 @@ func (r *Registry) Close() {
 	r.closed = true
 	var entries []*Entry
 	for el := r.order.Front(); el != nil; el = el.Next() {
-		entries = append(entries, el.Value.(*Entry))
+		e := el.Value.(*Entry)
+		if s, ok := e.engineStats(); ok {
+			r.retired.Add(s)
+		}
+		entries = append(entries, e)
 	}
 	r.order.Init()
 	r.resident = make(map[string]*list.Element)

@@ -72,6 +72,10 @@ type Request struct {
 
 	ctx  context.Context
 	resp chan Response
+	// enqueued is the queue-accept instant, stamped before the queue send
+	// (the worker reads it at flush time) — the base of the queue-wait
+	// and end-to-end latency histograms.
+	enqueued time.Time
 	// set is the validated fault hypothesis (single faults boxed, multis
 	// constructed), filled by validate for non-point requests.
 	set repro.FaultSet
@@ -152,6 +156,7 @@ func (b *batcher) Diagnose(ctx context.Context, req *Request) Response {
 		return Response{Err: ErrClosed}
 	default:
 	}
+	req.enqueued = time.Now()
 	select {
 	case b.queue <- req:
 		b.metrics.Requests.Add(1)
@@ -160,6 +165,10 @@ func (b *batcher) Diagnose(ctx context.Context, req *Request) Response {
 		b.metrics.QueueRejects.Add(1)
 		return Response{Err: ErrQueueFull}
 	}
+	// Every accepted request observes end-to-end latency exactly once,
+	// whichever way it resolves — so request_seconds_count tracks
+	// requests_total.
+	defer func() { b.metrics.RequestSeconds.Observe(time.Since(req.enqueued)) }()
 	select {
 	case resp := <-req.resp:
 		return resp
@@ -354,16 +363,22 @@ func (b *batcher) collectNoWait(first *Request) []*Request {
 // are answered ErrCanceled without work; every live fault request shares
 // one batched signature solve; point requests are projected directly.
 func (b *batcher) process(batch []*Request) {
+	flushStart := time.Now()
 	b.metrics.Batches.Add(1)
 	b.metrics.BatchedRequests.Add(int64(len(batch)))
 	defer func() {
 		for _, req := range batch {
 			b.settle(req)
 		}
+		b.metrics.BatchFlushSeconds.Observe(time.Since(flushStart))
 	}()
 
 	live := make([]*Request, 0, len(batch))
 	for _, req := range batch {
+		// Queue wait is observed for every flushed member — canceled ones
+		// included — so queue_wait_seconds_count tracks
+		// batched_requests_total.
+		b.metrics.QueueWaitSeconds.Observe(flushStart.Sub(req.enqueued))
 		if err := req.ctx.Err(); err != nil {
 			b.metrics.Canceled.Add(1)
 			req.resp <- Response{Err: rerr.Canceled(err)}
@@ -393,7 +408,9 @@ func (b *batcher) process(batch []*Request) {
 	// One engine pass for the whole flush — the micro-batching payoff.
 	// Single and multi-fault injections share it: the rank-k batch path
 	// keeps rank-1 items on their fast path.
+	solveStart := time.Now()
 	results, err := b.entry.Session.DiagnoseFaultSets(b.ctx, b.entry.Diagnoser, sets)
+	b.metrics.EngineSolveSeconds.Observe(time.Since(solveStart))
 	if err == nil {
 		for i, req := range faultReqs {
 			b.respond(req, Response{Result: results[i]}, n)
@@ -408,7 +425,9 @@ func (b *batcher) process(batch []*Request) {
 	// singular). Retry each fault alone so one poisonous request cannot
 	// fail its neighbors.
 	for _, req := range faultReqs {
+		retryStart := time.Now()
 		res, rerr1 := b.entry.Session.DiagnoseFaultSets(b.ctx, b.entry.Diagnoser, []repro.FaultSet{req.set})
+		b.metrics.EngineSolveSeconds.Observe(time.Since(retryStart))
 		if rerr1 != nil {
 			b.respond(req, Response{Err: rerr1}, n)
 			continue

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/engine"
 )
 
 // Config parameterizes a serving instance.
@@ -23,6 +25,10 @@ type Config struct {
 	Version string
 	// BuildFunc overrides the production entry builder (tests).
 	BuildFunc BuildFunc
+	// Logger, when set, receives structured request, build, and eviction
+	// logs (ftserve wires it from -log-level/-log-format). nil disables
+	// logging; it is also the default for Build.Logger.
+	Logger *slog.Logger
 }
 
 // Server is the HTTP serving layer over the registry and scheduler.
@@ -36,6 +42,7 @@ type Server struct {
 	metrics Metrics
 	reg     *Registry
 	mux     *http.ServeMux
+	logger  *slog.Logger // nil = silent
 	start   time.Time
 	cancel  context.CancelFunc
 }
@@ -44,23 +51,54 @@ type Server struct {
 // Close releases it.
 func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{cfg: cfg, start: time.Now(), cancel: cancel}
+	s := &Server{cfg: cfg, logger: cfg.Logger, start: time.Now(), cancel: cancel}
 	build := cfg.BuildFunc
 	if build == nil {
+		if cfg.Build.Logger == nil {
+			cfg.Build.Logger = cfg.Logger
+		}
 		build = NewEntryBuilder(cfg.Build, &s.metrics)
 	}
 	s.reg = NewRegistry(ctx, cfg.Capacity, build, &s.metrics)
+	s.reg.logger = cfg.Logger
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/diagnose", s.handleDiagnose)
 	s.mux.HandleFunc("/v1/diagnose/batch", s.handleDiagnoseBatch)
 	s.mux.HandleFunc("/v1/cuts", s.handleCuts)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree. With a Logger configured, every
+// request is logged structurally (method, path, status, duration).
+func (s *Server) Handler() http.Handler {
+	if s.logger == nil {
+		return s.mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		s.logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(t0))/float64(time.Millisecond))
+	})
+}
+
+// statusWriter captures the response status for request logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
 
 // Metrics exposes the server's counters.
 func (s *Server) Metrics() *Metrics { return &s.metrics }
@@ -283,6 +321,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WritePrometheus(w)
+	WriteEnginePrometheus(w, s.reg.EngineStats())
+}
+
+// statsReply is the /v1/stats payload: the same data /metrics exposes,
+// as JSON — serving metrics with latency snapshots (buckets, sum, count,
+// p50/p90/p99) plus the aggregated engine path counters.
+type statsReply struct {
+	UptimeSeconds int64                    `json:"uptime_seconds"`
+	Metrics       MetricsSnapshot          `json:"metrics"`
+	Engine        engine.PathStatsSnapshot `json:"engine"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, statsReply{
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Metrics:       s.metrics.Snapshot(),
+		Engine:        s.reg.EngineStats(),
+	})
 }
 
 // statusOf maps an error onto its HTTP status: serving-layer sentinels

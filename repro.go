@@ -52,6 +52,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/netlist"
 	"repro/internal/numeric"
+	"repro/internal/obs"
 	"repro/internal/opamp"
 	"repro/internal/probdiag"
 	"repro/internal/trajectory"
@@ -112,6 +113,13 @@ type (
 	ProbabilisticCandidate = diagnosis.ProbCandidate
 	// Rational is a fitted transfer function N(s)/D(s).
 	Rational = numeric.Rational
+	// Tracer collects timing spans from a session's stages and the
+	// engine's per-frequency fault-set work. Install one with WithTracer;
+	// a nil Tracer is the no-op default and costs the hot paths nothing.
+	Tracer = obs.Tracer
+	// TraceSpan is one finished span of a Tracer (name, start offset and
+	// duration in milliseconds).
+	TraceSpan = obs.Span
 )
 
 // PaperCUT returns the stand-in for the paper's circuit under test: a
@@ -200,6 +208,11 @@ func ParseFrequencies(s string) ([]float64, error) {
 	}
 	return out, nil
 }
+
+// NewTracer starts an empty trace for WithTracer. Collected spans are
+// read back with Tracer.Spans or dumped with Tracer.WriteJSON (the
+// format behind the CLI -trace flag).
+func NewTracer() *Tracer { return obs.NewTracer() }
 
 // SerializeNetlist renders a Circuit back to netlist text.
 func SerializeNetlist(c *Circuit) (string, error) { return netlist.Serialize(c) }

@@ -12,8 +12,10 @@
 #   go run ./cmd/ftserve -addr :8080 -cuts nf-lowpass-7 -freqs 0.56,4.55 &
 #   scripts/loadgen.sh
 #
-# Watch the realized coalescing factor on the server:
-#   curl -s localhost:8080/metrics | grep -E 'batches_total|batched_requests'
+# After the run the script scrapes /metrics and reports the realized
+# coalescing factor (batched_requests_total / batches_total) and the
+# server-side p50/p99 request latency from the
+# ftserve_request_seconds histogram.
 set -euo pipefail
 
 URL="${1:-http://localhost:8080}"
@@ -68,3 +70,38 @@ if [ -s "$fail_log" ]; then
   exit 1
 fi
 echo "loadgen: $REQUESTS/$REQUESTS ok in ${elapsed}s (~$rps req/s)"
+
+# Post-run observability scrape: coalescing factor and server-side
+# request-latency quantiles, straight from the Prometheus payload.
+metrics=$(curl -s "$URL/metrics") || { echo "loadgen: /metrics scrape failed" >&2; exit 1; }
+echo "$metrics" | awk '
+  $1 == "ftserve_batches_total"          { batches = $2 }
+  $1 == "ftserve_batched_requests_total" { batched = $2 }
+  /^ftserve_request_seconds_bucket\{le="[^+]/ {
+    le = $1
+    sub(/^ftserve_request_seconds_bucket\{le="/, "", le)
+    sub(/"\}$/, "", le)
+    n += 1; les[n] = le + 0; counts[n] = $2 + 0
+  }
+  $1 == "ftserve_request_seconds_count" { total = $2 + 0 }
+  function quantile(p,   rank, i, lo, hi, prevc, prevle) {
+    if (total == 0) return 0
+    rank = p * total
+    prevc = 0; prevle = 0
+    for (i = 1; i <= n; i++) {
+      if (counts[i] >= rank) {
+        lo = prevle; hi = les[i]
+        if (counts[i] == prevc) return hi
+        return lo + (hi - lo) * (rank - prevc) / (counts[i] - prevc)
+      }
+      prevc = counts[i]; prevle = les[i]
+    }
+    return les[n]  # rank fell in the +Inf bucket: clamp to the last bound
+  }
+  END {
+    if (batches > 0)
+      printf "loadgen: coalescing factor %.2f (%d requests / %d batches)\n",
+        batched / batches, batched, batches
+    printf "loadgen: request latency p50 %.3f ms, p99 %.3f ms (server-side, %d samples)\n",
+      1000 * quantile(0.50), 1000 * quantile(0.99), total
+  }'

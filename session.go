@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/artifact"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/ga"
 	"repro/internal/geometry"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/probdiag"
 	"repro/internal/trajectory"
 )
@@ -53,6 +55,11 @@ type Progress struct {
 	Generation int `json:"generation"`
 	// BestFitness is the generation's best GA fitness (StageOptimize).
 	BestFitness float64 `json:"best_fitness"`
+	// ElapsedMS is the wall-clock time since the stage began, in
+	// milliseconds — a structured timing signal on every event after a
+	// stage's opening 0/N marker (which carries 0). On a stage's final
+	// event it is the stage duration.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // GenStats re-exports the GA's per-generation statistics.
@@ -73,6 +80,7 @@ type sessionOptions struct {
 	tolSeed      int64
 	noiseTempK   float64
 	noiseENBW    float64
+	tracer       *obs.Tracer
 }
 
 // WithDeviations overrides the paper's ±10%…±40% fault grid with an
@@ -181,6 +189,18 @@ func WithProgress(fn func(Progress)) Option {
 	}
 }
 
+// WithTracer installs a span tracer on the session: every stage call
+// (dictionary build, Optimize, Trajectories, Evaluate, Clouds) records
+// one "session.<stage>" span, and the underlying engine records one
+// "engine.column" span per frequency of every fault-set batch. The GA
+// fitness hot path records no spans (see engine.SetTracer), so a traced
+// session computes bit-identical results at unchanged steady-state
+// allocation cost. A nil tracer is the default: all span sites are
+// no-ops. Dump the collected spans with Tracer.WriteJSON.
+func WithTracer(t *Tracer) Option {
+	return func(o *sessionOptions) { o.tracer = t }
+}
+
 // WithProgressChannel subscribes a channel to the progress stream.
 // Sends never block: when the channel is full the event is dropped, so a
 // slow consumer cannot stall a stage. Use a buffered channel sized for
@@ -213,6 +233,7 @@ type Session struct {
 	checksum string
 	pairs    []fault.Multi    // modeled double-fault universe; nil without WithDoubleFaults
 	progress []func(Progress) // immutable after NewSession
+	tracer   *obs.Tracer      // nil without WithTracer; all span sites are nil-safe
 
 	// Tolerance model (WithTolerance); tolSamples == 0 means none.
 	tolerance  Tolerance
@@ -276,7 +297,7 @@ func NewSession(cut CUT, opts ...Option) (*Session, error) {
 	// always names the universe the session diagnoses over.
 	cut.Passives = append([]string(nil), u.Components...)
 	s := &Session{
-		cut: cut, workers: o.workers, progress: o.progress,
+		cut: cut, workers: o.workers, progress: o.progress, tracer: o.tracer,
 		tolerance: o.tolerance, tolSamples: o.tolSamples, tolSeed: o.tolSeed,
 		noiseTempK: o.noiseTempK, noiseENBW: o.noiseENBW,
 	}
@@ -287,11 +308,18 @@ func NewSession(cut CUT, opts ...Option) (*Session, error) {
 		}
 	}
 	s.emit(Progress{Stage: StageDictionary, Completed: 0, Total: 1})
+	start := time.Now()
+	defer s.tracer.StartSpan("session.dictionary").End()
 	atpg, err := core.New(cut.Circuit, cut.Source, cut.Output, u)
 	if err != nil {
 		return nil, err
 	}
 	s.atpg = atpg
+	// The session's tracer propagates into the engine so fault-set
+	// batches record their per-frequency columns on the same trace.
+	if o.tracer != nil {
+		atpg.Dictionary().Engine().SetTracer(o.tracer)
+	}
 	text, err := netlist.Serialize(cut.Circuit)
 	if err != nil {
 		return nil, fmt.Errorf("repro: checksum netlist: %w", err)
@@ -309,8 +337,13 @@ func NewSession(cut CUT, opts ...Option) (*Session, error) {
 		fingerprint += fmt.Sprintf("doublefaults=%d\n", len(s.pairs))
 	}
 	s.checksum = artifact.Checksum(fingerprint)
-	s.emit(Progress{Stage: StageDictionary, Completed: 1, Total: 1})
+	s.emit(Progress{Stage: StageDictionary, Completed: 1, Total: 1, ElapsedMS: msSince(start)})
 	return s, nil
+}
+
+// msSince is the stage-timing unit used by Progress.ElapsedMS.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
 }
 
 // NewSessionFromNetlist builds a session from netlist text plus the
@@ -388,6 +421,7 @@ func (s *Session) Optimize(ctx context.Context, cfg OptimizeConfig) (*TestVector
 		cfg.GA.Workers = s.workers
 	}
 	total := cfg.GA.Generations
+	start := time.Now()
 	user := cfg.GA.Progress
 	cfg.GA.Progress = func(st GenStats) {
 		if user != nil {
@@ -399,8 +433,10 @@ func (s *Session) Optimize(ctx context.Context, cfg OptimizeConfig) (*TestVector
 			Total:       total,
 			Generation:  st.Generation,
 			BestFitness: st.Best,
+			ElapsedMS:   msSince(start),
 		})
 	}
+	defer s.tracer.StartSpan("session.optimize").End()
 	return s.atpg.Optimize(ctx, cfg)
 }
 
@@ -425,11 +461,13 @@ func (s *Session) buildMap(ctx context.Context, omegas []float64) (*TrajectoryMa
 // ErrCanceled within one frequency.
 func (s *Session) Trajectories(ctx context.Context, omegas []float64) (*TrajectoryMap, error) {
 	s.emit(Progress{Stage: StageTrajectories, Completed: 0, Total: 1})
+	start := time.Now()
+	defer s.tracer.StartSpan("session.trajectories").End()
 	m, err := s.buildMap(ctx, omegas)
 	if err != nil {
 		return nil, err
 	}
-	s.emit(Progress{Stage: StageTrajectories, Completed: 1, Total: 1})
+	s.emit(Progress{Stage: StageTrajectories, Completed: 1, Total: 1, ElapsedMS: msSince(start)})
 	return m, nil
 }
 
@@ -442,6 +480,7 @@ func (s *Session) Trajectories(ctx context.Context, omegas []float64) (*Trajecto
 // only read the trajectory map they were built over. Build one Diagnoser
 // per test vector and share it across request-serving goroutines.
 func (s *Session) Diagnoser(ctx context.Context, omegas []float64) (*Diagnoser, error) {
+	defer s.tracer.StartSpan("session.diagnoser").End()
 	m, err := s.buildMap(ctx, omegas)
 	if err != nil {
 		return nil, err
@@ -480,6 +519,8 @@ func (s *Session) Evaluate(ctx context.Context, omegas []float64, holdOut []floa
 		holdOut = diagnosis.DefaultHoldOutDeviations()
 	}
 	s.emit(Progress{Stage: StageEvaluate, Completed: 0, Total: 1})
+	start := time.Now()
+	defer s.tracer.StartSpan("session.evaluate").End()
 	var ev *Evaluation
 	var err error
 	if s.pairs == nil {
@@ -495,7 +536,7 @@ func (s *Session) Evaluate(ctx context.Context, omegas []float64, holdOut []floa
 	if err != nil {
 		return nil, err
 	}
-	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1})
+	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1, ElapsedMS: msSince(start)})
 	return ev, nil
 }
 
@@ -508,11 +549,13 @@ func (s *Session) Evaluate(ctx context.Context, omegas []float64, holdOut []floa
 // injected double faults.
 func (s *Session) EvaluateSets(ctx context.Context, dg *Diagnoser, trials []FaultSet) (*Evaluation, error) {
 	s.emit(Progress{Stage: StageEvaluate, Completed: 0, Total: 1})
+	start := time.Now()
+	defer s.tracer.StartSpan("session.evaluate").End()
 	ev, err := dg.EvaluateSets(ctx, s.Dictionary(), trials)
 	if err != nil {
 		return nil, err
 	}
-	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1})
+	s.emit(Progress{Stage: StageEvaluate, Completed: 1, Total: 1, ElapsedMS: msSince(start)})
 	return ev, nil
 }
 
@@ -536,8 +579,10 @@ func (s *Session) HoldOutDoubleFaults(holdOut []float64, max int) ([]FaultSet, e
 // per solved frequency. Subsequent responses at grid points are pure
 // lookups; SaveDictionary calls this before snapshotting.
 func (s *Session) Precompute(ctx context.Context, omegas []float64) error {
+	start := time.Now()
+	defer s.tracer.StartSpan("session.precompute").End()
 	return s.Dictionary().BuildGridProgress(ctx, omegas, s.workers, func(done, total int) {
-		s.emit(Progress{Stage: StageDictionary, Completed: done, Total: total})
+		s.emit(Progress{Stage: StageDictionary, Completed: done, Total: total, ElapsedMS: msSince(start)})
 	})
 }
 
@@ -601,6 +646,8 @@ func (s *Session) Clouds(ctx context.Context, omegas []float64) (*SignatureCloud
 		return nil, fmt.Errorf("repro: %w: session has no tolerance model (use WithTolerance)", ErrBadConfig)
 	}
 	s.emit(Progress{Stage: StageClouds, Completed: 0, Total: 1})
+	start := time.Now()
+	defer s.tracer.StartSpan("session.clouds").End()
 	cfg := probdiag.Config{
 		Sigma:   s.tolerance.Sigma,
 		Samples: s.tolSamples,
@@ -622,7 +669,7 @@ func (s *Session) Clouds(ctx context.Context, omegas []float64) (*SignatureCloud
 	if err != nil {
 		return nil, err
 	}
-	s.emit(Progress{Stage: StageClouds, Completed: 1, Total: 1})
+	s.emit(Progress{Stage: StageClouds, Completed: 1, Total: 1, ElapsedMS: msSince(start)})
 	return cs, nil
 }
 
