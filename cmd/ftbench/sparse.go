@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -15,17 +16,30 @@ import (
 )
 
 // sparseSizes is the measured scaling ladder: RC ladders across the
-// dense→sparse crossover plus two op-amp-macro cascades for a CUT whose
-// pattern is not banded.
+// dense→sparse crossover, two op-amp-macro cascades for a CUT whose
+// pattern is not banded, and 2-D RC grids into the thousand-unknown
+// tier where the supernodal numeric phase is the story (the dense path
+// is only timed below denseTimeableNodes — an n=4097 dense factor per
+// frequency is not benchmarkable).
 var sparseSizes = []string{
 	"rc-ladder-16", "rc-ladder-32", "rc-ladder-64", "rc-ladder-128",
 	"rc-ladder-256", "rc-ladder-512",
 	"opamp-cascade-8", "opamp-cascade-32",
+	"rc-grid-16", "rc-grid-32", "rc-grid-45", "rc-grid-64",
 }
 
-// sparseEntry is one CUT's dense-vs-sparse grid-build measurement.
+// denseTimeableNodes bounds the engine-level dense-vs-sparse comparison:
+// above it the dense O(n³)-per-frequency grid build would dominate the
+// whole benchmark run, so those entries carry numeric-phase measurements
+// only (DenseNsPerOp = 0, Speedup = 0).
+const denseTimeableNodes = 600
+
+// sparseEntry is one CUT's sparse-engine measurement: the dense-vs-
+// sparse grid build (small CUTs), plus the supernodal numeric-phase
+// split — refactor cost vs solve cost per frequency, scalar vs
+// frequency-blocked, and the level-set parallel refactor speedup.
 type sparseEntry struct {
-	// CUT names the circuit under test ("rc-ladder-256").
+	// CUT names the circuit under test ("rc-grid-45").
 	CUT string `json:"cut"`
 	// Nodes is the MNA system size (unknowns).
 	Nodes int `json:"nodes"`
@@ -39,15 +53,38 @@ type sparseEntry struct {
 	Omegas int `json:"omegas"`
 	// DenseNsPerOp / SparseNsPerOp time one full grid build
 	// (BatchResponsesSetsInto over the fault × frequency grid) with the
-	// factor path forced each way.
+	// factor path forced each way. Dense is 0 above denseTimeableNodes.
 	DenseNsPerOp  float64 `json:"dense_ns_per_op"`
 	SparseNsPerOp float64 `json:"sparse_ns_per_op"`
 	// DenseAllocsPerOp / SparseAllocsPerOp are heap allocations per grid
 	// build in steady state.
 	DenseAllocsPerOp  int64 `json:"dense_allocs_per_op"`
 	SparseAllocsPerOp int64 `json:"sparse_allocs_per_op"`
-	// Speedup is dense/sparse wall time (>1 = sparse wins).
+	// Speedup is dense/sparse wall time (>1 = sparse wins; 0 when dense
+	// was not timed).
 	Speedup float64 `json:"speedup"`
+
+	// Supernode structure of the compiled elimination schedule.
+	Supernodes int `json:"supernodes"`
+	MaxPanel   int `json:"max_panel"`
+	Levels     int `json:"levels"`
+	// ScalarRefactorNsPerFreq / BlockedRefactorNsPerFreq split the
+	// numeric phase out of the grid build: one golden refactorization per
+	// frequency on the scalar up-looking walk vs the frequency-blocked
+	// walk (one RefactorBlock / FreqBlock). NumericSpeedup is their
+	// ratio — the tentpole quantity the ≥3× gate floors at 2000+
+	// unknowns.
+	ScalarRefactorNsPerFreq  float64 `json:"scalar_refactor_ns_per_freq"`
+	BlockedRefactorNsPerFreq float64 `json:"blocked_refactor_ns_per_freq"`
+	NumericSpeedup           float64 `json:"numeric_speedup"`
+	// SolveNsPerFreq times the triangular solve pair on the factored
+	// system — the non-refactor half of a frequency column.
+	SolveNsPerFreq float64 `json:"solve_ns_per_freq"`
+	// ParallelWorkers / ParallelSpeedup time the level-set parallel
+	// refactorization against its own single-worker run. Zero when
+	// GOMAXPROCS is 1 (single-core runner — nothing to measure).
+	ParallelWorkers int     `json:"parallel_workers"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
 }
 
 // sparseReport is the BENCH_sparse.json schema.
@@ -60,14 +97,17 @@ type sparseReport struct {
 }
 
 // sparse measures golden grid builds dense vs sparse over the scaling
-// CUT tier and writes BENCH_sparse.json. For each CUT the two paths are
-// cross-checked to 1e-9 relative agreement before anything is timed, so
-// the recorded speedups are between verified-equal answers.
+// CUT tier, splits the numeric phase (scalar vs frequency-blocked
+// refactorization, solve cost, parallel speedup), and writes
+// BENCH_sparse.json. Every timed comparison is cross-checked to 1e-9
+// relative agreement before anything is timed, so the recorded speedups
+// are between verified-equal answers.
 func (r *runner) sparse() error {
-	r.header("SPARSE", "dense vs sparse-pattern-reuse golden grid builds → "+r.sparseOut)
+	r.header("SPARSE", "dense vs supernodal sparse golden grid builds → "+r.sparseOut)
 	rep := &sparseReport{benchEnvelope: newBenchEnvelope(r.date)}
-	r.printf("  %-16s %6s %7s %7s %14s %14s %9s\n",
-		"cut", "nodes", "nnz", "path", "dense ns/op", "sparse ns/op", "speedup")
+	r.printf("  %-16s %6s %8s %5s %12s %12s %7s %12s %12s %8s %7s\n",
+		"cut", "nodes", "nnz", "sn", "dense ns/op", "sparse ns/op", "spdup",
+		"scalar ns/f", "blocked ns/f", "numeric", "par")
 
 	for _, name := range sparseSizes {
 		e, err := r.sparseOne(name)
@@ -75,8 +115,9 @@ func (r *runner) sparse() error {
 			return fmt.Errorf("sparse: %s: %w", name, err)
 		}
 		rep.Entries = append(rep.Entries, *e)
-		r.printf("  %-16s %6d %7d %7s %14.0f %14.0f %8.1f×\n",
-			e.CUT, e.Nodes, e.NNZ, e.FactorPath, e.DenseNsPerOp, e.SparseNsPerOp, e.Speedup)
+		r.printf("  %-16s %6d %8d %5d %12.0f %12.0f %6.1f× %12.0f %12.0f %7.2f× %6.2f×\n",
+			e.CUT, e.Nodes, e.NNZ, e.Supernodes, e.DenseNsPerOp, e.SparseNsPerOp, e.Speedup,
+			e.ScalarRefactorNsPerFreq, e.BlockedRefactorNsPerFreq, e.NumericSpeedup, e.ParallelSpeedup)
 	}
 
 	for _, e := range rep.Entries {
@@ -106,7 +147,60 @@ func (r *runner) sparse() error {
 	return nil
 }
 
-// sparseOne cross-checks and times one CUT's grid build both ways.
+// benchMinNs runs fn under testing.Benchmark for three rounds and
+// returns the minimum ns/op — the standard noise-floor estimator for a
+// loaded runner.
+func (r *runner) benchMinNs(fn func(b *testing.B)) (float64, int64, error) {
+	var ns float64
+	var allocs int64
+	for round := 0; round < 3; round++ {
+		res := testing.Benchmark(fn)
+		if err := r.ctx.Err(); err != nil {
+			return 0, 0, err
+		}
+		if res.N == 0 {
+			return 0, 0, fmt.Errorf("benchmark failed (see log above)")
+		}
+		n := float64(res.T.Nanoseconds()) / float64(res.N)
+		if round == 0 || n < ns {
+			ns, allocs = n, res.AllocsPerOp()
+		}
+	}
+	return ns, allocs, nil
+}
+
+// benchMinNsPaired times two benchmark bodies in interleaved rounds
+// (a, b, a, b, ...) and returns each one's minimum ns/op. Use it
+// whenever the quantity that matters is the *ratio* of the two: on a
+// shared runner the machine's effective throughput drifts on a
+// seconds-to-minutes scale, and timing the two sides back-to-back
+// within each round makes that drift hit both numerator and
+// denominator instead of landing between two separately-timed phases.
+func (r *runner) benchMinNsPaired(fa, fb func(b *testing.B)) (nsA, nsB float64, err error) {
+	for round := 0; round < 3; round++ {
+		for side, fn := range []func(b *testing.B){fa, fb} {
+			res := testing.Benchmark(fn)
+			if err := r.ctx.Err(); err != nil {
+				return 0, 0, err
+			}
+			if res.N == 0 {
+				return 0, 0, fmt.Errorf("benchmark failed (see log above)")
+			}
+			n := float64(res.T.Nanoseconds()) / float64(res.N)
+			if side == 0 && (round == 0 || n < nsA) {
+				nsA = n
+			}
+			if side == 1 && (round == 0 || n < nsB) {
+				nsB = n
+			}
+		}
+	}
+	return nsA, nsB, nil
+}
+
+// sparseOne cross-checks and times one CUT: the engine-level grid build
+// (dense timed only below denseTimeableNodes) and the isolated
+// numeric-phase measurements.
 func (r *runner) sparseOne(name string) (*sparseEntry, error) {
 	cut, err := circuits.ByName(name)
 	if err != nil {
@@ -116,7 +210,8 @@ func (r *runner) sparseOne(name string) (*sparseEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if eng.Template().SparsePattern() == nil {
+	sym := eng.Template().SparsePattern()
+	if sym == nil {
 		return nil, fmt.Errorf("no sparse pattern compiled")
 	}
 
@@ -139,86 +234,229 @@ func (r *runner) sparseOne(name string) (*sparseEntry, error) {
 	// path actually changes.
 	omegas := numeric.Logspace(cut.Omega0/10, cut.Omega0*10, 9)
 
-	// Cross-check before timing.
-	eng.SetFactorPath(engine.FactorDense)
-	ref, err := eng.BatchResponsesSets(r.ctx, sets, omegas, 1)
-	if err != nil {
-		return nil, err
+	check := func(got, ref *engine.Batch, peak float64, tag string) error {
+		for i := range sets {
+			for j := range omegas {
+				a, b := got.Mags[i][j], ref.Mags[i][j]
+				scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-3*peak)
+				if math.Abs(a-b)/scale > 1e-9 {
+					return fmt.Errorf("%s: %s at ω=%g: %.15g vs %.15g",
+						tag, sets[i].ID(), omegas[j], a, b)
+				}
+			}
+		}
+		return nil
 	}
+
+	// Cross-check before timing: supernodal sparse vs the scalar sparse
+	// walk always; vs the dense path when dense is tractable.
 	eng.SetFactorPath(engine.FactorSparse)
 	got, err := eng.BatchResponsesSets(r.ctx, sets, omegas, 1)
 	if err != nil {
 		return nil, err
 	}
 	var peak float64
-	for _, g := range ref.Golden {
+	for _, g := range got.Golden {
 		peak = math.Max(peak, g)
 	}
-	for i := range sets {
-		for j := range omegas {
-			a, b := got.Mags[i][j], ref.Mags[i][j]
-			scale := math.Max(math.Max(math.Abs(a), math.Abs(b)), 1e-3*peak)
-			if math.Abs(a-b)/scale > 1e-9 {
-				return nil, fmt.Errorf("%s at ω=%g: sparse %.15g vs dense %.15g",
-					sets[i].ID(), omegas[j], a, b)
-			}
-		}
-	}
-
-	// Best of three rounds per path: min ns/op is the standard estimator
-	// for the noise floor of a loaded runner, and these grid builds are
-	// too short-lived for one testing.Benchmark round to settle.
-	time := func(p engine.FactorPath) (ns float64, allocs int64, err error) {
-		eng.SetFactorPath(p)
-		var out engine.Batch
-		for round := 0; round < 3; round++ {
-			res := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					if err := eng.BatchResponsesSetsInto(r.ctx, sets, omegas, 1, &out); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-			if err := r.ctx.Err(); err != nil {
-				return 0, 0, err
-			}
-			if res.N == 0 {
-				return 0, 0, fmt.Errorf("benchmark failed (see log above)")
-			}
-			n := float64(res.T.Nanoseconds()) / float64(res.N)
-			if round == 0 || n < ns {
-				ns, allocs = n, res.AllocsPerOp()
-			}
-		}
-		return ns, allocs, nil
-	}
-	denseNs, denseAllocs, err := time(engine.FactorDense)
+	eng.UseScalarSparse(true)
+	refScalar, err := eng.BatchResponsesSets(r.ctx, sets, omegas, 1)
 	if err != nil {
 		return nil, err
 	}
-	sparseNs, sparseAllocs, err := time(engine.FactorSparse)
-	if err != nil {
+	eng.UseScalarSparse(false)
+	if err := check(got, refScalar, peak, "supernodal vs scalar-sparse"); err != nil {
+		return nil, err
+	}
+	e := &sparseEntry{
+		CUT:        name,
+		Nodes:      eng.Nodes(),
+		NNZ:        eng.NNZ(),
+		Faults:     len(sets),
+		Omegas:     len(omegas),
+		Supernodes: sym.Supernodes(),
+		MaxPanel:   sym.MaxPanel(),
+		Levels:     sym.Levels(),
+	}
+	if e.Nodes <= denseTimeableNodes {
+		eng.SetFactorPath(engine.FactorDense)
+		refDense, err := eng.BatchResponsesSets(r.ctx, sets, omegas, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(got, refDense, peak, "sparse vs dense"); err != nil {
+			return nil, err
+		}
+	}
+
+	var out engine.Batch
+	gridBuild := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.BatchResponsesSetsInto(r.ctx, sets, omegas, 1, &out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if e.Nodes <= denseTimeableNodes {
+		eng.SetFactorPath(engine.FactorDense)
+		if e.DenseNsPerOp, e.DenseAllocsPerOp, err = r.benchMinNs(gridBuild); err != nil {
+			return nil, err
+		}
+	}
+	eng.SetFactorPath(engine.FactorSparse)
+	if e.SparseNsPerOp, e.SparseAllocsPerOp, err = r.benchMinNs(gridBuild); err != nil {
+		return nil, err
+	}
+	if e.DenseNsPerOp > 0 && e.SparseNsPerOp > 0 {
+		e.Speedup = e.DenseNsPerOp / e.SparseNsPerOp
+	}
+
+	if err := r.sparseNumericPhase(eng, e, cut.Omega0); err != nil {
 		return nil, err
 	}
 
 	eng.SetFactorPath(engine.FactorAuto)
-	e := &sparseEntry{
-		CUT:               name,
-		Nodes:             eng.Nodes(),
-		NNZ:               eng.NNZ(),
-		FactorPath:        eng.FactorPathName(),
-		Faults:            len(sets),
-		Omegas:            len(omegas),
-		DenseNsPerOp:      denseNs,
-		SparseNsPerOp:     sparseNs,
-		DenseAllocsPerOp:  denseAllocs,
-		SparseAllocsPerOp: sparseAllocs,
-	}
-	if e.SparseNsPerOp > 0 {
-		e.Speedup = e.DenseNsPerOp / e.SparseNsPerOp
-	}
+	e.FactorPath = eng.FactorPathName()
 	return e, nil
+}
+
+// sparseNumericPhase isolates the golden refactorization from the
+// solves: it stamps FreqBlock frequency value planes once, cross-checks
+// the frequency-blocked and parallel supernodal factorizations against
+// the scalar walk through their triangular solves, then times each
+// numeric-phase variant and the solve separately.
+func (r *runner) sparseNumericPhase(eng *engine.Engine, e *sparseEntry, omega0 float64) error {
+	tm := eng.Template()
+	sym := tm.SparsePattern()
+	lnnz := sym.LUNNZ()
+	n := sym.N()
+
+	var res, ims [numeric.FreqBlock][]float64
+	freqs := numeric.Logspace(omega0/4, omega0*4, numeric.FreqBlock)
+	for f := 0; f < numeric.FreqBlock; f++ {
+		res[f] = make([]float64, lnnz)
+		ims[f] = make([]float64, lnnz)
+		if err := tm.StampSparse(res[f], ims[f], freqs[f]); err != nil {
+			return err
+		}
+	}
+	rhs := tm.RHS()
+	xa := make([]complex128, n)
+	xb := make([]complex128, n)
+	compareSolves := func(a, b *numeric.SparseLU, tag string) error {
+		if err := a.SolveInto(xa, rhs); err != nil {
+			return err
+		}
+		if err := b.SolveInto(xb, rhs); err != nil {
+			return err
+		}
+		var peak float64
+		for i := range xa {
+			peak = math.Max(peak, math.Max(math.Abs(real(xa[i])), math.Abs(imag(xa[i]))))
+		}
+		for i := range xa {
+			d := xa[i] - xb[i]
+			if math.Max(math.Abs(real(d)), math.Abs(imag(d))) > 1e-9*peak {
+				return fmt.Errorf("%s: solutions diverge at unknown %d: %v vs %v", tag, i, xa[i], xb[i])
+			}
+		}
+		return nil
+	}
+
+	// Cross-check: blocked planes and the parallel supernodal refactor
+	// against the scalar walk, each through a full triangular solve.
+	var scalar, par numeric.SparseLU
+	var blk [numeric.FreqBlock]numeric.SparseLU
+	var bref numeric.BlockRefactorer
+	errs := bref.RefactorBlock(sym, &blk, &res, &ims)
+	for f := 0; f < numeric.FreqBlock; f++ {
+		if errs[f] != nil {
+			return fmt.Errorf("blocked refactor plane %d: %w", f, errs[f])
+		}
+		if err := scalar.RefactorReuse(sym, res[f], ims[f]); err != nil {
+			return fmt.Errorf("scalar refactor plane %d: %w", f, err)
+		}
+		if err := compareSolves(&scalar, &blk[f], fmt.Sprintf("blocked plane %d vs scalar", f)); err != nil {
+			return err
+		}
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if err := par.RefactorParallel(sym, res[0], ims[0], nw); err != nil {
+		return fmt.Errorf("parallel refactor: %w", err)
+	}
+	if err := scalar.RefactorReuse(sym, res[0], ims[0]); err != nil {
+		return err
+	}
+	if err := compareSolves(&scalar, &par, "parallel supernodal vs scalar"); err != nil {
+		return err
+	}
+
+	// Timings: scalar walk per frequency, blocked walk per frequency
+	// (one RefactorBlock covers FreqBlock frequencies), the solve pair,
+	// and — on multi-core runners — the parallel refactor speedup over
+	// its own single-worker schedule. The scalar/blocked and
+	// sequential/parallel pairs are timed in interleaved rounds
+	// (benchMinNsPaired): both sides of each ratio must see the same
+	// runner-contention regime, or NumericSpeedup/ParallelSpeedup swing
+	// with whatever the host was doing between two separately-timed
+	// phases.
+	scalarNs, blockNs, err := r.benchMinNsPaired(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := scalar.RefactorReuse(sym, res[i%numeric.FreqBlock], ims[i%numeric.FreqBlock]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			errs := bref.RefactorBlock(sym, &blk, &res, &ims)
+			for f := range errs {
+				if errs[f] != nil {
+					b.Fatal(errs[f])
+				}
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	e.ScalarRefactorNsPerFreq = scalarNs
+	e.BlockedRefactorNsPerFreq = blockNs / numeric.FreqBlock
+	if e.BlockedRefactorNsPerFreq > 0 {
+		e.NumericSpeedup = e.ScalarRefactorNsPerFreq / e.BlockedRefactorNsPerFreq
+	}
+	if e.SolveNsPerFreq, _, err = r.benchMinNs(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := scalar.SolveInto(xa, rhs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}); err != nil {
+		return err
+	}
+	if nw > 1 {
+		seqNs, parNs, err := r.benchMinNsPaired(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := par.RefactorParallel(sym, res[0], ims[0], 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := par.RefactorParallel(sym, res[0], ims[0], nw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+		e.ParallelWorkers = nw
+		if parNs > 0 {
+			e.ParallelSpeedup = seqNs / parNs
+		}
+	}
+	return nil
 }
 
 // gateSparse compares the fresh sparse report against the baseline named
@@ -233,8 +471,23 @@ func (r *runner) sparseOne(name string) (*sparseEntry, error) {
 //     baseline. Smaller CUTs are informational only: their sub-ms grid
 //     builds are dominated by fixed batch overhead and runner noise,
 //     and the engine's auto heuristic is what protects them;
-//   - sparse stopped winning ≥5× at 256+ unknowns, the acceptance floor
-//     of the sparse engine.
+//   - sparse stopped winning ≥5× at 256+ unknowns where dense was
+//     timed — the acceptance floor of the sparse engine;
+//   - the frequency-blocked numeric phase fell more than -gate-tol
+//     below its baseline blocked-vs-scalar ratio at 2000+ unknowns, or
+//     below the hard 2× collapse floor. The ≥3× supernodal acceptance
+//     floor is asserted on the checked-in report (CI's
+//     machine-independent invariant step): the committed record must
+//     demonstrate ≥3× at scale on the bench machine, while
+//     regenerations on arbitrary runner classes are held to
+//     tolerance-relative ratios — the honest blocked-vs-scalar ratio
+//     hugs 3× at this tier, so an absolute 3× floor on a fresh noisy
+//     run would be flaky in a way the baseline-relative check is not;
+//   - on a multi-core runner, the parallel refactor fell more than
+//     -gate-tol below break-even against its own sequential schedule at
+//     2000+ unknowns (skipped when GOMAXPROCS is 1 — a single-core
+//     runner has nothing to assert; the tolerance absorbs contended
+//     shared-runner scheduling noise in this raw same-run ratio).
 func (r *runner) gateSparse(rep *sparseReport) error {
 	data, err := os.ReadFile(r.sparseGate)
 	if err != nil {
@@ -261,7 +514,7 @@ func (r *runner) gateSparse(rep *sparseReport) error {
 			continue
 		}
 		status := "info"
-		if b.Nodes >= 256 {
+		if b.Nodes >= 256 && b.DenseNsPerOp > 0 {
 			status = "ok"
 			if n.Speedup < (1-r.gateTol)*b.Speedup {
 				status = "FAIL"
@@ -269,13 +522,33 @@ func (r *runner) gateSparse(rep *sparseReport) error {
 					b.CUT, b.Speedup, n.Speedup, r.gateTol*100))
 			}
 		}
-		r.printf("  gate %-16s speedup %5.1f× → %5.1f×  (tol %.0f%%)  %s\n",
-			b.CUT, b.Speedup, n.Speedup, r.gateTol*100, status)
+		if b.Nodes >= 2000 && b.NumericSpeedup > 0 {
+			if status == "info" {
+				status = "ok"
+			}
+			if n.NumericSpeedup < (1-r.gateTol)*b.NumericSpeedup {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s numeric speedup collapsed %.2f× → %.2f× (tol %.0f%%)",
+					b.CUT, b.NumericSpeedup, n.NumericSpeedup, r.gateTol*100))
+			}
+		}
+		r.printf("  gate %-16s speedup %5.1f× → %5.1f×  numeric %5.2f× → %5.2f×  (tol %.0f%%)  %s\n",
+			b.CUT, b.Speedup, n.Speedup, b.NumericSpeedup, n.NumericSpeedup, r.gateTol*100, status)
 	}
 	for _, e := range rep.Entries {
-		if e.Nodes >= 256 && e.Speedup < 5 {
+		if e.Nodes >= 256 && e.DenseNsPerOp > 0 && e.Speedup < 5 {
 			failures = append(failures, fmt.Sprintf("%s (%d unknowns): sparse speedup %.1f×, want ≥5×",
 				e.CUT, e.Nodes, e.Speedup))
+		}
+		if e.Nodes >= 2000 {
+			if e.NumericSpeedup < 2 {
+				failures = append(failures, fmt.Sprintf("%s (%d unknowns): blocked numeric phase %.2f× over scalar, below the 2× collapse floor",
+					e.CUT, e.Nodes, e.NumericSpeedup))
+			}
+			if e.ParallelWorkers > 1 && e.ParallelSpeedup < 1-r.gateTol {
+				failures = append(failures, fmt.Sprintf("%s (%d unknowns): parallel refactor %.2f× on %d workers, want ≥%.2f× (1 − tol)",
+					e.CUT, e.Nodes, e.ParallelSpeedup, e.ParallelWorkers, 1-r.gateTol))
+			}
 		}
 	}
 	if len(failures) > 0 {

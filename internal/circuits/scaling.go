@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/circuit"
 	"repro/internal/netlist"
 )
 
@@ -17,9 +18,13 @@ import (
 //     (~n+2 unknowns);
 //   - opamp-cascade-<n> — OpampCascade(n), an active n-stage MFB
 //     low-pass chain built through the netlist .subckt expansion with a
-//     single-pole opamp macromodel per stage (~6n unknowns).
+//     single-pole opamp macromodel per stage (~6n unknowns);
+//   - rc-grid-<k>       — RCGrid(k), a k×k two-dimensional RC mesh
+//     (~k²+1 unknowns) whose 2-D connectivity produces the fill and
+//     supernode structure a 1-D ladder cannot — the thousand-node tier
+//     the supernodal numeric phase targets.
 //
-// Both are reachable by name from every binary through ByName, which
+// All are reachable by name from every binary through ByName, which
 // recognizes the parameterized suffix.
 
 // OpampCascade returns an n-stage active filter cascade: n MFB low-pass
@@ -81,12 +86,75 @@ RO p out 75
 	}, nil
 }
 
+// RCGrid returns a k×k two-dimensional RC mesh: node g<i>x<j> at grid
+// position (i, j) with unit resistors to its right and down neighbors
+// and a unit capacitor to ground, driven at the (0,0) corner and
+// observed at the opposite (k-1,k-1) corner. Unlike the 1-D ladder —
+// whose tridiagonal-like MNA pattern factors with almost no fill — the
+// mesh is a genuine 2-D elimination problem (nested-dissection-grade
+// fill, wide supernodes, a deep elimination tree), the structure the
+// supernodal numeric phase and frequency-blocked refactorization are
+// built for. k = 32 crosses a thousand unknowns (k²+1 = 1025); k = 64
+// reaches 4097.
+//
+// The fault universe stays bounded as the grid scales: the 2k-1
+// passives on the source→output main diagonal staircase, capped at 24
+// targets, so the dictionary and rank-1 slot machinery stay small while
+// the golden factorization carries the full k² system.
+func RCGrid(k int) (CUT, error) {
+	if k < 2 {
+		return CUT{}, fmt.Errorf("circuits: RCGrid needs k >= 2, got %d", k)
+	}
+	c := circuit.New(fmt.Sprintf("rc-grid-%d", k))
+	node := func(i, j int) string { return fmt.Sprintf("g%dx%d", i, j) }
+	c.MustAdd(circuit.NewVSource("Vin", node(0, 0), "0", 1))
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			cur := node(i, j)
+			if j+1 < k {
+				c.MustAdd(circuit.NewResistor(fmt.Sprintf("Rh%dx%d", i, j), cur, node(i, j+1), 1))
+			}
+			if i+1 < k {
+				c.MustAdd(circuit.NewResistor(fmt.Sprintf("Rv%dx%d", i, j), cur, node(i+1, j), 1))
+			}
+			c.MustAdd(circuit.NewCapacitor(fmt.Sprintf("C%dx%d", i, j), cur, "0", 1))
+		}
+	}
+	// Diagonal staircase (0,0)→(k-1,k-1): alternate a right step and a
+	// down step so every target lies on the source→output signal path.
+	passives := make([]string, 0, 24)
+	i, j := 0, 0
+	for len(passives) < 24 && (i < k-1 || j < k-1) {
+		if j < k-1 {
+			passives = append(passives, fmt.Sprintf("Rh%dx%d", i, j))
+			j++
+		}
+		if len(passives) < 24 && i < k-1 {
+			passives = append(passives, fmt.Sprintf("Rv%dx%d", i, j))
+			i++
+		}
+		if len(passives) < 24 {
+			passives = append(passives, fmt.Sprintf("C%dx%d", i, j))
+		}
+	}
+	return CUT{
+		Circuit:  c,
+		Source:   "Vin",
+		Output:   node(k-1, k-1),
+		Passives: passives,
+		// The corner-to-corner transfer rolls off like a 2(k-1)-section
+		// RC line; center searches inside the passband.
+		Omega0:      1.0 / float64(2*(k-1)),
+		Description: fmt.Sprintf("passive %d×%d RC mesh, %d unknowns (%d diagonal fault targets)", k, k, k*k+1, len(passives)),
+	}, nil
+}
+
 // Scaling returns the parameterized scaling families at representative
 // sizes, alongside All(): the CUT tier that exercises the sparse golden
 // engine (see BENCH_sparse.json for the dense/sparse crossover these
 // sizes straddle). Every entry is also reachable via ByName.
 func Scaling() []CUT {
-	out := make([]CUT, 0, 7)
+	out := make([]CUT, 0, 10)
 	for _, n := range []int{16, 64, 128, 256} {
 		cut, err := RCLadder(n)
 		if err != nil {
@@ -101,13 +169,20 @@ func Scaling() []CUT {
 		}
 		out = append(out, cut)
 	}
+	for _, k := range []int{8, 16, 32} {
+		cut, err := RCGrid(k)
+		if err != nil {
+			panic(err) // fixed k >= 2; cannot fail
+		}
+		out = append(out, cut)
+	}
 	return out
 }
 
 // Families lists the parameterized CUT name patterns ByName recognizes,
 // for CLI help and listings.
 func Families() []string {
-	return []string{"rc-ladder-<n>", "opamp-cascade-<n>"}
+	return []string{"rc-ladder-<n>", "opamp-cascade-<n>", "rc-grid-<k>"}
 }
 
 // parameterized resolves a parameterized family name like "rc-ladder-128"
@@ -121,6 +196,7 @@ func parameterized(name string) (CUT, bool, error) {
 	}{
 		{"rc-ladder-", RCLadder},
 		{"opamp-cascade-", OpampCascade},
+		{"rc-grid-", RCGrid},
 	} {
 		if !strings.HasPrefix(name, fam.prefix) {
 			continue

@@ -35,6 +35,7 @@ func TestScalingReachesHundredsOfUnknowns(t *testing.T) {
 	}{
 		{"rc-ladder-256", 256},
 		{"opamp-cascade-32", 150},
+		{"rc-grid-32", 1025},
 	} {
 		cut, err := ByName(tc.name)
 		if err != nil {
@@ -110,5 +111,47 @@ func TestOpampCascadeBehavesLowpass(t *testing.T) {
 	}
 	if _, err := OpampCascade(0); err == nil {
 		t.Error("OpampCascade(0) must fail")
+	}
+}
+
+// TestRCGridStructure pins the mesh family's contract: k²+1 unknowns, a
+// fault universe bounded at 24 targets regardless of grid size, and
+// every target an element on the source→output diagonal staircase.
+func TestRCGridStructure(t *testing.T) {
+	for _, tc := range []struct {
+		k, unknowns, targets int
+	}{
+		{4, 17, 9},
+		{16, 257, 24},
+		{45, 2026, 24},
+	} {
+		cut, err := RCGrid(tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cut.Validate(); err != nil {
+			t.Fatalf("rc-grid-%d: %v", tc.k, err)
+		}
+		sys, err := cut.Circuit.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.Size() != tc.unknowns {
+			t.Errorf("rc-grid-%d: %d unknowns, want %d", tc.k, sys.Size(), tc.unknowns)
+		}
+		if len(cut.Passives) != tc.targets {
+			t.Errorf("rc-grid-%d: %d fault targets, want %d", tc.k, len(cut.Passives), tc.targets)
+		}
+		for _, p := range cut.Passives {
+			if _, ok := cut.Circuit.Element(p); !ok {
+				t.Errorf("rc-grid-%d: fault target %s not in circuit", tc.k, p)
+			}
+		}
+	}
+	if _, err := RCGrid(1); err == nil {
+		t.Error("RCGrid(1) must fail")
+	}
+	if _, err := ByName("rc-grid-8"); err != nil {
+		t.Errorf("ByName rc-grid-8: %v", err)
 	}
 }

@@ -123,6 +123,27 @@ func solveSmallFast(k int, m, r []complex128) bool {
 	return true
 }
 
+// prepareGroup refactors the golden systems of frequency columns
+// [g, hi) in one frequency-blocked supernodal-schedule walk and caches
+// the per-column factors and outcomes in the workspace. It only engages
+// for full FreqBlock-wide groups on the sparse blocked path; remainder
+// groups, the scalar paths, and dense engines leave the cache empty and
+// take solveColumnBlocked's per-column flow. Any error — including a
+// singular plane — is deferred to the column's own solve, so outcomes
+// are identical to per-column refactorization.
+func (e *Engine) prepareGroup(ws *workspace, omegas []float64, g, hi int) {
+	ws.grpJ0, ws.grpLen = -1, 0
+	if e.scalarKernels || e.scalarSparse || hi-g != numeric.FreqBlock || !e.sparseColumn() {
+		return
+	}
+	t := e.tmpl
+	for x := 0; x < numeric.FreqBlock; x++ {
+		t.stampGoldenSparse(ws.spreBlk[x], ws.spimBlk[x], complex(0, omegas[g+x]))
+	}
+	ws.grpErr = ws.bref.RefactorBlock(t.sparse.sym, &ws.slusBlk, &ws.spreBlk, &ws.spimBlk)
+	ws.grpJ0, ws.grpLen = g, hi-g
+}
+
 // solveColumnBlocked fills column j of the batch table on the blocked
 // SoA kernels. Semantics (guards, fallbacks, results up to ≤1e-9
 // relative rounding differences) match solveColumnScalar.
@@ -131,23 +152,54 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 	t := e.tmpl
 	// Golden factorization: the sparse path stamps coefficient values into
 	// the compiled pattern's planes and refactors numerically on the
-	// pattern's static elimination schedule — O(fill) instead of O(n³).
-	// An ill-conditioned sparse pivot (the sparse factorization does no
-	// numerical pivoting) falls through to the dense partial-pivoting
-	// factorization below, so sparse never changes what is computable.
+	// pattern's static elimination schedule — O(fill) instead of O(n³) —
+	// through the supernodal numeric phase: frequency-blocked group walks
+	// when prepareGroup cached this column, a supernodal (optionally
+	// level-set-parallel) single-column refactor otherwise, and the scalar
+	// walk only under UseScalarSparse. An ill-conditioned sparse pivot
+	// (the sparse factorization does no numerical pivoting) falls through
+	// to the dense partial-pivoting factorization below, so sparse never
+	// changes what is computable.
 	ws.colSparse = false
 	ws.denseStamped = false
-	if e.sparseColumn() {
-		t.stampGoldenSparse(ws.spre, ws.spim, s)
-		err := ws.slus.RefactorReuse(t.sparse.sym, ws.spre, ws.spim)
+	ws.sluGold = nil
+	if x := j - ws.grpJ0; ws.grpJ0 >= 0 && x >= 0 && x < ws.grpLen {
+		// Golden factors were refactored by this column's group walk.
+		err := ws.grpErr[x]
 		if err == nil {
 			ws.colSparse = true
+			ws.sluGold = &ws.slusBlk[x]
+			ws.spre, ws.spim = ws.spreBlk[x], ws.spimBlk[x]
+			ws.cSparse++
+			ws.cSupernodal++
+		} else if !errors.Is(err, numeric.ErrSingular) {
+			return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
+		} else {
+			ws.cDenseSingular++
+		}
+	} else if e.sparseColumn() {
+		t.stampGoldenSparse(ws.spre, ws.spim, s)
+		var err error
+		if e.scalarSparse {
+			err = ws.slus.RefactorReuse(t.sparse.sym, ws.spre, ws.spim)
+		} else {
+			err = ws.slus.RefactorParallel(t.sparse.sym, ws.spre, ws.spim, e.refactorWorkers)
+			if err == nil {
+				ws.cSupernodal++
+			}
+		}
+		if err == nil {
+			ws.colSparse = true
+			ws.sluGold = &ws.slus
 			ws.cSparse++
 		} else if !errors.Is(err, numeric.ErrSingular) {
 			return fmt.Errorf("engine: golden system at ω=%g: %w", omega, err)
+		} else {
+			ws.cDenseSingular++
 		}
 	}
 	if !ws.colSparse {
+		ws.ensureSoADense(t.n)
 		t.stampGoldenSoA(ws.ms, s)
 		ws.denseStamped = true
 		if err := ws.fs.CopyFrom(ws.ms); err != nil {
@@ -184,7 +236,7 @@ func (e *Engine) solveColumnBlocked(ws *workspace, omega float64, faults []fault
 		}
 	}
 	if ws.colSparse {
-		if err := ws.slus.SolveBlock(blk); err != nil {
+		if err := ws.sluGold.SolveBlock(blk); err != nil {
 			return err
 		}
 	} else if err := ws.slu.SolveBlock(blk); err != nil {
@@ -330,24 +382,31 @@ func (e *Engine) solveItemKBlocked(ws *workspace, s complex128, omega float64, f
 // exactly into ws.xf and returns its output component — the escape hatch
 // both blocked per-item paths take on an ill-conditioned update or
 // catastrophic cancellation. On a sparse golden column the patched
-// refactorization reuses the compiled pattern (the slot deltas land on
-// already-structural positions, so no new symbolic work); an
-// ill-conditioned sparse pivot then falls back to the dense
-// partial-pivoting factorization, stamping the dense golden planes on
-// demand. On a dense column this is the original dense fallback
-// unchanged.
+// refactorization is a partial refactorization from the column's golden
+// factors: the slot deltas land on already-structural positions, so the
+// compiled per-slot touched rows bound exactly which columns of the
+// elimination must be redone — for a localized fault that is a small
+// reachable cone, not the whole matrix. An ill-conditioned sparse pivot
+// then falls back to the dense partial-pivoting factorization, stamping
+// the dense golden planes on demand. On a dense column this is the
+// original dense fallback unchanged.
 func (e *Engine) exactFallback(ws *workspace, s complex128, omega float64, faults []fault.Fault, sets []fault.Set, fi int, slots []int, deltas []complex128) (complex128, error) {
 	t := e.tmpl
 	ws.cFallback++
 	if ws.colSparse {
 		copy(ws.spre2, ws.spre)
 		copy(ws.spim2, ws.spim)
+		touched := ws.touched[:0]
 		for a, si := range slots {
 			t.addRank1Sparse(ws.spre2, ws.spim2, si, deltas[a])
+			touched = append(touched, t.sparse.slotRows[si]...)
 		}
-		err := ws.slus2.RefactorReuse(t.sparse.sym, ws.spre2, ws.spim2)
+		ws.touched = touched
+		cnt, err := ws.slus2.PartialRefactor(ws.sluGold, ws.spre2, ws.spim2, touched)
 		if err == nil {
 			ws.cSparse++
+			ws.cPartial++
+			ws.cPartialCols += int64(cnt)
 			if err := ws.slus2.SolveInto(ws.xf, t.b); err != nil {
 				return 0, err
 			}
@@ -356,7 +415,9 @@ func (e *Engine) exactFallback(ws *workspace, s complex128, omega float64, fault
 		if !errors.Is(err, numeric.ErrSingular) {
 			return 0, fmt.Errorf("engine: fault %s at ω=%g: %w", itemID(faults, sets, fi), omega, err)
 		}
+		ws.cDenseExact++
 	}
+	ws.ensureSoADense(t.n)
 	if !ws.denseStamped {
 		t.stampGoldenSoA(ws.ms, s)
 		ws.denseStamped = true

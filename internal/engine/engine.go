@@ -70,6 +70,18 @@ type Engine struct {
 	// reference path. See UseScalarKernels.
 	scalarKernels bool
 
+	// scalarSparse pins the golden sparse numeric phase to the scalar
+	// one-column-at-a-time walk (the pre-supernodal baseline), disabling
+	// frequency-blocked group refactorization and the supernodal panel
+	// path. Benchmarks use it to attribute the supernodal win; see
+	// UseScalarSparse.
+	scalarSparse bool
+
+	// refactorWorkers parallelizes single-column supernodal golden
+	// refactorizations over the elimination level sets when > 1. See
+	// SetRefactorWorkers.
+	refactorWorkers int
+
 	// factorPath is the golden-factorization override (FactorAuto by
 	// default); sparseAuto is the heuristic verdict computed once at New.
 	// See SetFactorPath.
@@ -228,6 +240,26 @@ func (e *Engine) NNZ() int {
 // never need this. Must not be toggled concurrently with a running
 // batch.
 func (e *Engine) UseScalarKernels(on bool) { e.scalarKernels = on }
+
+// UseScalarSparse pins the golden sparse numeric phase to the scalar
+// refactorization walk instead of the supernodal/frequency-blocked
+// phase. Results are identical: the supernodal walk is pinned
+// bit-identical to the scalar walk, the frequency-blocked walk is
+// pinned identical under == (bit-identical except the sign of exact
+// zeros — see numeric.RefactorBlock); only the numeric-phase cost
+// changes. Benchmarks toggle this to attribute the supernodal speedup.
+// Must not be toggled concurrently with a running batch.
+func (e *Engine) UseScalarSparse(on bool) { e.scalarSparse = on }
+
+// SetRefactorWorkers sets the worker count for parallel supernodal
+// refactorization of single-column golden systems (level-set schedule
+// within one refactorization; results are bit-identical at every worker
+// count). n ≤ 1 — the default — refactors sequentially. Frequency
+// groups of FreqBlock columns always use the blocked single-thread
+// walk; the setting applies to the remainder columns and to engines
+// whose batches arrive one frequency at a time. Must not be changed
+// concurrently with a running batch.
+func (e *Engine) SetRefactorWorkers(n int) { e.refactorWorkers = n }
 
 // Template exposes the compiled stamp program.
 func (e *Engine) Template() *Template { return e.tmpl }
@@ -426,6 +458,23 @@ type workspace struct {
 	slus2        numeric.SparseLU
 	colSparse    bool
 	denseStamped bool
+	touched      []int // merged per-slot touched rows of one fallback item
+
+	// Frequency-blocked golden refactorization: a worker claims
+	// FreqBlock consecutive frequency columns, stamps their value planes
+	// and refactors all of them in one interleaved supernodal-schedule
+	// walk (numeric.BlockRefactorer), caching per-column factors and
+	// outcomes here. sluGold points at the current column's golden
+	// sparse factors — a group slot or ws.slus — so solves and partial
+	// refactorizations are source-agnostic.
+	bref    numeric.BlockRefactorer
+	slusBlk [numeric.FreqBlock]numeric.SparseLU
+	spreBlk [numeric.FreqBlock][]float64
+	spimBlk [numeric.FreqBlock][]float64
+	grpErr  [numeric.FreqBlock]error
+	grpJ0   int // first batch column of the cached group; -1 when none
+	grpLen  int // columns in the cached group
+	sluGold *numeric.SparseLU
 
 	// Per-column per-distinct-slot precomputes (indexed by z position):
 	// every deviation of a component shares its slot, so the slot-only
@@ -440,19 +489,21 @@ type workspace struct {
 	// Column-local path counters (plain ints — the per-item loops must
 	// not touch shared cache lines), flushed to Engine.stats once per
 	// column by solveColumn.
-	cDense    int64
-	cSparse   int64
-	cRank1    int64
-	cRankK    int64
-	cFallback int64
+	cDense         int64
+	cSparse        int64
+	cRank1         int64
+	cRankK         int64
+	cFallback      int64
+	cSupernodal    int64
+	cPartial       int64
+	cPartialCols   int64
+	cDenseExact    int64
+	cDenseSingular int64
 }
 
 func newWorkspace(t *Template) *workspace {
 	n, nslots := t.n, len(t.slots)
 	ws := &workspace{
-		m:      numeric.NewMatrix(n, n),
-		f:      numeric.NewMatrix(n, n),
-		f2:     numeric.NewMatrix(n, n),
 		x0:     make([]complex128, n),
 		xf:     make([]complex128, n),
 		rhs:    make([]complex128, n),
@@ -460,14 +511,12 @@ func newWorkspace(t *Template) *workspace {
 		delta:  make([]complex128, nslots),
 		cmat:   make([]complex128, nslots*nslots),
 		wvec:   make([]complex128, nslots),
-		ms:     numeric.NewSoAMatrix(n, n),
-		fs:     numeric.NewSoAMatrix(n, n),
-		f2s:    numeric.NewSoAMatrix(n, n),
 		blk:    numeric.NewBlock(n, 1+nslots),
 		vtz:    make([]complex128, nslots),
 		vtx0:   make([]complex128, nslots),
 		zoutc:  make([]complex128, nslots),
 		gcoeff: make([]complex128, nslots),
+		grpJ0:  -1,
 	}
 	for i := range ws.z {
 		ws.z[i] = make([]complex128, n)
@@ -478,8 +527,39 @@ func newWorkspace(t *Template) *workspace {
 		ws.spim = make([]float64, lnnz)
 		ws.spre2 = make([]float64, lnnz)
 		ws.spim2 = make([]float64, lnnz)
+		for x := 0; x < numeric.FreqBlock; x++ {
+			ws.spreBlk[x] = make([]float64, lnnz)
+			ws.spimBlk[x] = make([]float64, lnnz)
+		}
+	} else {
+		// Dense-only engines factor n×n every column; sparse-capable
+		// engines allocate the six dense matrices lazily, only if a
+		// column actually falls back — a thousand-node grid would
+		// otherwise pin hundreds of megabytes per worker it never uses.
+		ws.ensureScalarDense(n)
+		ws.ensureSoADense(n)
 	}
 	return ws
+}
+
+// ensureScalarDense sizes the scalar-path golden/fallback dense
+// matrices on first use.
+func (ws *workspace) ensureScalarDense(n int) {
+	if ws.m == nil {
+		ws.m = numeric.NewMatrix(n, n)
+		ws.f = numeric.NewMatrix(n, n)
+		ws.f2 = numeric.NewMatrix(n, n)
+	}
+}
+
+// ensureSoADense sizes the blocked-path dense SoA matrices on first
+// use (a dense golden column or a dense exact fallback).
+func (ws *workspace) ensureSoADense(n int) {
+	if ws.ms == nil {
+		ws.ms = numeric.NewSoAMatrix(n, n)
+		ws.fs = numeric.NewSoAMatrix(n, n)
+		ws.f2s = numeric.NewSoAMatrix(n, n)
+	}
 }
 
 func sparseDot(v []sparseEntry, x []complex128) complex128 {
@@ -678,8 +758,16 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fau
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > len(omegas) {
-		workers = len(omegas)
+	// Workers claim whole frequency groups (FreqBlock consecutive
+	// columns refactored in one blocked walk on the sparse path, single
+	// columns otherwise), so the useful worker count is the group count.
+	unit := 1
+	if !e.scalarKernels && e.sparseColumn() && !e.scalarSparse {
+		unit = numeric.FreqBlock
+	}
+	groups := (len(omegas) + unit - 1) / unit
+	if workers > groups {
+		workers = groups
 	}
 
 	// The progress closure (and the counter it captures) is only built
@@ -697,20 +785,28 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fau
 		// small batches (a GA candidate is k=2 frequencies).
 		ws := e.pool.Get().(*workspace)
 		defer e.pool.Put(ws)
-		for j := range omegas {
-			if err := ctx.Err(); err != nil {
-				return rerr.Canceled(err)
+		ws.grpJ0, ws.grpLen = -1, 0
+		for g := 0; g < len(omegas); g += unit {
+			hi := g + unit
+			if hi > len(omegas) {
+				hi = len(omegas)
 			}
-			if err := e.solveColumn(ws, omegas[j], faults, sets, out, j); err != nil {
-				return err
-			}
-			if report != nil {
-				report()
+			e.prepareGroup(ws, omegas, g, hi)
+			for j := g; j < hi; j++ {
+				if err := ctx.Err(); err != nil {
+					return rerr.Canceled(err)
+				}
+				if err := e.solveColumn(ws, omegas[j], faults, sets, out, j); err != nil {
+					return err
+				}
+				if report != nil {
+					report()
+				}
 			}
 		}
 		return nil
 	}
-	return e.batchParallel(ctx, faults, sets, omegas, workers, report, out)
+	return e.batchParallel(ctx, faults, sets, omegas, workers, unit, report, out)
 }
 
 // batchParallel is batchInto's worker-pool branch. It lives in its own
@@ -718,7 +814,7 @@ func (e *Engine) batchInto(ctx context.Context, faults []fault.Fault, sets []fau
 // batchInto's: escape analysis is flow-insensitive, and keeping the
 // captures here is what lets the single-worker GA path run without ctx
 // or progress state escaping to the heap.
-func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, sets []fault.Set, omegas []float64, workers int, report func(), out *Batch) error {
+func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, sets []fault.Set, omegas []float64, workers, unit int, report func(), out *Batch) error {
 	jobs := make(chan int)
 	errs := make(chan error, workers)
 	var wg sync.WaitGroup
@@ -728,30 +824,38 @@ func (e *Engine) batchParallel(ctx context.Context, faults []fault.Fault, sets [
 			defer wg.Done()
 			ws := e.pool.Get().(*workspace)
 			defer e.pool.Put(ws)
-			for j := range jobs {
+			ws.grpJ0, ws.grpLen = -1, 0
+			for g := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without solving so the producer never blocks
 				}
-				if err := e.solveColumn(ws, omegas[j], faults, sets, out, j); err != nil {
-					select {
-					case errs <- err:
-					default:
-					}
-					// Keep draining so the producer never blocks.
-					for range jobs {
-					}
-					return
+				hi := g + unit
+				if hi > len(omegas) {
+					hi = len(omegas)
 				}
-				if report != nil {
-					report()
+				e.prepareGroup(ws, omegas, g, hi)
+				for j := g; j < hi; j++ {
+					if err := e.solveColumn(ws, omegas[j], faults, sets, out, j); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+						// Keep draining so the producer never blocks.
+						for range jobs {
+						}
+						return
+					}
+					if report != nil {
+						report()
+					}
 				}
 			}
 		}()
 	}
 feed:
-	for j := range omegas {
+	for g := 0; g < len(omegas); g += unit {
 		select {
-		case jobs <- j:
+		case jobs <- g:
 		case <-ctx.Done():
 			break feed
 		}
@@ -789,6 +893,7 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 		defer tr.StartSpan("engine.column").End()
 	}
 	ws.cDense, ws.cSparse, ws.cRank1, ws.cRankK, ws.cFallback = 0, 0, 0, 0, 0
+	ws.cSupernodal, ws.cPartial, ws.cPartialCols, ws.cDenseExact, ws.cDenseSingular = 0, 0, 0, 0, 0
 	var err error
 	if e.scalarKernels {
 		err = e.solveColumnScalar(ws, omega, faults, sets, out, j)
@@ -805,6 +910,7 @@ func (e *Engine) solveColumn(ws *workspace, omega float64, faults []fault.Fault,
 func (e *Engine) solveColumnScalar(ws *workspace, omega float64, faults []fault.Fault, sets []fault.Set, out *Batch, j int) error {
 	s := complex(0, omega)
 	t := e.tmpl
+	ws.ensureScalarDense(t.n)
 	t.stampGolden(ws.m, s)
 	if err := ws.f.CopyFrom(ws.m); err != nil {
 		return err

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"repro/internal/numeric"
 )
 
@@ -25,6 +27,10 @@ type sparseProgram struct {
 	slotOff []int
 	prodIdx []int
 	prodW   []complex128
+	// slotRows[si] lists the distinct permuted rows slot si's rank-1
+	// products land on — the touched set a partial refactorization
+	// re-eliminates from when an exact fallback patches that slot.
+	slotRows [][]int
 }
 
 // compileSparse builds the sparse stamp program for a compiled template.
@@ -56,6 +62,11 @@ func compileSparse(t *Template) *sparseProgram {
 	for k, e := range t.static {
 		sp.staticIdx[k] = sym.ValueIndex(e.i, e.j)
 	}
+	sp.slotRows = make([][]int, len(t.slots))
+	seen := make([]int, t.n)
+	for i := range seen {
+		seen[i] = -1
+	}
 	for si := range t.slots {
 		sl := &t.slots[si]
 		for _, ue := range sl.u {
@@ -65,6 +76,12 @@ func compileSparse(t *Template) *sparseProgram {
 			}
 		}
 		sp.slotOff[si+1] = len(sp.prodIdx)
+		for p := sp.slotOff[si]; p < sp.slotOff[si+1]; p++ {
+			if r := sym.RowOfIndex(sp.prodIdx[p]); seen[r] != si {
+				seen[r] = si
+				sp.slotRows[si] = append(sp.slotRows[si], r)
+			}
+		}
 	}
 	return sp
 }
@@ -113,4 +130,15 @@ func (t *Template) SparsePattern() *numeric.SparseSymbolic {
 		return nil
 	}
 	return t.sparse.sym
+}
+
+// StampSparse writes the golden A(jω) values onto the compiled sparse
+// pattern's planes (each of length SparsePattern().LUNNZ()) — the
+// benchmark harness uses it to time the numeric phase in isolation.
+func (t *Template) StampSparse(re, im []float64, omega float64) error {
+	if t.sparse == nil {
+		return fmt.Errorf("engine: template has no sparse pattern")
+	}
+	t.stampGoldenSparse(re, im, complex(0, omega))
+	return nil
 }

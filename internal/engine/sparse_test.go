@@ -113,7 +113,11 @@ func TestSparseMatchesDenseScalingCUTs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cut := range []circuits.CUT{lad, casc} {
+	grid, err := circuits.RCGrid(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []circuits.CUT{lad, casc, grid} {
 		cut := cut
 		t.Run(cut.Circuit.Name(), func(t *testing.T) {
 			u, err := fault.PaperUniverse(cut.Passives)

@@ -30,6 +30,23 @@ type PathStats struct {
 	// resolution was served from / recomputed into the engine memo.
 	MemoHits   atomic.Int64
 	MemoMisses atomic.Int64
+	// SupernodalRefactors counts golden refactorizations that ran on the
+	// supernodal numeric phase (frequency-blocked group columns and
+	// single-column supernodal/parallel refactors), a subset of
+	// SparseFactors.
+	SupernodalRefactors atomic.Int64
+	// PartialRefactors counts exact fallbacks served by a partial
+	// refactorization from the column's golden factors instead of a
+	// from-scratch sweep; PartialRefactorColumns accumulates how many
+	// matrix columns those partial refactors re-eliminated.
+	PartialRefactors       atomic.Int64
+	PartialRefactorColumns atomic.Int64
+	// DenseFallbackExact / DenseFallbackSingular split the dense
+	// factorizations on sparse-capable columns by cause: an exact-solve
+	// fallback whose sparse partial refactorization was singular, vs a
+	// golden sparse refactorization that tripped the static-pivot guard.
+	DenseFallbackExact    atomic.Int64
+	DenseFallbackSingular atomic.Int64
 }
 
 // PathStatsSnapshot is a plain-value copy of PathStats, JSON-ready for
@@ -42,6 +59,12 @@ type PathStatsSnapshot struct {
 	ExactFallbacks int64 `json:"exact_fallbacks"`
 	MemoHits       int64 `json:"memo_hits"`
 	MemoMisses     int64 `json:"memo_misses"`
+
+	SupernodalRefactors    int64 `json:"supernodal_refactors"`
+	PartialRefactors       int64 `json:"partial_refactors"`
+	PartialRefactorColumns int64 `json:"partial_refactor_columns"`
+	DenseFallbackExact     int64 `json:"dense_fallback_exact"`
+	DenseFallbackSingular  int64 `json:"dense_fallback_singular"`
 }
 
 // Snapshot reads the counters. Each is loaded once; concurrent batches
@@ -56,6 +79,12 @@ func (p *PathStats) Snapshot() PathStatsSnapshot {
 		ExactFallbacks: p.ExactFallbacks.Load(),
 		MemoHits:       p.MemoHits.Load(),
 		MemoMisses:     p.MemoMisses.Load(),
+
+		SupernodalRefactors:    p.SupernodalRefactors.Load(),
+		PartialRefactors:       p.PartialRefactors.Load(),
+		PartialRefactorColumns: p.PartialRefactorColumns.Load(),
+		DenseFallbackExact:     p.DenseFallbackExact.Load(),
+		DenseFallbackSingular:  p.DenseFallbackSingular.Load(),
 	}
 }
 
@@ -69,6 +98,11 @@ func (s *PathStatsSnapshot) Add(o PathStatsSnapshot) {
 	s.ExactFallbacks += o.ExactFallbacks
 	s.MemoHits += o.MemoHits
 	s.MemoMisses += o.MemoMisses
+	s.SupernodalRefactors += o.SupernodalRefactors
+	s.PartialRefactors += o.PartialRefactors
+	s.PartialRefactorColumns += o.PartialRefactorColumns
+	s.DenseFallbackExact += o.DenseFallbackExact
+	s.DenseFallbackSingular += o.DenseFallbackSingular
 }
 
 // flush moves the workspace-local column counters into the shared
@@ -88,6 +122,21 @@ func (p *PathStats) flush(ws *workspace) {
 	}
 	if ws.cFallback != 0 {
 		p.ExactFallbacks.Add(ws.cFallback)
+	}
+	if ws.cSupernodal != 0 {
+		p.SupernodalRefactors.Add(ws.cSupernodal)
+	}
+	if ws.cPartial != 0 {
+		p.PartialRefactors.Add(ws.cPartial)
+	}
+	if ws.cPartialCols != 0 {
+		p.PartialRefactorColumns.Add(ws.cPartialCols)
+	}
+	if ws.cDenseExact != 0 {
+		p.DenseFallbackExact.Add(ws.cDenseExact)
+	}
+	if ws.cDenseSingular != 0 {
+		p.DenseFallbackSingular.Add(ws.cDenseSingular)
 	}
 }
 

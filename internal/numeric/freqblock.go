@@ -1,0 +1,215 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frequency-blocked sparse refactorization.
+//
+// A dictionary build refactors the same symbolic pattern once per
+// frequency: the values change (G + jωC), the elimination schedule does
+// not. The scalar walk therefore pays its per-entry overhead — the
+// cols[] index load, loop control, bounds checks, and the cache miss on
+// the scattered work-row position — once per frequency. RefactorBlock
+// eliminates FreqBlock frequency planes in a single symbolic walk over
+// an interleaved layout, so that per-entry overhead is paid once per
+// FreqBlock frequencies:
+//
+//   - work row:      bw[c*2F + f] (re), bw[c*2F + F + f] (im) — one
+//     64-byte line holds all planes of a column, so the scattered
+//     update touches one line where the scalar walk touches one per
+//     frequency;
+//   - factor values: bv[t*2F ...] in the same per-position layout,
+//     streamed contiguously by the update loop;
+//   - inverse diag:  bd[k*2F ...] likewise.
+//
+// Per-plane arithmetic is the exact scalar recurrence in the exact
+// scalar order, so each plane's factors match RefactorReuse up to the
+// sign of exact zeros: where the scalar walk skips a pivot whose
+// work-row value is zero, the blocked walk (which only skips when every
+// plane is zero there) multiplies through by that zero, which can flip
+// a result of exactly 0 to -0 but cannot change any other value. The
+// factors are de-interleaved into FreqBlock ordinary SparseLUs at
+// gather time, so solves, guards, and fallbacks are untouched.
+//
+// Planes fail independently: a singular pivot on one frequency is
+// recorded (first failing row, same row the scalar walk would report)
+// and that plane's lanes carry on harmlessly — non-finite values cannot
+// cross lanes because no arithmetic mixes planes — while the other
+// frequencies factor to completion.
+
+// FreqBlock is the number of frequency planes RefactorBlock eliminates
+// per symbolic walk. 4 planes × re/im = 8 float64 = one cache line per
+// matrix position.
+const FreqBlock = 4
+
+// fbStride is the float64 stride per matrix position in the interleaved
+// planes: FreqBlock reals then FreqBlock imaginaries.
+const fbStride = 2 * FreqBlock
+
+// BlockRefactorer owns the interleaved scratch for frequency-blocked
+// refactorization. The zero value is ready; a worker that calls
+// RefactorBlock with the same receiver every group allocates nothing in
+// steady state.
+type BlockRefactorer struct {
+	bv []float64 // interleaved factor values along sym.cols
+	bd []float64 // interleaved inverse diagonal per row
+	bw []float64 // interleaved dense work row (all-zero between calls)
+}
+
+// RefactorBlock refactors FreqBlock value-plane sets over one shared
+// symbolic pattern in a single interleaved elimination walk. ares[f] and
+// aims[f] are plane f's values along sym's compiled pattern, exactly as
+// RefactorReuse takes them; lus[f] receives plane f's factorization and
+// is afterwards indistinguishable from one produced by RefactorReuse on
+// that plane (same factors under ==, same guard, ready for SolveBlock).
+// errs[f] is plane f's outcome under the RefactorReuse error contract —
+// planes succeed and fail independently.
+func (b *BlockRefactorer) RefactorBlock(sym *SparseSymbolic, lus *[FreqBlock]SparseLU, ares, aims *[FreqBlock][]float64) (errs [FreqBlock]error) {
+	var guard2 [FreqBlock]float64
+	bad := false
+	for f := 0; f < FreqBlock; f++ {
+		errs[f] = lus[f].prepRefactor(sym, ares[f], aims[f])
+		if errs[f] != nil {
+			bad = true
+		} else {
+			guard2[f] = lus[f].guard2
+		}
+	}
+	if bad {
+		// Dimension errors abort the walk outright; an all-zero plane
+		// (ErrSingular from prep) merely rides along dead — its lanes
+		// stay zero and its error stands.
+		for f := 0; f < FreqBlock; f++ {
+			if errs[f] != nil && !errors.Is(errs[f], ErrSingular) {
+				return errs
+			}
+		}
+	}
+
+	n := sym.n
+	nnz := len(sym.cols)
+	if cap(b.bv) < nnz*fbStride {
+		b.bv = make([]float64, nnz*fbStride)
+	}
+	b.bv = b.bv[:nnz*fbStride]
+	if cap(b.bd) < n*fbStride {
+		b.bd = make([]float64, n*fbStride)
+		b.bw = make([]float64, n*fbStride)
+	}
+	b.bd = b.bd[:n*fbStride]
+	b.bw = b.bw[:n*fbStride]
+
+	a0re, a1re, a2re, a3re := ares[0], ares[1], ares[2], ares[3]
+	a0im, a1im, a2im, a3im := aims[0], aims[1], aims[2], aims[3]
+	v0re, v1re, v2re, v3re := lus[0].vre, lus[1].vre, lus[2].vre, lus[3].vre
+	v0im, v1im, v2im, v3im := lus[0].vim, lus[1].vim, lus[2].vim, lus[3].vim
+	cols, rs, dp := sym.cols, sym.rowStart, sym.diagPos
+	bv, bd, bw := b.bv, b.bd, b.bw
+
+	for i := 0; i < n; i++ {
+		lo, hi := rs[i], rs[i+1]
+		// Scatter row i of every plane into the interleaved work row.
+		for t := lo; t < hi; t++ {
+			cb := cols[t] * fbStride
+			wc := bw[cb : cb+fbStride : cb+fbStride]
+			wc[0], wc[1], wc[2], wc[3] = a0re[t], a1re[t], a2re[t], a3re[t]
+			wc[4], wc[5], wc[6], wc[7] = a0im[t], a1im[t], a2im[t], a3im[t]
+		}
+		// Eliminate ascending over the row's L pattern; one index walk
+		// serves every plane. On amd64 with AVX the whole walk runs in
+		// the assembly kernel — four planes per 256-bit lane, the same
+		// IEEE operations in the same order as the loop below.
+		if fbAVX {
+			if dpi := dp[i]; dpi > lo {
+				fbEliminateRowAVX(&bw[0], &bv[0], &bd[0], &cols[0], &dp[0], &rs[0], lo, dpi)
+			}
+			goto gather
+		}
+		for t := lo; t < dp[i]; t++ {
+			k := cols[t]
+			kb := k * fbStride
+			wk := bw[kb : kb+fbStride : kb+fbStride]
+			ar0, ar1, ar2, ar3 := wk[0], wk[1], wk[2], wk[3]
+			ai0, ai1, ai2, ai3 := wk[4], wk[5], wk[6], wk[7]
+			if ar0 == 0 && ai0 == 0 && ar1 == 0 && ai1 == 0 &&
+				ar2 == 0 && ai2 == 0 && ar3 == 0 && ai3 == 0 {
+				continue
+			}
+			rk := bd[kb : kb+fbStride : kb+fbStride]
+			m0r := ar0*rk[0] - ai0*rk[4]
+			m0i := ar0*rk[4] + ai0*rk[0]
+			m1r := ar1*rk[1] - ai1*rk[5]
+			m1i := ar1*rk[5] + ai1*rk[1]
+			m2r := ar2*rk[2] - ai2*rk[6]
+			m2i := ar2*rk[6] + ai2*rk[2]
+			m3r := ar3*rk[3] - ai3*rk[7]
+			m3i := ar3*rk[7] + ai3*rk[3]
+			wk[0], wk[4] = m0r, m0i
+			wk[1], wk[5] = m1r, m1i
+			wk[2], wk[6] = m2r, m2i
+			wk[3], wk[7] = m3r, m3i
+			for u := dp[k] + 1; u < rs[k+1]; u++ {
+				cb := cols[u] * fbStride
+				ub := u * fbStride
+				uc := bv[ub : ub+fbStride : ub+fbStride]
+				wc := bw[cb : cb+fbStride : cb+fbStride]
+				ur, ui := uc[0], uc[4]
+				wc[0] -= m0r*ur - m0i*ui
+				wc[4] -= m0r*ui + m0i*ur
+				ur, ui = uc[1], uc[5]
+				wc[1] -= m1r*ur - m1i*ui
+				wc[5] -= m1r*ui + m1i*ur
+				ur, ui = uc[2], uc[6]
+				wc[2] -= m2r*ur - m2i*ui
+				wc[6] -= m2r*ui + m2i*ur
+				ur, ui = uc[3], uc[7]
+				wc[3] -= m3r*ur - m3i*ui
+				wc[7] -= m3r*ui + m3i*ur
+			}
+		}
+		// Gather the finished row: into the interleaved planes (read by
+		// later update loops) and de-interleaved into each plane's
+		// SparseLU, clearing the work row behind.
+	gather:
+		for t := lo; t < hi; t++ {
+			cb := cols[t] * fbStride
+			tb := t * fbStride
+			wc := bw[cb : cb+fbStride : cb+fbStride]
+			uc := bv[tb : tb+fbStride : tb+fbStride]
+			r0, r1, r2, r3 := wc[0], wc[1], wc[2], wc[3]
+			i0, i1, i2, i3 := wc[4], wc[5], wc[6], wc[7]
+			uc[0], uc[1], uc[2], uc[3] = r0, r1, r2, r3
+			uc[4], uc[5], uc[6], uc[7] = i0, i1, i2, i3
+			v0re[t], v0im[t] = r0, i0
+			v1re[t], v1im[t] = r1, i1
+			v2re[t], v2im[t] = r2, i2
+			v3re[t], v3im[t] = r3, i3
+			wc[0], wc[1], wc[2], wc[3] = 0, 0, 0, 0
+			wc[4], wc[5], wc[6], wc[7] = 0, 0, 0, 0
+		}
+		// Per-plane pivot check and reciprocal. A failing plane records
+		// the same row the scalar walk would abort on and keeps riding —
+		// a non-finite reciprocal stays inside its own lanes.
+		db := dp[i] * fbStride
+		ib := i * fbStride
+		for f := 0; f < FreqBlock; f++ {
+			dr, di := bv[db+f], bv[db+FreqBlock+f]
+			d2 := dr*dr + di*di
+			if d2 == 0 || d2 < guard2[f] {
+				if errs[f] == nil {
+					if d2 == 0 {
+						errs[f] = fmt.Errorf("numeric: zero pivot at row %d: %w", i, ErrSingular)
+					} else {
+						errs[f] = fmt.Errorf("numeric: pivot at row %d below static-pivot guard: %w", i, ErrSingular)
+					}
+				}
+			}
+			rr, ri := recip(dr, di)
+			bd[ib+f], bd[ib+FreqBlock+f] = rr, ri
+			lus[f].ire[i], lus[f].iim[i] = rr, ri
+		}
+	}
+	return errs
+}

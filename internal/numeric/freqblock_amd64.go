@@ -1,0 +1,22 @@
+//go:build amd64
+
+package numeric
+
+//go:noescape
+func fbEliminateRowAVX(bw, bv, bd *float64, cols, dp, rs *int, lo, dpi int)
+
+func fbCPUID1() uint32
+
+func fbXGETBV() uint32
+
+// fbAVX gates the assembly kernel: the CPU must report AVX and OSXSAVE,
+// and the OS must have enabled XMM+YMM state (XCR0 bits 1 and 2). The
+// pure-Go loop is the fallback everywhere else and is bit-identical.
+var fbAVX = func() bool {
+	const osxsave, avx = 1 << 27, 1 << 28
+	cx := fbCPUID1()
+	if cx&osxsave == 0 || cx&avx == 0 {
+		return false
+	}
+	return fbXGETBV()&6 == 6
+}()

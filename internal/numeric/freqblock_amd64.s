@@ -1,0 +1,119 @@
+// AVX inner kernel for the frequency-blocked refactorization walk.
+//
+// One 256-bit lane-set holds the four frequency planes of a matrix
+// position (re quad, then im quad — fbStride floats). VMULPD/VADDPD/
+// VSUBPD round each lane exactly like the scalar MULSD/ADDSD/SUBSD
+// sequence in the pure-Go loop, so the kernel is bit-identical to it.
+// No FMA: fused rounding would diverge from the scalar walk.
+
+#include "textflag.h"
+
+// func fbEliminateRowAVX(bw, bv, bd *float64, cols, dp, rs *int, lo, dpi int)
+//
+// The full ascending elimination of one row over its L pattern — the
+// per-pivot multiplier computation plus the update sweep of fbUpdateAVX,
+// without a Go call per pivot:
+//
+//   for t in [lo, dpi):
+//     k = cols[t]
+//     a = bw[k*8 ..]                   (work-row quads at pivot k)
+//     if every plane of a is ±0: continue   (the scalar walk's skip)
+//     r = bd[k*8 ..]                   (pivot reciprocal quads)
+//     m.re = a.re*r.re - a.im*r.im; m.im = a.re*r.im + a.im*r.re
+//     bw[k*8 ..] = m
+//     for u in [dp[k]+1, rs[k+1]): update bw[cols[u]*8 ..] by bv[u*8 ..]
+TEXT ·fbEliminateRowAVX(SB), NOSPLIT, $0-64
+	MOVQ bw+0(FP), DI
+	MOVQ bv+8(FP), SI
+	MOVQ bd+16(FP), R8
+	MOVQ cols+24(FP), DX
+	MOVQ dp+32(FP), R9
+	MOVQ rs+40(FP), R10
+	MOVQ lo+48(FP), R11
+	MOVQ dpi+56(FP), R12
+	// Y7 = sign-bit mask complement for the ±0 test.
+	MOVQ $0x7FFFFFFFFFFFFFFF, AX
+	VMOVQ AX, X7
+	VMOVDDUP X7, X7
+	VINSERTF128 $1, X7, Y7, Y7
+	CMPQ R11, R12
+	JGE rowdone
+rowpivot:
+	MOVQ (DX)(R11*8), BX  // k = cols[t]
+	MOVQ BX, R13
+	SHLQ $6, R13          // byte offset of position k
+	VMOVUPD (DI)(R13*1), Y0   // a.re
+	VMOVUPD 32(DI)(R13*1), Y1 // a.im
+	VORPD Y1, Y0, Y2
+	VANDPD Y7, Y2, Y2     // drop sign bits: ±0 counts as zero
+	VPTEST Y2, Y2
+	JNE rowactive
+	ADDQ $1, R11
+	CMPQ R11, R12
+	JLT rowpivot
+	JMP rowdone
+rowactive:
+	VMOVUPD (R8)(R13*1), Y4   // r.re
+	VMOVUPD 32(R8)(R13*1), Y5 // r.im
+	VMULPD Y4, Y0, Y2     // a.re*r.re
+	VMULPD Y5, Y1, Y3     // a.im*r.im
+	VSUBPD Y3, Y2, Y2     // m.re
+	VMULPD Y5, Y0, Y6     // a.re*r.im
+	VMULPD Y4, Y1, Y3     // a.im*r.re
+	VADDPD Y3, Y6, Y3     // m.im
+	VMOVUPD Y2, (DI)(R13*1)
+	VMOVUPD Y3, 32(DI)(R13*1)
+	VMOVAPD Y2, Y4        // m.re
+	VMOVAPD Y3, Y5        // m.im
+	// Update sweep over U entries [dp[k]+1, rs[k+1]).
+	MOVQ (R9)(BX*8), CX   // dp[k]
+	ADDQ $1, CX
+	MOVQ 8(R10)(BX*8), R14 // rs[k+1]
+	CMPQ CX, R14
+	JGE rownext
+	MOVQ CX, R15
+	SHLQ $6, R15
+	LEAQ (SI)(R15*1), R15 // &bv[u*8]
+rowupd:
+	MOVQ (DX)(CX*8), BX   // c = cols[u]
+	SHLQ $6, BX
+	VMOVUPD (R15), Y0     // u.re
+	VMOVUPD 32(R15), Y1   // u.im
+	VMULPD Y0, Y4, Y2
+	VMULPD Y1, Y5, Y3
+	VSUBPD Y3, Y2, Y2
+	VMOVUPD (DI)(BX*1), Y6
+	VSUBPD Y2, Y6, Y6
+	VMOVUPD Y6, (DI)(BX*1)
+	VMULPD Y1, Y4, Y2
+	VMULPD Y0, Y5, Y3
+	VADDPD Y3, Y2, Y2
+	VMOVUPD 32(DI)(BX*1), Y6
+	VSUBPD Y2, Y6, Y6
+	VMOVUPD Y6, 32(DI)(BX*1)
+	ADDQ $64, R15
+	ADDQ $1, CX
+	CMPQ CX, R14
+	JLT rowupd
+rownext:
+	ADDQ $1, R11
+	CMPQ R11, R12
+	JLT rowpivot
+rowdone:
+	VZEROUPPER
+	RET
+
+// func fbCPUID1() uint32 — ECX of CPUID leaf 1 (feature flags).
+TEXT ·fbCPUID1(SB), NOSPLIT, $0-4
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, ret+0(FP)
+	RET
+
+// func fbXGETBV() uint32 — low word of XCR0 (OS-enabled state).
+TEXT ·fbXGETBV(SB), NOSPLIT, $0-4
+	XORL CX, CX
+	XGETBV
+	MOVL AX, ret+0(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package numeric
+
+var fbAVX = false
+
+// fbEliminateRowAVX is never called when fbAVX is false; this stub
+// keeps non-amd64 builds linking.
+func fbEliminateRowAVX(bw, bv, bd *float64, cols, dp, rs *int, lo, dpi int) {
+	panic("numeric: fbEliminateRowAVX without AVX support")
+}

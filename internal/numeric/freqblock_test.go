@@ -1,0 +1,196 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// blockPlanes derives FreqBlock distinct value-plane sets from one base
+// plane pair, the way an engine sweep does: same pattern, per-frequency
+// values (the imaginary part scales like jωC).
+func blockPlanes(re, im []float64) (ares, aims [FreqBlock][]float64) {
+	for f := 0; f < FreqBlock; f++ {
+		ares[f] = make([]float64, len(re))
+		aims[f] = make([]float64, len(im))
+		s := 1 + 0.35*float64(f)
+		for t := range re {
+			ares[f][t] = re[t]
+			aims[f][t] = im[t] * s
+		}
+	}
+	return ares, aims
+}
+
+// TestRefactorBlockMatchesScalar pins the frequency-blocked contract:
+// every plane of a RefactorBlock equals a scalar RefactorReuse of that
+// plane — factor for factor, reciprocal for reciprocal — on random
+// unsymmetric systems and grid meshes.
+func TestRefactorBlockMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	type caseSys struct {
+		name string
+		sym  *SparseSymbolic
+		re   []float64
+		im   []float64
+	}
+	var cases []caseSys
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(40)
+		m, rows := randSparseSystem(rng, n)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		re, im := planesFor(t, sym, m)
+		cases = append(cases, caseSys{fmt.Sprintf("rand-%d", n), sym, re, im})
+	}
+	for _, k := range []int{3, 8, 16, 23} {
+		n, rows, planes := gridSystem(rng, k)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			t.Fatalf("grid analyze: %v", err)
+		}
+		re, im := planes(sym)
+		cases = append(cases, caseSys{fmt.Sprintf("grid-%d", k), sym, re, im})
+	}
+	var br BlockRefactorer
+	for _, cs := range cases {
+		ares, aims := blockPlanes(cs.re, cs.im)
+		var lus [FreqBlock]SparseLU
+		errs := br.RefactorBlock(cs.sym, &lus, &ares, &aims)
+		for f := 0; f < FreqBlock; f++ {
+			if errs[f] != nil {
+				t.Fatalf("%s: blocked plane %d: %v", cs.name, f, errs[f])
+			}
+			var ref SparseLU
+			if err := ref.RefactorReuse(cs.sym, ares[f], aims[f]); err != nil {
+				t.Fatalf("%s: scalar plane %d: %v", cs.name, f, err)
+			}
+			compareFactors(t, fmt.Sprintf("%s plane %d", cs.name, f), &ref, &lus[f])
+		}
+	}
+}
+
+// TestRefactorBlockIndependentFailure pins that planes fail alone: a
+// dead plane (all-zero) and a singular plane (zeroed row) report their
+// own errors while the remaining planes still match the scalar sweep.
+func TestRefactorBlockIndependentFailure(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n, rows, planes := gridSystem(rng, 9)
+	sym, err := AnalyzeSparse(n, rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re, im := planes(sym)
+	ares, aims := blockPlanes(re, im)
+	// Plane 1: all-zero matrix. Plane 3: zero out one structural row.
+	for t1 := range ares[1] {
+		ares[1][t1], aims[1][t1] = 0, 0
+	}
+	deadRow := n / 2
+	for t1 := sym.rowStart[deadRow]; t1 < sym.rowStart[deadRow+1]; t1++ {
+		ares[3][t1], aims[3][t1] = 0, 0
+	}
+	var br BlockRefactorer
+	var lus [FreqBlock]SparseLU
+	errs := br.RefactorBlock(sym, &lus, &ares, &aims)
+	if !errors.Is(errs[1], ErrSingular) {
+		t.Fatalf("all-zero plane: got %v, want ErrSingular", errs[1])
+	}
+	if !errors.Is(errs[3], ErrSingular) {
+		t.Fatalf("zeroed-row plane: got %v, want ErrSingular", errs[3])
+	}
+	for _, f := range []int{0, 2} {
+		if errs[f] != nil {
+			t.Fatalf("healthy plane %d: %v", f, errs[f])
+		}
+		var ref SparseLU
+		if err := ref.RefactorReuse(sym, ares[f], aims[f]); err != nil {
+			t.Fatalf("scalar plane %d: %v", f, err)
+		}
+		compareFactors(t, fmt.Sprintf("surviving plane %d", f), &ref, &lus[f])
+	}
+	// The failing plane's error row must match the scalar walk's.
+	var ref3 SparseLU
+	err3 := ref3.RefactorReuse(sym, ares[3], aims[3])
+	if err3 == nil || errs[3] == nil || err3.Error() != errs[3].Error() {
+		t.Fatalf("failure parity: scalar %v vs blocked %v", err3, errs[3])
+	}
+	// A fresh refactorization through the same scratch still matches —
+	// the failed walk must leave the interleaved work row clean.
+	ares2, aims2 := blockPlanes(re, im)
+	var lus2 [FreqBlock]SparseLU
+	errs2 := br.RefactorBlock(sym, &lus2, &ares2, &aims2)
+	for f := 0; f < FreqBlock; f++ {
+		if errs2[f] != nil {
+			t.Fatalf("post-failure plane %d: %v", f, errs2[f])
+		}
+		var ref SparseLU
+		if err := ref.RefactorReuse(sym, ares2[f], aims2[f]); err != nil {
+			t.Fatalf("post-failure scalar plane %d: %v", f, err)
+		}
+		compareFactors(t, fmt.Sprintf("post-failure plane %d", f), &ref, &lus2[f])
+	}
+}
+
+// TestRefactorBlockAllocationFree pins the steady-state contract: after
+// a warm-up call, RefactorBlock with the same receiver and LUs does not
+// allocate.
+func TestRefactorBlockAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	_, rows, planes := gridSystem(rng, 16)
+	sym, err := AnalyzeSparse(len(rows), rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re, im := planes(sym)
+	ares, aims := blockPlanes(re, im)
+	var br BlockRefactorer
+	var lus [FreqBlock]SparseLU
+	if errs := br.RefactorBlock(sym, &lus, &ares, &aims); errs[0] != nil {
+		t.Fatalf("warm-up: %v", errs[0])
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if errs := br.RefactorBlock(sym, &lus, &ares, &aims); errs[0] != nil {
+			t.Fatalf("refactor: %v", errs[0])
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state RefactorBlock allocates %.1f/run, want 0", avg)
+	}
+}
+
+// BenchmarkRefactorBlock reports the per-frequency numeric-phase cost of
+// the blocked walk next to the scalar walk on grid meshes (one blocked
+// op factors FreqBlock planes; divide by FreqBlock to compare).
+func BenchmarkRefactorBlock(b *testing.B) {
+	for _, k := range []int{16, 32, 45, 64} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		_, rows, planes := gridSystem(rng, k)
+		sym, err := AnalyzeSparse(len(rows), rows)
+		if err != nil {
+			b.Fatalf("analyze: %v", err)
+		}
+		re, im := planes(sym)
+		ares, aims := blockPlanes(re, im)
+		b.Run(fmt.Sprintf("scalar/n=%d", len(rows)), func(b *testing.B) {
+			var f SparseLU
+			for i := 0; i < b.N; i++ {
+				if err := f.RefactorReuse(sym, ares[i%FreqBlock], aims[i%FreqBlock]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("block4/n=%d", len(rows)), func(b *testing.B) {
+			var br BlockRefactorer
+			var lus [FreqBlock]SparseLU
+			for i := 0; i < b.N; i++ {
+				if errs := br.RefactorBlock(sym, &lus, &ares, &aims); errs[0] != nil {
+					b.Fatal(errs[0])
+				}
+			}
+		})
+	}
+}

@@ -57,6 +57,18 @@ type SparseSymbolic struct {
 	diagPos  []int // index into cols of the diagonal entry of each row
 
 	annz int // structural nonzeros of A before fill-in
+
+	// Supernodal schedule (see supernodal.go): maximal runs of permuted
+	// rows with nested U patterns and dense in-block L, their dependency
+	// DAG, and a level-set order for parallel refactorization. Computed
+	// once by AnalyzeSparse, immutable afterwards.
+	snStart  []int32 // supernode s covers permuted rows [snStart[s], snStart[s+1]); len S+1
+	snOf     []int32 // permuted row → its supernode
+	depOff   []int32 // CSR offsets over depSn; len S+1
+	depSn    []int32 // ascending dependency supernodes per supernode
+	lvlOff   []int32 // CSR offsets over lvlSn; len L+1
+	lvlSn    []int32 // supernodes grouped by DAG level, ascending within each
+	maxPanel int     // widest supernode (≤ maxPanelWidth)
 }
 
 // AnalyzeSparse runs the one-time symbolic analysis for an n×n pattern.
@@ -121,7 +133,79 @@ func AnalyzeSparse(n int, rows [][]int) (*SparseSymbolic, error) {
 		sym.invCol[sym.colperm[i]] = i
 	}
 	sym.symbolicFill(adj)
+	sym.postorderReorder(adj)
+	sym.buildSupernodes()
 	return sym, nil
+}
+
+// postorderReorder relabels the elimination order by a postorder of the
+// elimination tree (parent(i) = first off-diagonal column of U(i)) and
+// recomputes the symbolic fill. For the (near-)symmetric patterns MNA
+// produces this is the classic fill-preserving relabeling that makes
+// the members of each fundamental supernode consecutive — without it,
+// minimum degree interleaves structurally identical rows and the
+// supernodal phase degenerates to singletons. Any relabeling is correct
+// (the fill is recomputed); this one only changes which equivalent
+// order we factor in.
+func (s *SparseSymbolic) postorderReorder(adj [][]int) {
+	n := s.n
+	parent := make([]int, n)
+	for i := 0; i < n; i++ {
+		parent[i] = -1
+		if s.diagPos[i]+1 < s.rowStart[i+1] {
+			parent[i] = s.cols[s.diagPos[i]+1]
+		}
+	}
+	// Children lists, ascending per parent (linked via next[] to avoid
+	// per-node slices); roots are visited in ascending order too, so the
+	// postorder is deterministic.
+	firstKid := make([]int, n)
+	next := make([]int, n)
+	for i := range firstKid {
+		firstKid[i] = -1
+		next[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- { // reverse scan keeps child lists ascending
+		if p := parent[i]; p >= 0 {
+			next[i] = firstKid[p]
+			firstKid[p] = i
+		}
+	}
+	post := make([]int, 0, n)
+	stack := make([]int, 0, n)
+	iter := make([]int, n) // next unvisited child while i is on the stack
+	for r := 0; r < n; r++ {
+		if parent[r] >= 0 {
+			continue
+		}
+		stack = append(stack, r)
+		iter[r] = firstKid[r]
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if c := iter[v]; c >= 0 {
+				iter[v] = next[c]
+				stack = append(stack, c)
+				iter[c] = firstKid[c]
+				continue
+			}
+			post = append(post, v)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	// Compose: new position p factors what was at old position post[p].
+	nr := make([]int, n)
+	nc := make([]int, n)
+	for p, old := range post {
+		nr[p] = s.rowperm[old]
+		nc[p] = s.colperm[old]
+	}
+	s.rowperm, s.colperm = nr, nc
+	for i := 0; i < n; i++ {
+		s.invRow[s.rowperm[i]] = i
+		s.invCol[s.colperm[i]] = i
+	}
+	s.cols = nil
+	s.symbolicFill(adj)
 }
 
 // maxTransversal finds a perfect matching column→row over the pattern
@@ -158,7 +242,24 @@ func maxTransversal(n int, adj [][]int) ([]int, error) {
 		}
 		return false
 	}
+	// Seed with the structural diagonal: MNA diagonals are the dominant
+	// conductance anchors, and an arbitrary transversal that displaces
+	// them leaves near-zero off-diagonal static pivots (2-D grid CUTs
+	// exposed exactly that — every refactorization tripped the pivot
+	// guard). Augmenting paths then complete the matching for the
+	// zero-diagonal rows (voltage-source branch equations).
 	for j := 0; j < n; j++ {
+		row := adj[j]
+		t := sort.SearchInts(row, j)
+		if t < len(row) && row[t] == j {
+			matchRow[j] = j
+			match[j] = j
+		}
+	}
+	for j := 0; j < n; j++ {
+		if match[j] >= 0 {
+			continue
+		}
 		stamp++
 		if !augment(j) {
 			return nil, fmt.Errorf("numeric: pattern is structurally singular (no zero-free diagonal through column %d): %w", j, ErrSingular)
@@ -371,6 +472,13 @@ type SparseLU struct {
 	ire, iim []float64 // inverse diagonal per row
 	wre, wim []float64 // dense scatter row for elimination
 	pre, pim []float64 // permuted RHS panel scratch for solves
+
+	guard2 float64 // squared pivot guard of the last refactorization
+
+	panels  []panelScratch // per-worker supernodal panel scratch
+	lvlCur  []int64        // per-level claim cursors for RefactorParallel
+	markRow []int          // partial-refactor affected-row stamps
+	markGen int            // current stamp generation for markRow
 }
 
 // Sym returns the symbolic pattern of the last refactorization (nil
@@ -387,6 +495,24 @@ func (f *SparseLU) Sym() *SparseSymbolic { return f.sym }
 // relative to the largest input magnitude — the caller's cue to fall
 // back to a dense partial-pivot factorization.
 func (f *SparseLU) RefactorReuse(sym *SparseSymbolic, are, aim []float64) error {
+	if err := f.prepRefactor(sym, are, aim); err != nil {
+		return err
+	}
+	for i := 0; i < sym.n; i++ {
+		if err := f.factorRowScalar(i, are, aim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepRefactor validates shapes, sizes the factor storage and scratch,
+// and derives the squared pivot guard from the input magnitude. It is
+// the shared head of every refactorization flavor (scalar, supernodal,
+// parallel). The value planes are NOT copied: the elimination scatters
+// each row from the input planes and gathers the factored row into
+// f.vre/f.vim, so untouched garbage in f.vre is never read.
+func (f *SparseLU) prepRefactor(sym *SparseSymbolic, are, aim []float64) error {
 	nnz := len(sym.cols)
 	if len(are) != nnz || len(aim) != nnz {
 		return fmt.Errorf("numeric: refactor with planes %d/%d, pattern has %d entries: %w", len(are), len(aim), nnz, ErrDimension)
@@ -407,8 +533,6 @@ func (f *SparseLU) RefactorReuse(sym *SparseSymbolic, are, aim []float64) error 
 	f.wre, f.wim = f.wre[:n], f.wim[:n]
 	f.sym = sym
 
-	copy(f.vre, are)
-	copy(f.vim, aim)
 	var amax2 float64
 	for t := range are {
 		if m := are[t]*are[t] + aim[t]*aim[t]; m > amax2 {
@@ -418,56 +542,70 @@ func (f *SparseLU) RefactorReuse(sym *SparseSymbolic, are, aim []float64) error 
 	if amax2 == 0 {
 		return fmt.Errorf("numeric: refactor of all-zero matrix: %w", ErrSingular)
 	}
-	guard2 := pivotGuard * pivotGuard * amax2
+	f.guard2 = pivotGuard * pivotGuard * amax2
+	return nil
+}
 
+// factorRowScalar eliminates one permuted row through the classic
+// up-looking scalar sweep: scatter the row's input values into the dense
+// work row, eliminate against every factored row in its L pattern
+// ascending, gather the finished row into the factor planes, and invert
+// the pivot. The supernodal path performs the same per-position
+// arithmetic in the same order, so both produce bit-identical factors.
+func (f *SparseLU) factorRowScalar(i int, are, aim []float64) error {
+	return f.factorRowInto(i, are, aim, f.wre, f.wim)
+}
+
+// factorRowInto is factorRowScalar on a caller-chosen work row — the
+// parallel supernodal path hands each worker its own panel scratch so
+// singleton supernodes can take this exact scalar walk race-free.
+func (f *SparseLU) factorRowInto(i int, are, aim []float64, wre, wim []float64) error {
+	sym := f.sym
 	vre, vim := f.vre, f.vim
-	wre, wim := f.wre, f.wim
 	cols, rs, dp := sym.cols, sym.rowStart, sym.diagPos
-	for i := 0; i < n; i++ {
-		lo, hi := rs[i], rs[i+1]
-		// Scatter row i into the dense work row; all positions touched
-		// by elimination lie in the row's static pattern, so the gather
-		// below restores the work row to zero.
-		for t := lo; t < hi; t++ {
-			wre[cols[t]] = vre[t]
-			wim[cols[t]] = vim[t]
-		}
-		// Eliminate against every row k < i in the row's L pattern,
-		// ascending (the pattern is sorted, so this is a linear walk).
-		for t := lo; t < dp[i]; t++ {
-			k := cols[t]
-			ar, ai := wre[k], wim[k]
-			if ar == 0 && ai == 0 {
-				continue
-			}
-			// L[i][k] = w[k] / U[k][k], by reciprocal multiplication.
-			mr := ar*f.ire[k] - ai*f.iim[k]
-			mi := ar*f.iim[k] + ai*f.ire[k]
-			wre[k], wim[k] = mr, mi
-			for u := dp[k] + 1; u < rs[k+1]; u++ {
-				j := cols[u]
-				r, m := vre[u], vim[u]
-				wre[j] -= mr*r - mi*m
-				wim[j] -= mr*m + mi*r
-			}
-		}
-		// Gather the finished row back and clear the work row.
-		for t := lo; t < hi; t++ {
-			vre[t] = wre[cols[t]]
-			vim[t] = wim[cols[t]]
-			wre[cols[t]] = 0
-			wim[cols[t]] = 0
-		}
-		dr, di := vre[dp[i]], vim[dp[i]]
-		d2 := dr*dr + di*di
-		if d2 == 0 {
-			return fmt.Errorf("numeric: zero pivot at row %d: %w", i, ErrSingular)
-		}
-		if d2 < guard2 {
-			return fmt.Errorf("numeric: pivot at row %d below static-pivot guard: %w", i, ErrSingular)
-		}
-		f.ire[i], f.iim[i] = recip(dr, di)
+	lo, hi := rs[i], rs[i+1]
+	// Scatter row i into the dense work row; all positions touched
+	// by elimination lie in the row's static pattern, so the gather
+	// below restores the work row to zero.
+	for t := lo; t < hi; t++ {
+		wre[cols[t]] = are[t]
+		wim[cols[t]] = aim[t]
 	}
+	// Eliminate against every row k < i in the row's L pattern,
+	// ascending (the pattern is sorted, so this is a linear walk).
+	for t := lo; t < dp[i]; t++ {
+		k := cols[t]
+		ar, ai := wre[k], wim[k]
+		if ar == 0 && ai == 0 {
+			continue
+		}
+		// L[i][k] = w[k] / U[k][k], by reciprocal multiplication.
+		mr := ar*f.ire[k] - ai*f.iim[k]
+		mi := ar*f.iim[k] + ai*f.ire[k]
+		wre[k], wim[k] = mr, mi
+		for u := dp[k] + 1; u < rs[k+1]; u++ {
+			j := cols[u]
+			r, m := vre[u], vim[u]
+			wre[j] -= mr*r - mi*m
+			wim[j] -= mr*m + mi*r
+		}
+	}
+	// Gather the finished row back and clear the work row.
+	for t := lo; t < hi; t++ {
+		vre[t] = wre[cols[t]]
+		vim[t] = wim[cols[t]]
+		wre[cols[t]] = 0
+		wim[cols[t]] = 0
+	}
+	dr, di := vre[dp[i]], vim[dp[i]]
+	d2 := dr*dr + di*di
+	if d2 == 0 {
+		return fmt.Errorf("numeric: zero pivot at row %d: %w", i, ErrSingular)
+	}
+	if d2 < f.guard2 {
+		return fmt.Errorf("numeric: pivot at row %d below static-pivot guard: %w", i, ErrSingular)
+	}
+	f.ire[i], f.iim[i] = recip(dr, di)
 	return nil
 }
 

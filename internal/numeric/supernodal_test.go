@@ -1,0 +1,417 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+// gridSystem builds the pattern and value planes of a k×k 5-point mesh
+// (the shape of the rc-grid CUT family): diagonally dominant complex
+// values on a 2-D grid graph. Real fill, real supernodes — the pattern
+// class the supernodal phase exists for.
+func gridSystem(rng *rand.Rand, k int) (int, [][]int, func(sym *SparseSymbolic) ([]float64, []float64)) {
+	n := k * k
+	rows := make([][]int, n)
+	at := func(x, y int) int { return y*k + x }
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			i := at(x, y)
+			rows[i] = append(rows[i], i)
+			if x > 0 {
+				rows[i] = append(rows[i], at(x-1, y))
+			}
+			if x < k-1 {
+				rows[i] = append(rows[i], at(x+1, y))
+			}
+			if y > 0 {
+				rows[i] = append(rows[i], at(x, y-1))
+			}
+			if y < k-1 {
+				rows[i] = append(rows[i], at(x, y+1))
+			}
+		}
+	}
+	vals := make([]complex128, n)
+	for i := range vals {
+		vals[i] = complex(4.5+rng.Float64(), 0.3+rng.Float64())
+	}
+	planes := func(sym *SparseSymbolic) ([]float64, []float64) {
+		re := make([]float64, sym.LUNNZ())
+		im := make([]float64, sym.LUNNZ())
+		for i, r := range rows {
+			for _, j := range r {
+				t := sym.ValueIndex(i, j)
+				if i == j {
+					re[t] += real(vals[i])
+					im[t] += imag(vals[i])
+				} else {
+					re[t] += -1 + 0.01*float64((i+j)%7)
+					im[t] += -0.1
+				}
+			}
+		}
+		return re, im
+	}
+	return n, rows, planes
+}
+
+// TestSupernodalMatchesScalarBitIdentical pins the core contract: the
+// supernodal and parallel refactorizations produce factors bit-identical
+// to the scalar sweep — same vre/vim/ire/iim, float for float — on
+// random unsymmetric systems and on grid meshes, at several worker
+// counts.
+func TestSupernodalMatchesScalarBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	type caseSys struct {
+		name string
+		sym  *SparseSymbolic
+		re   []float64
+		im   []float64
+	}
+	var cases []caseSys
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		m, rows := randSparseSystem(rng, n)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		re, im := planesFor(t, sym, m)
+		cases = append(cases, caseSys{fmt.Sprintf("rand-%d", n), sym, re, im})
+	}
+	for _, k := range []int{3, 8, 16, 23} {
+		n, rows, planes := gridSystem(rng, k)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			t.Fatalf("grid analyze: %v", err)
+		}
+		re, im := planes(sym)
+		cases = append(cases, caseSys{fmt.Sprintf("grid-%d", k), sym, re, im})
+	}
+	for _, cs := range cases {
+		var ref, sup SparseLU
+		if err := ref.RefactorReuse(cs.sym, cs.re, cs.im); err != nil {
+			t.Fatalf("%s: scalar refactor: %v", cs.name, err)
+		}
+		if err := sup.RefactorSupernodal(cs.sym, cs.re, cs.im); err != nil {
+			t.Fatalf("%s: supernodal refactor: %v", cs.name, err)
+		}
+		compareFactors(t, cs.name+" supernodal", &ref, &sup)
+		for _, workers := range []int{2, 4, runtime.NumCPU()} {
+			var par SparseLU
+			if err := par.RefactorParallel(cs.sym, cs.re, cs.im, workers); err != nil {
+				t.Fatalf("%s: parallel(%d) refactor: %v", cs.name, workers, err)
+			}
+			compareFactors(t, fmt.Sprintf("%s parallel(%d)", cs.name, workers), &ref, &par)
+		}
+	}
+}
+
+func compareFactors(t *testing.T, name string, want, got *SparseLU) {
+	t.Helper()
+	for i := range want.vre {
+		if want.vre[i] != got.vre[i] || want.vim[i] != got.vim[i] {
+			t.Fatalf("%s: factor value %d differs: (%g,%g) vs (%g,%g)",
+				name, i, want.vre[i], want.vim[i], got.vre[i], got.vim[i])
+		}
+	}
+	for i := range want.ire {
+		if want.ire[i] != got.ire[i] || want.iim[i] != got.iim[i] {
+			t.Fatalf("%s: inverse diagonal %d differs", name, i)
+		}
+	}
+}
+
+// TestSupernodeScheduleInvariants checks the detected schedule: runs
+// cover [0,n) in order, widths respect the cap, every dependency
+// precedes its dependent, and levels strictly order dependencies.
+func TestSupernodeScheduleInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n, rows, _ := gridSystem(rng, 20)
+	sym, err := AnalyzeSparse(n, rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	S := sym.Supernodes()
+	if S < 1 || int(sym.snStart[0]) != 0 || int(sym.snStart[S]) != n {
+		t.Fatalf("supernodes do not cover [0,%d): %v", n, sym.snStart)
+	}
+	if sym.MaxPanel() > maxPanelWidth || sym.MaxPanel() < 1 {
+		t.Fatalf("MaxPanel %d out of [1,%d]", sym.MaxPanel(), maxPanelWidth)
+	}
+	// A 20×20 mesh must actually produce multi-row supernodes, or the
+	// blocked phase is vacuous.
+	if sym.MaxPanel() < 4 {
+		t.Fatalf("grid mesh produced MaxPanel %d; expected real supernodes", sym.MaxPanel())
+	}
+	level := make([]int, S)
+	for lv := 0; lv < sym.Levels(); lv++ {
+		for x := sym.lvlOff[lv]; x < sym.lvlOff[lv+1]; x++ {
+			level[sym.lvlSn[x]] = lv
+		}
+	}
+	for sn := 0; sn < S; sn++ {
+		for di := sym.depOff[sn]; di < sym.depOff[sn+1]; di++ {
+			d := int(sym.depSn[di])
+			if d >= sn {
+				t.Fatalf("supernode %d depends on non-earlier %d", sn, d)
+			}
+			if level[d] >= level[sn] {
+				t.Fatalf("dependency %d (level %d) not below %d (level %d)", d, level[d], sn, level[sn])
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		sn := int(sym.snOf[i])
+		if i < int(sym.snStart[sn]) || i >= int(sym.snStart[sn+1]) {
+			t.Fatalf("snOf[%d]=%d outside its run", i, sn)
+		}
+	}
+}
+
+// TestPartialRefactorMatchesFromScratch is the quick property: for
+// random systems and random delta patterns (random subsets of pattern
+// positions perturbed), PartialRefactor from the base factorization is
+// bit-identical to a from-scratch RefactorReuse of the patched planes.
+func TestPartialRefactorMatchesFromScratch(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		m, rows := randSparseSystem(rng, n)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			return false
+		}
+		re, im := planesFor(t, sym, m)
+		var base SparseLU
+		if err := base.RefactorReuse(sym, re, im); err != nil {
+			// Random system tripped the static-pivot guard: nothing to
+			// patch against; treat as vacuously true.
+			return true
+		}
+		// Patch a few structural entries (delta pattern of a fault: a
+		// handful of positions, as addRank1Sparse produces).
+		pre := append([]float64(nil), re...)
+		pim := append([]float64(nil), im...)
+		touched := map[int]bool{}
+		np := 1 + rng.Intn(4)
+		for p := 0; p < np; p++ {
+			t2 := rng.Intn(sym.LUNNZ())
+			pre[t2] += rng.Float64() - 0.5
+			pim[t2] += rng.Float64() - 0.5
+			touched[sym.RowOfIndex(t2)] = true
+		}
+		var tr []int
+		for r := range touched {
+			tr = append(tr, r)
+		}
+		var scratch, partial SparseLU
+		errScratch := scratch.RefactorReuse(sym, pre, pim)
+		cnt, errPartial := partial.PartialRefactor(&base, pre, pim, tr)
+		if (errScratch == nil) != (errPartial == nil) {
+			t.Logf("seed %d: from-scratch err=%v, partial err=%v", seed, errScratch, errPartial)
+			return false
+		}
+		if errScratch != nil {
+			return errors.Is(errPartial, ErrSingular)
+		}
+		if cnt < 1 || cnt > n {
+			return false
+		}
+		for i := range scratch.vre {
+			if scratch.vre[i] != partial.vre[i] || scratch.vim[i] != partial.vim[i] {
+				t.Logf("seed %d: factor value %d differs", seed, i)
+				return false
+			}
+		}
+		for i := range scratch.ire {
+			if scratch.ire[i] != partial.ire[i] || scratch.iim[i] != partial.iim[i] {
+				t.Logf("seed %d: inverse diagonal %d differs", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartialRefactorRecomputesSuffixOnly pins the economic point: on a
+// banded ladder-like system, touching a late row recomputes far fewer
+// rows than the whole matrix.
+func TestPartialRefactorRecomputesSuffixOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n, rows, planes := gridSystem(rng, 16)
+	sym, err := AnalyzeSparse(n, rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re, im := planes(sym)
+	var base SparseLU
+	if err := base.RefactorReuse(sym, re, im); err != nil {
+		t.Fatalf("refactor: %v", err)
+	}
+	// Patch one diagonal entry; the affected set is bounded by the rows
+	// reachable from it, which for a mesh is a small fraction of n.
+	pre := append([]float64(nil), re...)
+	pim := append([]float64(nil), im...)
+	t2 := sym.ValueIndex(3, 3)
+	pre[t2] += 0.7
+	var partial SparseLU
+	cnt, err := partial.PartialRefactor(&base, pre, pim, []int{sym.RowOfIndex(t2)})
+	if err != nil {
+		t.Fatalf("partial refactor: %v", err)
+	}
+	if cnt < 1 || cnt >= n {
+		t.Fatalf("partial refactor recomputed %d of %d rows", cnt, n)
+	}
+	var scratch SparseLU
+	if err := scratch.RefactorReuse(sym, pre, pim); err != nil {
+		t.Fatalf("from-scratch: %v", err)
+	}
+	compareFactors(t, "suffix partial", &scratch, &partial)
+}
+
+// TestPartialRefactorGuards covers the error surface: unfactored base,
+// out-of-range touched rows, all-zero patched planes.
+func TestPartialRefactorGuards(t *testing.T) {
+	sym, err := AnalyzeSparse(2, [][]int{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re := []float64{4, 1, 1, 4}
+	im := []float64{0, 0, 0, 0}
+	var base, f SparseLU
+	if _, err := f.PartialRefactor(&base, re, im, []int{0}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("unfactored base: got %v, want ErrDimension", err)
+	}
+	if err := base.RefactorReuse(sym, re, im); err != nil {
+		t.Fatalf("refactor: %v", err)
+	}
+	if _, err := f.PartialRefactor(&base, re, im, []int{2}); !errors.Is(err, ErrDimension) {
+		t.Fatalf("out-of-range touched row: got %v, want ErrDimension", err)
+	}
+	zero := make([]float64, sym.LUNNZ())
+	if _, err := f.PartialRefactor(&base, zero, zero, []int{0}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("all-zero patch: got %v, want ErrSingular", err)
+	}
+	// A patch that makes the matrix singular must surface ErrSingular.
+	sing := []float64{1, 1, 1, 1}
+	if _, err := f.PartialRefactor(&base, sing, im, []int{0, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("singular patch: got %v, want ErrSingular", err)
+	}
+	// After a failed supernodal elimination the scratch must stay clean:
+	// a following good refactorization still matches the scalar sweep.
+	var sup SparseLU
+	if err := sup.RefactorSupernodal(sym, sing, im); !errors.Is(err, ErrSingular) {
+		t.Fatalf("supernodal singular: got %v, want ErrSingular", err)
+	}
+	if err := sup.RefactorSupernodal(sym, re, im); err != nil {
+		t.Fatalf("supernodal after failure: %v", err)
+	}
+	var ref SparseLU
+	if err := ref.RefactorReuse(sym, re, im); err != nil {
+		t.Fatalf("scalar: %v", err)
+	}
+	compareFactors(t, "post-failure supernodal", &ref, &sup)
+}
+
+// TestSupernodalRefactorAllocationFree pins the steady-state contract
+// for the sequential supernodal path (the per-frequency hot path): after
+// one warm-up, refactor + block solve performs no heap allocation. The
+// parallel path is excluded — it spawns goroutines by design.
+func TestSupernodalRefactorAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	n, rows, planes := gridSystem(rng, 12)
+	sym, err := AnalyzeSparse(n, rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re, im := planes(sym)
+	var f SparseLU
+	blk := NewBlock(n, 4)
+	rhs := NewBlock(n, 4)
+	for c := 0; c < 4; c++ {
+		for i := 0; i < n; i++ {
+			rhs.Set(i, c, complex(rng.Float64(), rng.Float64()))
+		}
+	}
+	run := func() {
+		if err := f.RefactorSupernodal(sym, re, im); err != nil {
+			t.Fatalf("refactor: %v", err)
+		}
+		blk.CopyFrom(rhs)
+		if err := f.SolveBlock(blk); err != nil {
+			t.Fatalf("solve: %v", err)
+		}
+	}
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg > 0 {
+		t.Fatalf("supernodal refactor+solve allocates %.1f times per run after warm-up", avg)
+	}
+}
+
+// TestPartialRefactorAllocationFree pins the same contract for the
+// partial path once scratch is warm.
+func TestPartialRefactorAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n, rows, planes := gridSystem(rng, 12)
+	sym, err := AnalyzeSparse(n, rows)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	re, im := planes(sym)
+	var base, f SparseLU
+	if err := base.RefactorReuse(sym, re, im); err != nil {
+		t.Fatalf("refactor: %v", err)
+	}
+	pre := append([]float64(nil), re...)
+	pim := append([]float64(nil), im...)
+	t2 := sym.ValueIndex(n/2, n/2)
+	pre[t2] += 0.25
+	touched := []int{sym.RowOfIndex(t2)}
+	run := func() {
+		if _, err := f.PartialRefactor(&base, pre, pim, touched); err != nil {
+			t.Fatalf("partial refactor: %v", err)
+		}
+	}
+	run()
+	if avg := testing.AllocsPerRun(20, run); avg > 0 {
+		t.Fatalf("partial refactor allocates %.1f times per run after warm-up", avg)
+	}
+}
+
+// BenchmarkSparseRefactor compares the scalar and supernodal numeric
+// phases on mesh patterns of increasing size (the ftbench sparse suite
+// measures the same thing through the engine).
+func BenchmarkSparseRefactor(b *testing.B) {
+	for _, k := range []int{16, 32, 45} {
+		rng := rand.New(rand.NewSource(5))
+		n, rows, planes := gridSystem(rng, k)
+		sym, err := AnalyzeSparse(n, rows)
+		if err != nil {
+			b.Fatalf("analyze: %v", err)
+		}
+		re, im := planes(sym)
+		var f SparseLU
+		b.Run(fmt.Sprintf("scalar/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := f.RefactorReuse(sym, re, im); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("supernodal/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := f.RefactorSupernodal(sym, re, im); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

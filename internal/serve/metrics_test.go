@@ -173,9 +173,16 @@ type statsPayload struct {
 		} `json:"build_seconds"`
 	} `json:"metrics"`
 	Engine struct {
-		DenseFactors int64 `json:"dense_factors"`
-		Rank1Solves  int64 `json:"rank1_solves"`
-		MemoMisses   int64 `json:"memo_misses"`
+		DenseFactors           int64 `json:"dense_factors"`
+		SparseFactors          int64 `json:"sparse_factors"`
+		Rank1Solves            int64 `json:"rank1_solves"`
+		ExactFallbacks         int64 `json:"exact_fallbacks"`
+		MemoMisses             int64 `json:"memo_misses"`
+		SupernodalRefactors    int64 `json:"supernodal_refactors"`
+		PartialRefactors       int64 `json:"partial_refactors"`
+		PartialRefactorColumns int64 `json:"partial_refactor_columns"`
+		DenseFallbackExact     int64 `json:"dense_fallback_exact"`
+		DenseFallbackSingular  int64 `json:"dense_fallback_singular"`
 	} `json:"engine"`
 }
 
@@ -205,6 +212,11 @@ func TestServerMetricsAndStats(t *testing.T) {
 		"ftserve_engine_dense_factors_total",
 		"ftserve_engine_rank1_solves_total",
 		"ftserve_engine_memo_misses_total",
+		"ftserve_engine_supernodal_refactors_total",
+		"ftserve_engine_partial_refactors_total",
+		"ftserve_engine_partial_refactor_columns_total",
+		"ftserve_engine_dense_fallback_exact_total",
+		"ftserve_engine_dense_fallback_singular_total",
 	} {
 		if _, ok := p.values[series]; !ok {
 			t.Errorf("missing series %s", series)
@@ -245,6 +257,38 @@ func TestServerMetricsAndStats(t *testing.T) {
 	if got := p.values["ftserve_engine_dense_factors_total"]; got != float64(st.Engine.DenseFactors) {
 		// Quiescent server: both endpoints must agree.
 		t.Errorf("dense factors disagree: /metrics %g, /v1/stats %d", got, st.Engine.DenseFactors)
+	}
+	// Supernodal/partial-refactor counter invariants: each supernodal
+	// refactor is a sparse factorization; each partial refactor serves an
+	// exact fallback and re-eliminates at least one column; each dense
+	// fallback is a dense factorization.
+	e := st.Engine
+	if e.SupernodalRefactors > e.SparseFactors {
+		t.Errorf("supernodal_refactors %d > sparse_factors %d", e.SupernodalRefactors, e.SparseFactors)
+	}
+	if e.PartialRefactors > e.ExactFallbacks {
+		t.Errorf("partial_refactors %d > exact_fallbacks %d", e.PartialRefactors, e.ExactFallbacks)
+	}
+	if e.PartialRefactorColumns < e.PartialRefactors {
+		t.Errorf("partial_refactor_columns %d < partial_refactors %d", e.PartialRefactorColumns, e.PartialRefactors)
+	}
+	if e.DenseFallbackExact+e.DenseFallbackSingular > e.DenseFactors {
+		t.Errorf("dense fallback split %d+%d exceeds dense_factors %d",
+			e.DenseFallbackExact, e.DenseFallbackSingular, e.DenseFactors)
+	}
+	for name, v := range map[string]int64{
+		"supernodal_refactors":     e.SupernodalRefactors,
+		"partial_refactors":        e.PartialRefactors,
+		"partial_refactor_columns": e.PartialRefactorColumns,
+		"dense_fallback_exact":     e.DenseFallbackExact,
+		"dense_fallback_singular":  e.DenseFallbackSingular,
+	} {
+		if v < 0 {
+			t.Errorf("engine counter %s negative: %d", name, v)
+		}
+		if got := p.values["ftserve_engine_"+name+"_total"]; got != float64(v) {
+			t.Errorf("%s disagrees: /metrics %g, /v1/stats %d", name, got, v)
+		}
 	}
 }
 

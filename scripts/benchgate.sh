@@ -20,11 +20,18 @@
 # from the merge base).
 #
 # Then runs `ftbench -e sparse` gated against the checked-in
-# BENCH_sparse.json. The sparse gate compares dense/sparse speedup
-# ratios, not ns/op, so the checked-in baseline works across machines;
-# the looser default tolerance absorbs the dense-side variance of
-# shared runners. The hard floor — sparse wins ≥5× at 256+ unknowns —
-# is enforced regardless of tolerance.
+# BENCH_sparse.json. The sparse gate compares speedup ratios, not
+# ns/op, so the checked-in baseline works across machines; the looser
+# default tolerance absorbs shared-runner variance. Hard floors
+# enforced regardless of tolerance: sparse wins ≥5× over dense at 256+
+# unknowns (where dense is still timeable), and the frequency-blocked
+# supernodal numeric phase never collapses below 2× over the scalar
+# sparse refactorization at 2000+ unknowns (its blocked-vs-scalar
+# ratio is additionally gated relative to the baseline; the ≥3×
+# supernodal acceptance floor is asserted on the checked-in record by
+# CI's invariant step). The parallel-refactorization speedup is
+# asserted within tolerance of break-even only on multi-core runners
+# (GOMAXPROCS=1 records no parallel measurement).
 set -euo pipefail
 
 baseline=${1:-BENCH_hotpath.json}
